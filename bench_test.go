@@ -1,0 +1,552 @@
+// Benchmark harness: one benchmark per figure of the paper's
+// evaluation section (§5.2) plus ablations for the design choices of
+// §4.  Each figure bench regenerates the figure's full sweep and
+// reports headline latency gains as custom metrics, so
+//
+//	go test -bench=Fig -benchmem
+//
+// reproduces every table/figure, and
+//
+//	WEBCACHE_BENCH_SCALE=1.0 go test -bench=Fig2a -benchtime=1x
+//
+// replays it at the paper's full one-million-request scale.
+package webcache_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"webcache"
+	"webcache/internal/cache"
+	"webcache/internal/pastry"
+	"webcache/internal/trace"
+)
+
+// benchScale reads the workload scale for figure benches (default 5%
+// of the paper's size: shapes are stable and the full suite stays
+// fast).
+func benchScale() float64 {
+	if s := os.Getenv("WEBCACHE_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.05
+}
+
+// benchFigure runs one figure sweep per iteration and reports the
+// first and last series' gains at the smallest cache size as metrics.
+func benchFigure(b *testing.B, id string) {
+	opts := webcache.FigureOptions{Scale: benchScale(), Seed: 1}
+	var fig *webcache.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = webcache.RunFigure(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) > 0 {
+			b.ReportMetric(100*s.Points[0].Gain, "gain10%_"+sanitize(s.Label))
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r == ' ' || r == '=' || r == '(' || r == ')':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// Figure 2(a): latency gain vs. proxy cache size, synthetic workload,
+// all seven schemes.
+func BenchmarkFig2a(b *testing.B) { benchFigure(b, "2a") }
+
+// Figure 2(b): the same sweep on the reconstructed UCB Home-IP trace.
+func BenchmarkFig2b(b *testing.B) { benchFigure(b, "2b") }
+
+// Figure 3: sensitivity to the Zipf popularity exponent
+// (alpha ∈ {0.5, 0.7, 1.0}) for FC-EC, FC, Hier-GD, SC-EC.
+func BenchmarkFig3(b *testing.B) { benchFigure(b, "3") }
+
+// Figure 4: sensitivity to temporal locality (LRU stack ∈ {5%, 20%,
+// 60%}) for FC-EC, FC, Hier-GD, SC-EC.
+func BenchmarkFig4(b *testing.B) { benchFigure(b, "4") }
+
+// Figure 5(a): Hier-GD vs. proxy-to-proxy latency, Ts/Tc ∈ {2, 5, 10}.
+func BenchmarkFig5a(b *testing.B) { benchFigure(b, "5a") }
+
+// Figure 5(b): Hier-GD vs. client-to-proxy latency, Ts/Tl ∈ {5, 10, 20}.
+func BenchmarkFig5b(b *testing.B) { benchFigure(b, "5b") }
+
+// Figure 5(c): Hier-GD vs. client cluster size (100..1000 caches).
+func BenchmarkFig5c(b *testing.B) { benchFigure(b, "5c") }
+
+// Figure 5(d): Hier-GD vs. proxy cluster size (2, 5, 10 proxies).
+func BenchmarkFig5d(b *testing.B) { benchFigure(b, "5d") }
+
+// --- Ablation benches (DESIGN.md §5) ----------------------------------
+
+func benchTrace(b *testing.B) *webcache.Trace {
+	b.Helper()
+	tr, err := webcache.GenerateWorkload(webcache.WorkloadConfig{
+		NumRequests: 100_000,
+		NumObjects:  1_500,
+		NumClients:  200,
+		Seed:        1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkDirectoryExactVsBloom compares Hier-GD's two lookup
+// directory representations (§4.2): memory footprint versus
+// false-positive-induced wasted P2P lookups.
+func BenchmarkDirectoryExactVsBloom(b *testing.B) {
+	tr := benchTrace(b)
+	for _, kind := range []webcache.DirectoryKind{webcache.DirExact, webcache.DirBloom} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var res *webcache.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = webcache.Run(tr, webcache.Config{
+					Scheme: webcache.HierGD, ProxyCacheFrac: 0.15,
+					Directory: kind, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.DirectoryMemoryBytes), "dir-bytes")
+			b.ReportMetric(float64(res.DirectoryFalsePositives), "false-lookups")
+			b.ReportMetric(res.AvgLatency*1000, "mlat")
+		})
+	}
+}
+
+// BenchmarkObjectDiversion measures what leaf-set object diversion
+// (§4.3) buys: client-tier hit ratio and premature evictions with the
+// mechanism on and off.
+func BenchmarkObjectDiversion(b *testing.B) {
+	tr := benchTrace(b)
+	for _, disable := range []bool{false, true} {
+		name := "diversion"
+		if disable {
+			name = "no-diversion"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *webcache.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = webcache.Run(tr, webcache.Config{
+					Scheme: webcache.HierGD, ProxyCacheFrac: 0.15,
+					DisableDiversion: disable, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*res.HitRatio(webcache.SrcP2P), "p2p-hit%")
+			b.ReportMetric(float64(res.P2P.Evictions), "evictions")
+			b.ReportMetric(float64(res.P2P.Diversions), "diversions")
+		})
+	}
+}
+
+// BenchmarkPiggyback measures the message saving of piggybacked
+// destaging (§4.4) versus dedicated proxy->client connections.
+func BenchmarkPiggyback(b *testing.B) {
+	tr := benchTrace(b)
+	for _, disable := range []bool{false, true} {
+		name := "piggyback"
+		if disable {
+			name = "dedicated"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *webcache.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = webcache.Run(tr, webcache.Config{
+					Scheme: webcache.HierGD, ProxyCacheFrac: 0.15,
+					DisablePiggyback: disable, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.P2P.Messages), "messages")
+			b.ReportMetric(float64(res.P2P.PiggybackSave), "saved")
+		})
+	}
+}
+
+// BenchmarkPastryRouting measures routing throughput and hop counts
+// against the ⌈log_2^b N⌉ bound (§4.1).
+func BenchmarkPastryRouting(b *testing.B) {
+	for _, digit := range []int{2, 4} {
+		for _, n := range []int{256, 1024} {
+			b.Run(fmt.Sprintf("b=%d/n=%d", digit, n), func(b *testing.B) {
+				ov, err := pastry.New(pastry.Config{B: digit, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ov.JoinN(n, "bench"); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := ov.Route(pastry.HashUint64(uint64(i))); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(ov.Stats().MeanHops, "hops")
+			})
+		}
+	}
+}
+
+// BenchmarkPolicies measures raw replacement-policy throughput: the
+// greedy-dual heap versus LRU and LFU under a Zipf-ish access pattern.
+func BenchmarkPolicies(b *testing.B) {
+	mk := map[string]func() cache.Policy{
+		"lru":         func() cache.Policy { return cache.NewLRU(1000) },
+		"lfu":         func() cache.Policy { return cache.NewLFU(1000) },
+		"lfu-perfect": func() cache.Policy { return cache.NewPerfectLFU(1000) },
+		"greedy-dual": func() cache.Policy { return cache.NewGreedyDual(1000) },
+	}
+	for _, name := range []string{"lru", "lfu", "lfu-perfect", "greedy-dual"} {
+		ctor := mk[name]
+		b.Run(name, func(b *testing.B) {
+			p := ctor()
+			for i := 0; i < b.N; i++ {
+				obj := trace.ObjectID(uint64(i*i) % 5000) // skewed-ish
+				if !p.Access(obj) {
+					p.Add(cache.Entry{Obj: obj, Size: 1, Cost: 1})
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorkloadGeneration measures the ProWGen generator itself.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := webcache.GenerateWorkload(webcache.WorkloadConfig{
+			NumRequests: 100_000, NumObjects: 2000, NumClients: 200, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(100_000)
+}
+
+// BenchmarkSchemes measures end-to-end replay throughput per scheme
+// (requests per second through the simulator).
+func BenchmarkSchemes(b *testing.B) {
+	tr := benchTrace(b)
+	for _, s := range webcache.AllSchemes() {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := webcache.Run(tr, webcache.Config{
+					Scheme: s, ProxyCacheFrac: 0.3, Seed: 1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(tr.Len()))
+		})
+	}
+}
+
+// BenchmarkInterProxyDigests compares perfect inter-proxy knowledge
+// (the paper's idealization) against Summary-Cache-style Bloom digests
+// at several exchange intervals: stale digests lose remote hits and
+// waste probes.
+func BenchmarkInterProxyDigests(b *testing.B) {
+	tr := benchTrace(b)
+	for _, interval := range []int{0, 1_000, 10_000, 50_000} {
+		name := "perfect"
+		if interval > 0 {
+			name = fmt.Sprintf("every-%dk", interval/1000)
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *webcache.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = webcache.Run(tr, webcache.Config{
+					Scheme: webcache.SC, ProxyCacheFrac: 0.2,
+					DigestInterval: interval, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*res.HitRatio(webcache.SrcRemoteProxy), "remote-hit%")
+			b.ReportMetric(float64(res.DigestStaleProbes), "stale-probes")
+			b.ReportMetric(res.AvgLatency*1000, "mlat")
+		})
+	}
+}
+
+// BenchmarkProxyGDSF compares Hier-GD's paper policy (greedy-dual)
+// with the GDSF extension at the proxies.
+func BenchmarkProxyGDSF(b *testing.B) {
+	tr := benchTrace(b)
+	for _, gdsf := range []bool{false, true} {
+		name := "greedy-dual"
+		if gdsf {
+			name = "gdsf"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *webcache.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = webcache.Run(tr, webcache.Config{
+					Scheme: webcache.HierGD, ProxyCacheFrac: 0.15,
+					ProxyGDSF: gdsf, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*res.HitRatio(webcache.SrcLocalProxy), "proxy-hit%")
+			b.ReportMetric(res.AvgLatency*1000, "mlat")
+		})
+	}
+}
+
+// BenchmarkVariableSizes replays the extension workload (lognormal
+// body + Pareto tail object sizes) through the size-aware policies.
+func BenchmarkVariableSizes(b *testing.B) {
+	tr, err := webcache.GenerateWorkload(webcache.WorkloadConfig{
+		NumRequests: 100_000, NumObjects: 1_500, NumClients: 200,
+		VariableSizes: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []webcache.Scheme{webcache.SC, webcache.FCEC, webcache.HierGD} {
+		b.Run(s.String(), func(b *testing.B) {
+			var res *webcache.Result
+			for i := 0; i < b.N; i++ {
+				res, err = webcache.Run(tr, webcache.Config{
+					Scheme: s, ProxyCacheFrac: 0.2, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.AvgLatency*1000, "mlat")
+			b.SetBytes(int64(tr.Len()))
+		})
+	}
+}
+
+// BenchmarkProximityRouting measures the stretch reduction of
+// proximity-aware routing tables (real Pastry's locality heuristic).
+func BenchmarkProximityRouting(b *testing.B) {
+	for _, aware := range []bool{false, true} {
+		name := "oblivious"
+		if aware {
+			name = "aware"
+		}
+		b.Run(name, func(b *testing.B) {
+			ov, err := pastry.New(pastry.Config{Seed: 1, ProximityAware: aware})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ov.JoinN(512, "proxbench"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ov.Route(pastry.HashUint64(uint64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := ov.Stats()
+			b.ReportMetric(st.MeanStretch, "stretch")
+			b.ReportMetric(st.MeanHops, "hops")
+		})
+	}
+}
+
+// BenchmarkDiversionBalance quantifies §4.3's goal: object diversion
+// evens out storage utilization (lower Gini coefficient).
+func BenchmarkDiversionBalance(b *testing.B) {
+	tr := benchTrace(b)
+	for _, disable := range []bool{false, true} {
+		name := "diversion"
+		if disable {
+			name = "no-diversion"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *webcache.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = webcache.Run(tr, webcache.Config{
+					Scheme: webcache.HierGD, ProxyCacheFrac: 0.1,
+					DisableDiversion: disable, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.P2P.Diversions), "diversions")
+			b.ReportMetric(100*res.HitRatio(webcache.SrcP2P), "p2p-hit%")
+		})
+	}
+}
+
+// BenchmarkSquirrelVsHierGD quantifies the paper's §6 comparison with
+// the Squirrel decentralized web cache: same pooled client caches,
+// with and without the proxy tier and inter-proxy cooperation.
+func BenchmarkSquirrelVsHierGD(b *testing.B) {
+	tr := benchTrace(b)
+	for _, s := range []webcache.Scheme{webcache.Squirrel, webcache.HierGD} {
+		b.Run(s.String(), func(b *testing.B) {
+			var res *webcache.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = webcache.Run(tr, webcache.Config{
+					Scheme: s, ProxyCacheFrac: 0.2, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.AvgLatency*1000, "mlat")
+			b.ReportMetric(100*res.HitRatio(webcache.SrcP2P), "p2p-hit%")
+		})
+	}
+}
+
+// BenchmarkBelady reports each online policy's miss overhead over the
+// clairvoyant MIN bound on a skewed workload — how much headroom the
+// paper's greedy-dual leaves on the table.
+func BenchmarkBelady(b *testing.B) {
+	tr := benchTrace(b)
+	seq := make([]trace.ObjectID, tr.Len())
+	for i, r := range tr.Requests {
+		seq[i] = r.Object
+	}
+	const capacity = 150 // ~10% of distinct objects
+	opt := cache.ReplaySingleCache(cache.NewBelady(capacity, seq), seq)
+	policies := map[string]func() cache.Policy{
+		"lru":         func() cache.Policy { return cache.NewLRU(capacity) },
+		"lfu-perfect": func() cache.Policy { return cache.NewPerfectLFU(capacity) },
+		"greedy-dual": func() cache.Policy { return cache.NewGreedyDual(capacity) },
+		"gdsf":        func() cache.Policy { return cache.NewGDSF(capacity) },
+	}
+	for _, name := range []string{"lru", "lfu-perfect", "greedy-dual", "gdsf"} {
+		ctor := policies[name]
+		b.Run(name, func(b *testing.B) {
+			var misses int
+			for i := 0; i < b.N; i++ {
+				misses = cache.ReplaySingleCache(ctor(), seq)
+			}
+			b.ReportMetric(float64(misses)/float64(opt), "x-optimal")
+			b.SetBytes(int64(len(seq)))
+		})
+	}
+}
+
+// BenchmarkClusterAffinity breaks the paper's statistically-identical-
+// populations assumption: as organizational interests become disjoint
+// (affinity -> 1), inter-proxy sharing starves while the client-cache
+// tier keeps paying off.
+func BenchmarkClusterAffinity(b *testing.B) {
+	for _, aff := range []float64{0, 0.5, 0.95} {
+		tr, err := webcache.GenerateWorkload(webcache.WorkloadConfig{
+			NumRequests: 100_000, NumObjects: 2_000, NumClients: 200,
+			NumClusters: 2, ClusterAffinity: aff, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("affinity=%.2f", aff), func(b *testing.B) {
+			var sc, hg *webcache.Result
+			for i := 0; i < b.N; i++ {
+				nc, err := webcache.Run(tr, webcache.Config{Scheme: webcache.NC, ProxyCacheFrac: 0.2, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sc, err = webcache.Run(tr, webcache.Config{Scheme: webcache.SC, ProxyCacheFrac: 0.2, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hg, err = webcache.Run(tr, webcache.Config{Scheme: webcache.HierGD, ProxyCacheFrac: 0.2, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*webcache.Gain(sc.AvgLatency, nc.AvgLatency), "sc-gain%")
+				b.ReportMetric(100*webcache.Gain(hg.AvgLatency, nc.AvgLatency), "hiergd-gain%")
+			}
+		})
+	}
+}
+
+// BenchmarkHotReplication quantifies the PAST-style replication
+// extension: maximum per-client-cache serve load with and without it.
+func BenchmarkHotReplication(b *testing.B) {
+	tr := benchTrace(b)
+	for _, after := range []int{0, 100} {
+		name := "single-copy"
+		if after > 0 {
+			name = fmt.Sprintf("replicate-after-%d", after)
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *webcache.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = webcache.Run(tr, webcache.Config{
+					Scheme: webcache.HierGD, ProxyCacheFrac: 0.1,
+					ReplicateHotAfter: after, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.P2PMaxNodeServes), "max-node-serves")
+			b.ReportMetric(float64(res.P2P.Replications), "replicas")
+			b.ReportMetric(100*res.HitRatio(webcache.SrcP2P), "p2p-hit%")
+		})
+	}
+}
+
+// BenchmarkBasePolicy ablates the paper's choice of LFU for the
+// non-greedy-dual schemes: the same SC-EC sweep point under four
+// baseline replacement policies.
+func BenchmarkBasePolicy(b *testing.B) {
+	tr := benchTrace(b)
+	for _, bp := range []webcache.BasePolicy{
+		webcache.BasePerfectLFU, webcache.BaseLFUInCache, webcache.BaseLRU, webcache.BaseGreedyDual,
+	} {
+		b.Run(bp.String(), func(b *testing.B) {
+			var res *webcache.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = webcache.Run(tr, webcache.Config{
+					Scheme: webcache.SCEC, ProxyCacheFrac: 0.2, BasePolicy: bp, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.AvgLatency*1000, "mlat")
+			b.ReportMetric(100*res.LocalHitRatio(), "local-hit%")
+		})
+	}
+}

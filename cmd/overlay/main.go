@@ -1,0 +1,124 @@
+// Command overlay inspects the Pastry overlay that underlies the P2P
+// client cache: it builds a ring, measures routing hop distributions,
+// and exercises failure handling — the substrate behind the paper's
+// "⌈log_2^b N⌉ hops" claim (§4.1).
+//
+// Usage:
+//
+//	overlay -nodes 1024 -routes 10000          # hop statistics
+//	overlay -nodes 256 -fail 0.3 -routes 5000  # with 30% crashed nodes
+//	overlay -nodes 64 -b 2 -verify             # verify routing vs ground truth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"webcache/internal/pastry"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 1024, "overlay size (the paper's client cluster size)")
+		b         = flag.Int("b", 4, "Pastry digit width in bits (1, 2, 4, 8)")
+		leafs     = flag.Int("l", 16, "leaf set size")
+		routes    = flag.Int("routes", 10_000, "number of random routes to measure")
+		fail      = flag.Float64("fail", 0, "fraction of nodes to crash before routing")
+		seed      = flag.Int64("seed", 1, "random seed")
+		verify    = flag.Bool("verify", false, "check every route against the ground-truth owner")
+		stabilize = flag.Bool("stabilize", false, "run a maintenance round after failures")
+		diagnose  = flag.Bool("diagnose", false, "print overlay health diagnostics")
+		proximity = flag.Bool("proximity", false, "proximity-aware routing tables (report stretch)")
+	)
+	flag.Parse()
+
+	ov, err := pastry.New(pastry.Config{B: *b, LeafSetSize: *leafs, Seed: *seed, ProximityAware: *proximity})
+	if err != nil {
+		fatal(err)
+	}
+	ids, err := ov.JoinN(*nodes, "overlay-cli")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("built overlay: %d nodes, b=%d (%d-ary digits), leaf set %d\n",
+		ov.Len(), *b, 1<<*b, *leafs)
+
+	if *fail > 0 {
+		rng := rand.New(rand.NewSource(*seed + 1))
+		toKill := int(*fail * float64(len(ids)))
+		killed := 0
+		for killed < toKill {
+			if ov.Fail(ids[rng.Intn(len(ids))]) {
+				killed++
+			}
+		}
+		fmt.Printf("crashed %d nodes abruptly; %d remain\n", killed, ov.Len())
+		if *stabilize {
+			repairs := ov.Stabilize()
+			fmt.Printf("stabilization round repaired %d state entries\n", repairs)
+		}
+	}
+
+	hist := map[int]int{}
+	mismatches := 0
+	for i := 0; i < *routes; i++ {
+		key := pastry.HashString(fmt.Sprintf("key-%d", i))
+		dest, hops, err := ov.Route(key)
+		if err != nil {
+			fatal(err)
+		}
+		hist[hops]++
+		if *verify {
+			if want, ok := ov.Owner(key); ok && want != dest {
+				mismatches++
+			}
+		}
+	}
+
+	st := ov.Stats()
+	bound := math.Ceil(math.Log(float64(ov.Len())) / math.Log(float64(int(1)<<*b)))
+	fmt.Printf("\nroutes: %d   mean hops: %.2f   max: %d   log_%d(N) bound: %.0f\n",
+		st.Routes, st.MeanHops, st.MaxHops, 1<<*b, bound)
+	if *proximity {
+		fmt.Printf("mean route stretch over the network plane: %.2f\n", st.MeanStretch)
+	}
+	if *diagnose {
+		d := ov.Diagnose()
+		fmt.Printf("\ndiagnostics: nodes=%d tableFill(mean=%.1f min=%d max=%d) leafFill=%.1f completeLeafSets=%d violations=%d\n",
+			d.Nodes, d.MeanTableFill, d.MinTableFill, d.MaxTableFill, d.MeanLeafFill, d.CompleteLeafSets, d.Violations)
+	}
+	if st.Repairs > 0 {
+		fmt.Printf("lazy repairs while routing: %d\n", st.Repairs)
+	}
+	fmt.Println("\nhop histogram:")
+	maxHop := 0
+	for h := range hist {
+		if h > maxHop {
+			maxHop = h
+		}
+	}
+	for h := 0; h <= maxHop; h++ {
+		n := hist[h]
+		bar := ""
+		for j := 0; j < 60*n / *routes; j++ {
+			bar += "#"
+		}
+		fmt.Printf("  %2d hops  %6d  %s\n", h, n, bar)
+	}
+	if *verify {
+		if mismatches == 0 {
+			fmt.Println("\nverification: every route reached the ground-truth owner")
+		} else {
+			fmt.Printf("\nverification: %d/%d routes missed the owner\n", mismatches, *routes)
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "overlay:", err)
+	os.Exit(1)
+}

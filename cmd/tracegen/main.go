@@ -1,0 +1,184 @@
+// Command tracegen generates, converts, and analyzes request traces
+// for the webcache simulator.
+//
+// Usage:
+//
+//	tracegen -o trace.bin -requests 1000000 -objects 10000      # ProWGen
+//	tracegen -o ucb.bin -ucb -scale 0.1                          # UCB-like
+//	tracegen -o dec.bin -preset dec-isp -requests 500000         # trace family
+//	tracegen -squid access.log -o corp.bin                       # Squid ingestion
+//	tracegen -analyze trace.bin -v                               # stats + locality
+//	tracegen -convert trace.bin -o trace.txt -format text        # convert
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"webcache"
+)
+
+func main() {
+	var (
+		out       = flag.String("o", "", "output file (required for generation)")
+		format    = flag.String("format", "", "output format: binary or text (default by extension: .txt = text)")
+		requests  = flag.Int("requests", 1_000_000, "number of requests")
+		objects   = flag.Int("objects", 10_000, "number of distinct objects")
+		clients   = flag.Int("clients", 200, "client population")
+		oneTimers = flag.Float64("one-timers", 0.5, "fraction of one-time-referenced objects")
+		alpha     = flag.Float64("alpha", 0.7, "Zipf popularity exponent")
+		stack     = flag.Float64("stack", 0.2, "LRU stack fraction (temporal locality)")
+		sizes     = flag.Bool("sizes", false, "variable object sizes (lognormal+Pareto)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		ucb       = flag.Bool("ucb", false, "generate the UCB-like trace instead of ProWGen")
+		preset    = flag.String("preset", "", "generate from a workload preset family (webcachesim -presets lists them)")
+		scale     = flag.Float64("scale", 1.0, "UCB scale (1.0 = 9.2M requests)")
+		analyze   = flag.String("analyze", "", "analyze an existing trace file")
+		convert   = flag.String("convert", "", "convert an existing trace file to -o")
+		squid     = flag.String("squid", "", "ingest a Squid access.log into -o")
+		unitSizes = flag.Bool("unit-sizes", false, "with -squid: force unit object sizes")
+		verbose   = flag.Bool("v", false, "with -analyze: temporal-locality and popularity profiles")
+	)
+	flag.Parse()
+
+	switch {
+	case *squid != "":
+		if *out == "" {
+			fatal(fmt.Errorf("-squid requires -o"))
+		}
+		f, err := os.Open(*squid)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := webcache.ReadSquidLog(f, webcache.SquidOptions{UnitSize: *unitSizes})
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeTrace(*out, *format, res.Trace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ingested %d/%d log lines (%d skipped): %s\n",
+			res.Trace.Len(), res.Lines, res.Skipped, webcache.AnalyzeTrace(res.Trace))
+	case *analyze != "":
+		tr, err := readTrace(*analyze)
+		if err != nil {
+			fatal(err)
+		}
+		st := webcache.AnalyzeTrace(tr)
+		fmt.Printf("%s\n", st)
+		fmt.Printf("clients=%d objects=%d requests=%d\n", tr.NumClients, tr.NumObjects, tr.Len())
+		if *verbose {
+			lp := webcache.AnalyzeLocality(tr)
+			fmt.Printf("\ntemporal locality (LRU reuse distances):\n")
+			fmt.Printf("  cold misses %d, re-references %d\n", lp.ColdMisses, lp.Rereferences)
+			fmt.Printf("  distance mean=%.0f median=%d p90=%d p99=%d\n",
+				lp.MeanDistance, lp.MedianDistance, lp.Percentile(90), lp.Percentile(99))
+			fmt.Printf("  predicted LRU hit ratio: ")
+			for _, capacity := range []int{16, 64, 256, 1024, 4096} {
+				fmt.Printf("C=%d:%.1f%% ", capacity, 100*lp.LRUHitRatio(capacity))
+			}
+			fmt.Println()
+			fmt.Printf("\npopularity head (rank: references):\n  ")
+			for i, f := range webcache.PopularityCurve(tr, 10) {
+				fmt.Printf("%d:%d ", i+1, f)
+			}
+			fmt.Println()
+		}
+
+	case *convert != "":
+		if *out == "" {
+			fatal(fmt.Errorf("-convert requires -o"))
+		}
+		tr, err := readTrace(*convert)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeTrace(*out, *format, tr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d requests to %s\n", tr.Len(), *out)
+
+	case *out != "":
+		var tr *webcache.Trace
+		var err error
+		if *preset != "" {
+			tr, err = webcache.GeneratePresetWorkload(*preset, *requests, *seed)
+		} else if *ucb {
+			tr, err = webcache.GenerateUCBWorkload(webcache.UCBConfig{Scale: *scale, Seed: *seed})
+		} else {
+			tr, err = webcache.GenerateWorkload(webcache.WorkloadConfig{
+				NumRequests:   *requests,
+				NumObjects:    *objects,
+				NumClients:    *clients,
+				OneTimerFrac:  *oneTimers,
+				Alpha:         *alpha,
+				StackFrac:     *stack,
+				VariableSizes: *sizes,
+				Seed:          *seed,
+			})
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeTrace(*out, *format, tr); err != nil {
+			fatal(err)
+		}
+		st := webcache.AnalyzeTrace(tr)
+		fmt.Printf("wrote %s: %s\n", *out, st)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func isText(path, format string) bool {
+	if format != "" {
+		return strings.EqualFold(format, "text")
+	}
+	ext := filepath.Ext(path)
+	return ext == ".txt" || ext == ".trace"
+}
+
+func readTrace(path string) (*webcache.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if isText(path, "") {
+		return webcache.ReadTraceText(f)
+	}
+	tr, err := webcache.ReadTraceBinary(f)
+	if err != nil {
+		// Fall back to text for unlabeled files.
+		if _, serr := f.Seek(0, 0); serr == nil {
+			if t2, terr := webcache.ReadTraceText(f); terr == nil {
+				return t2, nil
+			}
+		}
+		return nil, err
+	}
+	return tr, nil
+}
+
+func writeTrace(path, format string, tr *webcache.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if isText(path, format) {
+		return webcache.WriteTraceText(f, tr)
+	}
+	return webcache.WriteTraceBinary(f, tr)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,224 @@
+// Command webcachesim regenerates the paper's evaluation figures
+// (Zhu & Hu, ICPP 2003) as latency-gain tables.
+//
+// Usage:
+//
+//	webcachesim -fig 2a                  # one figure
+//	webcachesim -fig all -scale 0.2      # every figure at 20% workload scale
+//	webcachesim -fig 2a -markdown        # markdown tables for EXPERIMENTS.md
+//	webcachesim -fig 5a -replicates 5    # multi-seed with 95% CIs
+//	webcachesim -fig 2a -plot plots/     # gnuplot .dat/.gp export
+//	webcachesim -run hier-gd -frac 0.2   # a single scheme run with details
+//	webcachesim -compare -frac 0.2       # every scheme (and Squirrel) side by side
+//	webcachesim -compare -preset dec-isp # ... on a preset trace family
+//	webcachesim -compare -trace corp.bin # ... on an external trace file
+//	webcachesim -presets                 # list the workload families
+//
+// Scale 1.0 replays the paper's full one-million-request workloads;
+// smaller scales preserve the shapes at a fraction of the cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"webcache"
+)
+
+func main() {
+	var (
+		fig        = flag.String("fig", "", "figure to regenerate: 2a 2b 3 4 5a 5b 5c 5d, or 'all'")
+		runOne     = flag.String("run", "", "run a single scheme (nc, sc, fc, nc-ec, sc-ec, fc-ec, hier-gd) and print details")
+		scale      = flag.Float64("scale", 0.2, "workload scale (1.0 = the paper's 1M requests)")
+		frac       = flag.Float64("frac", 0.5, "proxy cache size fraction for -run")
+		seed       = flag.Int64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "sweep parallelism (0 = NumCPU)")
+		markdown   = flag.Bool("markdown", false, "emit markdown tables")
+		jsonOut    = flag.Bool("json", false, "emit figures as JSON")
+		plotDir    = flag.String("plot", "", "also export gnuplot .dat/.gp files into this directory")
+		replicates = flag.Int("replicates", 1, "seeds per figure; >1 adds 95% confidence intervals")
+		ucb        = flag.Bool("ucb", false, "use the UCB-like trace for -run/-compare")
+		traceFile  = flag.String("trace", "", "replay an external trace file for -run/-compare (binary or text)")
+		preset     = flag.String("preset", "", "use a workload preset family for -run/-compare (see -presets)")
+		listPre    = flag.Bool("presets", false, "list workload preset families and exit")
+		compare    = flag.Bool("compare", false, "run every scheme (plus the Squirrel baseline) at -frac and tabulate")
+		verbose    = flag.Bool("v", false, "print timing")
+	)
+	flag.Parse()
+
+	src := traceSource{scale: *scale, seed: *seed, ucb: *ucb, file: *traceFile, preset: *preset}
+	switch {
+	case *listPre:
+		for _, p := range webcache.WorkloadPresets() {
+			fmt.Printf("%-16s %s\n", p.Name, p.Description)
+		}
+	case *compare:
+		if err := compareSchemes(src, *frac); err != nil {
+			fatal(err)
+		}
+	case *runOne != "":
+		if err := runScheme(*runOne, src, *frac); err != nil {
+			fatal(err)
+		}
+	case *fig != "":
+		ids := []string{*fig}
+		if *fig == "all" {
+			ids = webcache.FigureIDs()
+		}
+		for _, id := range ids {
+			start := time.Now()
+			opts := webcache.FigureOptions{Scale: *scale, Seed: *seed, Workers: *workers}
+			var f *webcache.Figure
+			var err error
+			if *replicates > 1 {
+				f, err = webcache.RunFigureReplicated(id, opts, *replicates)
+			} else {
+				f, err = webcache.RunFigure(id, opts)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			switch {
+			case *jsonOut:
+				if err := webcache.WriteFigureJSON(os.Stdout, f); err != nil {
+					fatal(err)
+				}
+			case *markdown:
+				fmt.Printf("### Figure %s — %s\n\n", f.ID, f.Title)
+				fmt.Println(webcache.FormatMarkdown(f))
+			default:
+				fmt.Println(webcache.FormatTable(f))
+			}
+			if *plotDir != "" {
+				if err := webcache.ExportGnuplot(*plotDir, f); err != nil {
+					fatal(err)
+				}
+			}
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "figure %s took %v\n", id, time.Since(start).Round(time.Millisecond))
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runScheme(name string, src traceSource, frac float64) error {
+	scheme, err := webcache.ParseScheme(name)
+	if err != nil {
+		return err
+	}
+	tr, err := src.load()
+	if err != nil {
+		return err
+	}
+	st := webcache.AnalyzeTrace(tr)
+	fmt.Printf("workload: %s\n", st)
+
+	nc, err := webcache.Run(tr, webcache.Config{Scheme: webcache.NC, ProxyCacheFrac: frac, Seed: src.seed})
+	if err != nil {
+		return err
+	}
+	res, err := webcache.Run(tr, webcache.Config{Scheme: scheme, ProxyCacheFrac: frac, Seed: src.seed})
+	if err != nil {
+		return err
+	}
+	seed := src.seed
+	_ = seed
+	fmt.Printf("\n%s at %.0f%% proxy cache:\n", scheme, frac*100)
+	fmt.Printf("  avg latency      %.4f (NC: %.4f)\n", res.AvgLatency, nc.AvgLatency)
+	fmt.Printf("  latency gain     %.1f%%\n", 100*webcache.Gain(res.AvgLatency, nc.AvgLatency))
+	for _, src := range []webcache.Source{webcache.SrcLocalProxy, webcache.SrcP2P, webcache.SrcRemoteProxy, webcache.SrcServer} {
+		fmt.Printf("  %-16s %.1f%%\n", src.String(), 100*res.HitRatio(src))
+	}
+	if scheme == webcache.HierGD {
+		fmt.Printf("  p2p stores=%d diversions=%d lookups=%d hits=%d pushes=%d messages=%d piggyback-saves=%d\n",
+			res.P2P.Stores, res.P2P.Diversions, res.P2P.Lookups, res.P2P.LookupHits,
+			res.P2P.Pushes, res.P2P.Messages, res.P2P.PiggybackSave)
+		fmt.Printf("  directory: falsePositives=%d memory=%dB\n",
+			res.DirectoryFalsePositives, res.DirectoryMemoryBytes)
+	}
+	fmt.Printf("  infinite cache sizes: %v, proxy caps: %v\n",
+		res.InfiniteCacheSizes, res.ProxyCapacities)
+	return nil
+}
+
+// traceSource selects the -run/-compare workload: an external file, a
+// preset family, the UCB-like trace, or the scaled paper default.
+type traceSource struct {
+	scale  float64
+	seed   int64
+	ucb    bool
+	file   string
+	preset string
+}
+
+func (src traceSource) load() (*webcache.Trace, error) {
+	switch {
+	case src.file != "":
+		f, err := os.Open(src.file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if tr, err := webcache.ReadTraceBinary(f); err == nil {
+			return tr, nil
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			return nil, err
+		}
+		return webcache.ReadTraceText(f)
+	case src.preset != "":
+		return webcache.GeneratePresetWorkload(src.preset, int(1_000_000*src.scale), src.seed)
+	case src.ucb:
+		return webcache.GenerateUCBWorkload(webcache.UCBConfig{Scale: src.scale / 9.2, Seed: src.seed})
+	default:
+		cfg := webcache.DefaultWorkload()
+		cfg.NumRequests = int(float64(cfg.NumRequests) * src.scale)
+		cfg.NumObjects = int(float64(cfg.NumObjects) * src.scale)
+		cfg.Seed = src.seed
+		return webcache.GenerateWorkload(cfg)
+	}
+}
+
+func compareSchemes(src traceSource, frac float64) error {
+	tr, err := src.load()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %s\nproxy cache: %.0f%% of infinite\n\n", webcache.AnalyzeTrace(tr), frac*100)
+	nc, err := webcache.Run(tr, webcache.Config{Scheme: webcache.NC, ProxyCacheFrac: frac, Seed: src.seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-9s %9s %7s %7s %6s %8s %8s %10s\n",
+		"scheme", "latency", "gain%", "proxy%", "p2p%", "remote%", "server%", "srv-bytes%")
+	schemes := append(webcache.AllSchemes(), webcache.Squirrel)
+	for _, s := range schemes {
+		res, err := webcache.Run(tr, webcache.Config{Scheme: s, ProxyCacheFrac: frac, Seed: src.seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-9s %9.4f %7.1f %7.1f %6.1f %8.1f %8.1f %10.1f\n",
+			s, res.AvgLatency,
+			100*webcache.Gain(res.AvgLatency, nc.AvgLatency),
+			100*res.HitRatio(webcache.SrcLocalProxy),
+			100*res.HitRatio(webcache.SrcP2P),
+			100*res.HitRatio(webcache.SrcRemoteProxy),
+			100*res.HitRatio(webcache.SrcServer),
+			100*res.ServerByteRatio())
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "webcachesim:", err)
+	if strings.Contains(err.Error(), "unknown figure") {
+		fmt.Fprintln(os.Stderr, "known figures:", strings.Join(webcache.FigureIDs(), " "))
+	}
+	os.Exit(1)
+}

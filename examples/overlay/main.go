@@ -1,0 +1,96 @@
+// Overlay walkthrough: the Pastry substrate behind the P2P client
+// cache, demonstrated standalone — joins, prefix routing, the paper's
+// hop bound, object pass-down with diversion, and crash recovery.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"webcache/internal/cache"
+	"webcache/internal/p2p"
+	"webcache/internal/pastry"
+	"webcache/internal/trace"
+)
+
+func main() {
+	// 1. Build the overlay the paper sizes its example around: 1024
+	//    client caches, b=4, so routing should take ~log16(1024) ≈ 2.5
+	//    hops ("3 < log16(N=1024) + 1 < 4", §4.1).
+	ov, err := pastry.New(pastry.Config{B: 4, LeafSetSize: 16, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ov.JoinN(1024, "corp-desktop"); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 20_000; i++ {
+		if _, _, err := ov.Route(pastry.HashUint64(uint64(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := ov.Stats()
+	bound := math.Log(float64(st.NumNodes)) / math.Log(16)
+	fmt.Printf("1024-node overlay: mean %.2f hops, max %d (log16(N)=%.2f)\n",
+		st.MeanHops, st.MaxHops, bound)
+
+	// 2. The same machinery as a P2P client cache: pass objects down,
+	//    watch diversion keep absorbing after destinations fill up.
+	cl, err := p2p.NewCluster(p2p.Config{NumClients: 64, PerClientCapacity: 4, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stored := 0
+	for obj := trace.ObjectID(0); obj < 200; obj++ {
+		r, err := cl.StoreEvicted(cache.Entry{Obj: obj, Size: 1, Cost: 1}, int(obj)%64, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r.StoredOK {
+			stored++
+		}
+	}
+	cs := cl.Stats()
+	fmt.Printf("\npass-down of 200 objects into 64 caches x 4 slots:\n")
+	fmt.Printf("  stored=%d diversions=%d replacements=%d evictions=%d mean-hops=%.2f\n",
+		stored, cs.Diversions, cs.Replacements, cs.Evictions,
+		float64(cs.RouteHops)/float64(cs.Stores))
+
+	// 3. Crash a quarter of the desktops; lookups keep resolving for
+	//    the survivors' objects.
+	lost := 0
+	for i := 0; i < 16; i++ {
+		objs, err := cl.FailClient(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lost += len(objs)
+	}
+	found, missed := 0, 0
+	for obj := trace.ObjectID(0); obj < 200; obj++ {
+		lr, err := cl.Lookup(obj, 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if lr.Found {
+			found++
+		} else {
+			missed++
+		}
+	}
+	fmt.Printf("\nafter crashing 16/64 desktops (lost %d objects):\n", lost)
+	fmt.Printf("  lookups: %d found, %d missed — every surviving object stays routable\n",
+		found, missed)
+
+	// 4. Replacements join and take over their key ranges.
+	for i := 0; i < 8; i++ {
+		if _, err := cl.JoinClient(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cs = cl.Stats()
+	fmt.Printf("\n8 replacement desktops joined: %d objects re-homed to new owners\n", cs.Handoffs)
+	fmt.Printf("live caches: %d, aggregate population: %d objects\n",
+		cl.LiveClients(), cl.TotalCached())
+}

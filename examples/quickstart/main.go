@@ -1,0 +1,52 @@
+// Quickstart: generate the paper's default synthetic workload (scaled
+// down), run every caching scheme at one cache size, and print the
+// latency-gain table — a minimal end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"webcache"
+)
+
+func main() {
+	// The paper's workload (§5.1) at 10% scale: 100k requests over
+	// 1,000 distinct objects, 50% one-timers, Zipf alpha 0.7.
+	cfg := webcache.DefaultWorkload()
+	cfg.NumRequests /= 10
+	cfg.NumObjects /= 10
+	cfg.Seed = 42
+	tr, err := webcache.GenerateWorkload(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("workload:", webcache.AnalyzeTrace(tr))
+
+	// Baseline: NC (no cooperation, LFU proxies).
+	const frac = 0.2 // proxy caches sized at 20% of the infinite cache size
+	nc, err := webcache.Run(tr, webcache.Config{Scheme: webcache.NC, ProxyCacheFrac: frac, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nNC baseline: avg latency %.4f (proxy hits %.1f%%)\n\n",
+		nc.AvgLatency, 100*nc.HitRatio(webcache.SrcLocalProxy))
+
+	fmt.Printf("%-8s %10s %8s %8s %8s %8s %8s\n",
+		"scheme", "latency", "gain%", "proxy%", "p2p%", "remote%", "server%")
+	for _, s := range webcache.AllSchemes() {
+		res, err := webcache.Run(tr, webcache.Config{Scheme: s, ProxyCacheFrac: frac, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %10.4f %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+			s, res.AvgLatency,
+			100*webcache.Gain(res.AvgLatency, nc.AvgLatency),
+			100*res.HitRatio(webcache.SrcLocalProxy),
+			100*res.HitRatio(webcache.SrcP2P),
+			100*res.HitRatio(webcache.SrcRemoteProxy),
+			100*res.HitRatio(webcache.SrcServer))
+	}
+	fmt.Println("\nExploiting client caches (the -EC schemes and Hier-GD) turns")
+	fmt.Println("server fetches into LAN fetches: compare the p2p% and server% columns.")
+}

@@ -1,0 +1,80 @@
+// Workload-sensitivity study: how the benefit of exploiting client
+// caches depends on workload shape — the intuition behind the paper's
+// Figures 3 and 4, condensed into one runnable table.
+//
+// Sweeps the Zipf popularity exponent (alpha), the temporal-locality
+// stack size, and the one-timer fraction, reporting SC-EC and Hier-GD
+// gains at a small proxy cache.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"webcache"
+)
+
+func gainFor(tr *webcache.Trace, s webcache.Scheme, frac float64) float64 {
+	nc, err := webcache.Run(tr, webcache.Config{Scheme: webcache.NC, ProxyCacheFrac: frac, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := webcache.Run(tr, webcache.Config{Scheme: s, ProxyCacheFrac: frac, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return webcache.Gain(res.AvgLatency, nc.AvgLatency)
+}
+
+func makeTrace(alpha, stack, oneTimers float64) *webcache.Trace {
+	tr, err := webcache.GenerateWorkload(webcache.WorkloadConfig{
+		NumRequests:  120_000,
+		NumObjects:   1_500,
+		NumClients:   200,
+		OneTimerFrac: oneTimers,
+		Alpha:        alpha,
+		StackFrac:    stack,
+		Seed:         11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tr
+}
+
+func main() {
+	const frac = 0.5 // mid-range cache size, where the paper's sensitivity directions are clearest
+
+	fmt.Println("== Popularity skew (Figure 3's knob): smaller alpha = bigger working set ==")
+	fmt.Printf("%-12s %10s %10s\n", "alpha", "SC-EC", "Hier-GD")
+	for _, alpha := range []float64{0.5, 0.7, 1.0} {
+		tr := makeTrace(alpha, 0.2, 0.5)
+		fmt.Printf("%-12.1f %9.1f%% %9.1f%%\n", alpha,
+			100*gainFor(tr, webcache.SCEC, frac),
+			100*gainFor(tr, webcache.HierGD, frac))
+	}
+	fmt.Println("Cooperation is most effective when the working set is large (small alpha):")
+	fmt.Println("for the hottest objects only the first access can benefit from a peer.")
+
+	fmt.Println("\n== Temporal locality (Figure 4's knob): LRU stack size ==")
+	fmt.Printf("%-12s %10s %10s\n", "stack", "SC-EC", "Hier-GD")
+	for _, stack := range []float64{0.05, 0.20, 0.60} {
+		tr := makeTrace(0.7, stack, 0.5)
+		fmt.Printf("%-12s %9.1f%% %9.1f%%\n", fmt.Sprintf("%.0f%%", stack*100),
+			100*gainFor(tr, webcache.SCEC, frac),
+			100*gainFor(tr, webcache.HierGD, frac))
+	}
+	fmt.Println("Stronger temporal locality helps the NC baseline too, so the *relative*")
+	fmt.Println("gain of cooperation shrinks as the stack grows.")
+
+	fmt.Println("\n== One-time referencing: objects no cache can help with ==")
+	fmt.Printf("%-12s %10s %10s\n", "one-timers", "SC-EC", "Hier-GD")
+	for _, ot := range []float64{0.3, 0.5, 0.7} {
+		tr := makeTrace(0.7, 0.2, ot)
+		fmt.Printf("%-12s %9.1f%% %9.1f%%\n", fmt.Sprintf("%.0f%%", ot*100),
+			100*gainFor(tr, webcache.SCEC, frac),
+			100*gainFor(tr, webcache.HierGD, frac))
+	}
+	fmt.Println("One-timers dilute every cache equally; the UCB-like trace's high")
+	fmt.Println("one-timer fraction is why Figure 2(b)'s gains sit below Figure 2(a)'s.")
+}

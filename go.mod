@@ -1,0 +1,3 @@
+module webcache
+
+go 1.22

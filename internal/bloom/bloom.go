@@ -1,0 +1,213 @@
+// Package bloom implements plain and counting Bloom filters (Bloom
+// 1970; counting variant per Fan et al.'s Summary Cache, the paper's
+// reference [7]).  The paper's proxies can use a Bloom filter as the
+// lookup directory over their P2P client cache (§4.2), trading memory
+// for a false-positive ratio; the counting variant supports the
+// deletions that client-cache evictions require.
+package bloom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Filter is a plain Bloom filter over 64-bit keys.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int    // number of hash functions
+	n    uint64 // insertions (for fill-ratio estimation)
+}
+
+// OptimalParams returns the bit count m and hash count k minimizing
+// memory for the target false-positive probability with n expected
+// elements: m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
+func OptimalParams(n int, p float64) (m uint64, k int) {
+	if n < 1 {
+		n = 1
+	}
+	if p <= 0 {
+		p = 1e-9
+	}
+	if p >= 1 {
+		p = 0.99
+	}
+	ln2 := math.Ln2
+	mf := -float64(n) * math.Log(p) / (ln2 * ln2)
+	m = uint64(math.Ceil(mf))
+	if m < 64 {
+		m = 64
+	}
+	k = int(math.Round(mf / float64(n) * ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return m, k
+}
+
+// New creates a filter with m bits and k hash functions.
+func New(m uint64, k int) (*Filter, error) {
+	if m == 0 || k < 1 {
+		return nil, fmt.Errorf("bloom: invalid parameters m=%d k=%d", m, k)
+	}
+	return &Filter{bits: make([]uint64, (m+63)/64), m: m, k: k}, nil
+}
+
+// NewForCapacity sizes a filter for n elements at false-positive rate p.
+func NewForCapacity(n int, p float64) *Filter {
+	m, k := OptimalParams(n, p)
+	f, err := New(m, k)
+	if err != nil {
+		panic("bloom: optimal parameters invalid: " + err.Error())
+	}
+	return f
+}
+
+// indexes derives the k bit positions for a key by double hashing
+// (Kirsch & Mitzenmacher): h_i = h1 + i*h2 mod m.
+func (f *Filter) index(key uint64, i int) uint64 {
+	h1 := mix64(key)
+	h2 := mix64(key ^ 0x9e3779b97f4a7c15)
+	h2 |= 1 // keep the stride odd so indexes cycle through the table
+	return (h1 + uint64(i)*h2) % f.m
+}
+
+// mix64 is the splitmix64 finalizer — a strong 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Add inserts key.
+func (f *Filter) Add(key uint64) {
+	for i := 0; i < f.k; i++ {
+		idx := f.index(key, i)
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.n++
+}
+
+// MayContain reports whether key may have been added (no false
+// negatives; false positives at the configured rate).
+func (f *Filter) MayContain(key uint64) bool {
+	for i := 0; i < f.k; i++ {
+		idx := f.index(key, i)
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}
+
+// EstimatedFPRate estimates the current false-positive probability from
+// the number of insertions: (1 - e^{-kn/m})^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.n)/float64(f.m)), float64(f.k))
+}
+
+// MemoryBytes is the filter's bit-array footprint.
+func (f *Filter) MemoryBytes() uint64 { return uint64(len(f.bits)) * 8 }
+
+// K returns the hash count; M the bit count.
+func (f *Filter) K() int    { return f.k }
+func (f *Filter) M() uint64 { return f.m }
+
+// Counting is a counting Bloom filter with 4-bit counters, supporting
+// Remove.  Counters saturate at 15 and, once saturated, are never
+// decremented (the standard safe behaviour that preserves the
+// no-false-negative guarantee at the cost of rare stuck counters).
+type Counting struct {
+	counters []uint8 // one counter per nibble would halve memory; a byte keeps it simple and fast
+	m        uint64
+	k        int
+	n        uint64
+}
+
+const countingMax = 15
+
+// NewCounting creates a counting filter with m counters and k hashes.
+func NewCounting(m uint64, k int) (*Counting, error) {
+	if m == 0 || k < 1 {
+		return nil, fmt.Errorf("bloom: invalid parameters m=%d k=%d", m, k)
+	}
+	return &Counting{counters: make([]uint8, m), m: m, k: k}, nil
+}
+
+// NewCountingForCapacity sizes a counting filter for n elements at
+// false-positive rate p.
+func NewCountingForCapacity(n int, p float64) *Counting {
+	m, k := OptimalParams(n, p)
+	c, err := NewCounting(m, k)
+	if err != nil {
+		panic("bloom: optimal parameters invalid: " + err.Error())
+	}
+	return c
+}
+
+func (c *Counting) index(key uint64, i int) uint64 {
+	h1 := mix64(key)
+	h2 := mix64(key^0x9e3779b97f4a7c15) | 1
+	return (h1 + uint64(i)*h2) % c.m
+}
+
+// Add inserts key.
+func (c *Counting) Add(key uint64) {
+	for i := 0; i < c.k; i++ {
+		idx := c.index(key, i)
+		if c.counters[idx] < countingMax {
+			c.counters[idx]++
+		}
+	}
+	c.n++
+}
+
+// Remove deletes one insertion of key.  Removing a key that was never
+// added corrupts the filter (as with any counting Bloom filter); the
+// directory layer guards against it.
+func (c *Counting) Remove(key uint64) {
+	for i := 0; i < c.k; i++ {
+		idx := c.index(key, i)
+		if c.counters[idx] > 0 && c.counters[idx] < countingMax {
+			c.counters[idx]--
+		}
+	}
+	if c.n > 0 {
+		c.n--
+	}
+}
+
+// MayContain reports whether key may be present.
+func (c *Counting) MayContain(key uint64) bool {
+	for i := 0; i < c.k; i++ {
+		if c.counters[c.index(key, i)] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EstimatedFPRate mirrors Filter.EstimatedFPRate.
+func (c *Counting) EstimatedFPRate() float64 {
+	return math.Pow(1-math.Exp(-float64(c.k)*float64(c.n)/float64(c.m)), float64(c.k))
+}
+
+// MemoryBytes reports the counter-array footprint as deployed in the
+// paper's setting (4-bit counters packed two per byte).
+func (c *Counting) MemoryBytes() uint64 { return (c.m + 1) / 2 }
+
+// K returns the hash count; M the counter count.
+func (c *Counting) K() int    { return c.k }
+func (c *Counting) M() uint64 { return c.m }

@@ -1,0 +1,100 @@
+// Package cache implements the replacement policies the paper's
+// caching schemes use: LRU, LFU (in-cache and perfect variants), the
+// greedy-dual algorithm (Young 1998) that Hier-GD runs at proxies and
+// client caches, and the offline cost-benefit placement that gives
+// FC/FC-EC their coordinated upper bound.
+//
+// All policies implement the Policy interface so the simulator can
+// compose them into the seven caching schemes.  Capacities and sizes
+// are in abstract cache units; the paper fixes Size==1 ("all objects
+// have the same size") but the policies handle variable sizes.
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"webcache/internal/trace"
+)
+
+// Entry is one cached object with the metadata replacement decisions
+// need: its size and the cost that was paid to fetch it (the
+// greedy-dual "cost" — in this system, the fetch latency).
+type Entry struct {
+	Obj  trace.ObjectID
+	Size uint32
+	Cost float64
+}
+
+// Policy is a replacement policy managing one cache's contents.
+//
+// The access protocol mirrors a cache lookup/fill cycle:
+//
+//	if p.Access(obj) { hit }          // touches replacement metadata
+//	else { fetch...; evicted := p.Add(Entry{...}) }
+//
+// Add returns the entries evicted to make room (possibly several under
+// variable sizes, or none).  An entry larger than the whole cache is
+// rejected: Add returns only Entry{} evictions and does not cache it —
+// callers can detect this with Contains.
+type Policy interface {
+	// Name identifies the policy in metrics and test output.
+	Name() string
+	// Access reports whether obj is cached, updating replacement
+	// metadata (recency, frequency, or H-value) on a hit.
+	Access(obj trace.ObjectID) bool
+	// Add inserts an entry, evicting as needed; it returns the evicted
+	// entries.  Adding an already-present object is a programming
+	// error and panics (callers must use Access first).
+	Add(e Entry) []Entry
+	// Remove deletes obj if present, returning its entry.
+	Remove(obj trace.ObjectID) (Entry, bool)
+	// Contains reports presence without touching metadata.
+	Contains(obj trace.ObjectID) bool
+	// Peek returns the stored entry without touching metadata.
+	Peek(obj trace.ObjectID) (Entry, bool)
+	// Len is the number of cached objects.
+	Len() int
+	// Used is the total size of cached objects.
+	Used() uint64
+	// Capacity is the configured maximum total size.
+	Capacity() uint64
+	// Objects lists the cached object ids in ascending order (a
+	// snapshot; mutation-safe to iterate).
+	Objects() []trace.ObjectID
+}
+
+// evictFor pops victims via pop() until used+need fits cap.
+// Shared by the policy implementations.
+func evictFor(need uint32, used *uint64, capacity uint64, pop func() Entry, out []Entry) []Entry {
+	for *used+uint64(need) > capacity {
+		v := pop()
+		*used -= uint64(v.Size)
+		out = append(out, v)
+	}
+	return out
+}
+
+func checkAddable(name string, e Entry, contains bool, capacity uint64) error {
+	if contains {
+		panic(fmt.Sprintf("cache: %s.Add(%d): object already cached", name, e.Obj))
+	}
+	if e.Size == 0 {
+		panic(fmt.Sprintf("cache: %s.Add(%d): zero size", name, e.Obj))
+	}
+	if uint64(e.Size) > capacity {
+		return fmt.Errorf("cache: entry %d (size %d) exceeds capacity %d", e.Obj, e.Size, capacity)
+	}
+	return nil
+}
+
+// sortedObjects returns the keys of an entry map in ascending order so
+// iteration-dependent behaviour stays deterministic.
+func sortedObjects[V any](m map[trace.ObjectID]V) []trace.ObjectID {
+	out := make([]trace.ObjectID, 0, len(m))
+	for obj := range m {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

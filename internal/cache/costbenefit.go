@@ -1,0 +1,295 @@
+package cache
+
+import (
+	"fmt"
+
+	"webcache/internal/trace"
+)
+
+// This file implements the cost-benefit replacement used by the FC and
+// FC-EC schemes (paper §2, §5.1): "based on the assumption of the
+// perfect frequency knowledge to each object, the cost-benefit
+// replacement algorithm minimizes the aggregate average latency of all
+// the clients in the proxy cluster but at the expense of computational
+// complexity."
+//
+// With perfect frequencies the problem is a coordinated *placement*:
+// decide which proxy tiers hold a copy of which objects so that total
+// access latency over the whole trace is minimized.  We solve it with
+// the standard greedy marginal-benefit algorithm (cf. Korupolu &
+// Dahlin; Lee et al.): repeatedly place the (object, tier) copy with
+// the highest marginal latency saving until every tier is full or no
+// placement helps.  Marginal benefits only decrease as copies appear
+// (the benefit function is submodular), so a lazy priority queue yields
+// the exact greedy solution without re-scanning.
+//
+// Tiers generalize proxies so FC-EC falls out for free: each proxy has
+// a proxy tier at latency Tl and (for FC-EC) a P2P client-cache tier at
+// latency Tp2p.
+
+// Tier is one placement target: a capacity at a proxy with a hit
+// latency for that proxy's local clients.
+type Tier struct {
+	// Proxy is the index of the owning proxy.
+	Proxy int
+	// Capacity is how many unit-size objects the tier holds.
+	Capacity int
+	// HitLatency is the latency the proxy's local clients pay for a
+	// hit in this tier (Tl for the proxy cache, Tp2p for the P2P tier).
+	HitLatency float64
+}
+
+// PlacementInput bundles the cost-benefit problem.
+type PlacementInput struct {
+	// Freq[p][o] is the reference count of object o by clients of
+	// proxy p (perfect knowledge).
+	Freq [][]float64
+	// Tiers lists all placement targets across all proxies.
+	Tiers []Tier
+	// ServerLatency is the fetch latency from the origin server (Ts).
+	ServerLatency float64
+	// RemoteLatency is the fetch latency from a cooperating proxy
+	// (Tc); used when another proxy holds the only copy.
+	RemoteLatency float64
+	// Cooperative controls whether proxies serve each other (true for
+	// FC/FC-EC).  When false the placement degenerates to independent
+	// per-proxy optimisation.
+	Cooperative bool
+	// Sizes gives per-object sizes in cache units (nil = unit sizes).
+	// Tier capacities are in the same units; the greedy then ranks
+	// candidates by benefit *density* (benefit per unit), the standard
+	// variable-size generalization.
+	Sizes []uint32
+}
+
+// objectSize resolves an object's size (1 when Sizes is nil).
+func (in *PlacementInput) objectSize(o int) int {
+	if in.Sizes == nil {
+		return 1
+	}
+	return int(in.Sizes[o])
+}
+
+// Placement is the result: for each proxy, object -> tier index (into
+// PlacementInput.Tiers).
+type Placement struct {
+	// ByProxy[p][o] gives the tier holding proxy p's copy of o.
+	ByProxy []map[trace.ObjectID]int
+	// Tiers echoes the input tiers for latency lookup during replay.
+	Tiers []Tier
+}
+
+// HasCopy reports whether proxy p holds o, and at what hit latency.
+func (pl *Placement) HasCopy(p int, o trace.ObjectID) (float64, bool) {
+	t, ok := pl.ByProxy[p][o]
+	if !ok {
+		return 0, false
+	}
+	return pl.Tiers[t].HitLatency, true
+}
+
+// Anywhere reports whether any proxy holds o.
+func (pl *Placement) Anywhere(o trace.ObjectID) bool {
+	for _, m := range pl.ByProxy {
+		if _, ok := m[o]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// candidate is one potential (object, tier) placement in the lazy queue.
+type candidate struct {
+	obj     trace.ObjectID
+	tier    int
+	benefit float64
+}
+
+// candidateHeap is a max-heap on benefit (tie-break object id then tier
+// for determinism).
+type candidateHeap []candidate
+
+func (h candidateHeap) less(i, j int) bool {
+	if h[i].benefit != h[j].benefit {
+		return h[i].benefit > h[j].benefit
+	}
+	if h[i].obj != h[j].obj {
+		return h[i].obj < h[j].obj
+	}
+	return h[i].tier < h[j].tier
+}
+
+func (h candidateHeap) swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *candidateHeap) push(c candidate) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *candidateHeap) pop() candidate {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && (*h).less(l, best) {
+			best = l
+		}
+		if r < n && (*h).less(r, best) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		(*h).swap(i, best)
+		i = best
+	}
+	return top
+}
+
+// ComputePlacement runs the greedy cost-benefit placement.
+func ComputePlacement(in PlacementInput) (*Placement, error) {
+	numProxies := len(in.Freq)
+	if numProxies == 0 {
+		return nil, fmt.Errorf("cache: placement needs at least one proxy")
+	}
+	numObjects := len(in.Freq[0])
+	for p, f := range in.Freq {
+		if len(f) != numObjects {
+			return nil, fmt.Errorf("cache: freq row %d has %d objects, want %d", p, len(f), numObjects)
+		}
+	}
+	for i, t := range in.Tiers {
+		if t.Proxy < 0 || t.Proxy >= numProxies {
+			return nil, fmt.Errorf("cache: tier %d references proxy %d of %d", i, t.Proxy, numProxies)
+		}
+		if t.Capacity < 0 || t.HitLatency < 0 {
+			return nil, fmt.Errorf("cache: tier %d has negative capacity or latency", i)
+		}
+	}
+	if in.Sizes != nil && len(in.Sizes) != numObjects {
+		return nil, fmt.Errorf("cache: %d sizes for %d objects", len(in.Sizes), numObjects)
+	}
+	if in.ServerLatency <= 0 || in.RemoteLatency <= 0 {
+		return nil, fmt.Errorf("cache: latencies must be positive")
+	}
+
+	pl := &Placement{
+		ByProxy: make([]map[trace.ObjectID]int, numProxies),
+		Tiers:   in.Tiers,
+	}
+	for p := range pl.ByProxy {
+		pl.ByProxy[p] = make(map[trace.ObjectID]int)
+	}
+
+	// copies[o] counts placed copies of o cluster-wide; localLat[p*N+o]
+	// is the latency proxy p's clients currently pay for o.
+	copies := make([]int, numObjects)
+	localLat := make([]float64, numProxies*numObjects)
+	baseRemote := func(o int) float64 {
+		if in.Cooperative && copies[o] > 0 {
+			return in.RemoteLatency
+		}
+		return in.ServerLatency
+	}
+	for p := 0; p < numProxies; p++ {
+		for o := 0; o < numObjects; o++ {
+			localLat[p*numObjects+o] = in.ServerLatency
+		}
+	}
+
+	// marginalBenefit of placing o in tier t right now.
+	marginalBenefit := func(o int, t int) float64 {
+		tier := in.Tiers[t]
+		p := tier.Proxy
+		cur := localLat[p*numObjects+o]
+		if base := baseRemote(o); base < cur {
+			cur = base
+		}
+		b := 0.0
+		if tier.HitLatency < cur {
+			b += in.Freq[p][o] * (cur - tier.HitLatency)
+		}
+		// First copy in the cluster lets every other proxy's clients
+		// fetch at Tc instead of Ts (cooperative sharing).
+		if in.Cooperative && copies[o] == 0 && in.RemoteLatency < in.ServerLatency {
+			for q := 0; q < numProxies; q++ {
+				if q == p {
+					continue
+				}
+				if cur := localLat[q*numObjects+o]; in.RemoteLatency < cur {
+					b += in.Freq[q][o] * (cur - in.RemoteLatency)
+				}
+			}
+		}
+		return b
+	}
+
+	// Candidates rank by benefit *density* (benefit per cache unit) so
+	// variable-size placements prefer compact value; for unit sizes
+	// density equals benefit.
+	density := func(o, t int) float64 {
+		return marginalBenefit(o, t) / float64(in.objectSize(o))
+	}
+	remaining := make([]int, len(in.Tiers))
+	var h candidateHeap
+	for t := range in.Tiers {
+		remaining[t] = in.Tiers[t].Capacity
+		if in.Tiers[t].Capacity == 0 {
+			continue
+		}
+		for o := 0; o < numObjects; o++ {
+			if in.objectSize(o) > in.Tiers[t].Capacity {
+				continue
+			}
+			if d := density(o, t); d > 0 {
+				h.push(candidate{obj: trace.ObjectID(o), tier: t, benefit: d})
+			}
+		}
+	}
+
+	// Lazy greedy: densities only shrink, so a popped candidate whose
+	// recomputed density still tops the heap is the true maximum.
+	for len(h) > 0 {
+		c := h.pop()
+		t := c.tier
+		o := int(c.obj)
+		size := in.objectSize(o)
+		if remaining[t] < size {
+			continue
+		}
+		p := in.Tiers[t].Proxy
+		if _, dup := pl.ByProxy[p][c.obj]; dup {
+			continue // proxy already holds o in some tier
+		}
+		d := density(o, t)
+		if d <= 0 {
+			continue
+		}
+		if len(h) > 0 && h[0].benefit > d {
+			// Stale: reinsert with the fresh density.
+			h.push(candidate{obj: c.obj, tier: t, benefit: d})
+			continue
+		}
+		// Commit the placement.
+		pl.ByProxy[p][c.obj] = t
+		remaining[t] -= size
+		copies[o]++
+		if lat := in.Tiers[t].HitLatency; lat < localLat[p*numObjects+o] {
+			localLat[p*numObjects+o] = lat
+		}
+	}
+	return pl, nil
+}

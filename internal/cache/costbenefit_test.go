@@ -1,0 +1,290 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"webcache/internal/trace"
+)
+
+// twoProxyInput builds a symmetric two-proxy problem with the given
+// per-proxy frequencies and one proxy tier each.
+func twoProxyInput(freq []float64, capacity int, coop bool) PlacementInput {
+	f2 := make([]float64, len(freq))
+	copy(f2, freq)
+	return PlacementInput{
+		Freq: [][]float64{freq, f2},
+		Tiers: []Tier{
+			{Proxy: 0, Capacity: capacity, HitLatency: 0.05},
+			{Proxy: 1, Capacity: capacity, HitLatency: 0.05},
+		},
+		ServerLatency: 1.0,
+		RemoteLatency: 0.1,
+		Cooperative:   coop,
+	}
+}
+
+func TestPlacementRespectsCapacity(t *testing.T) {
+	in := twoProxyInput([]float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}, 3, true)
+	pl, err := ComputePlacement(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(in.Tiers))
+	for p := range pl.ByProxy {
+		for _, tier := range pl.ByProxy[p] {
+			counts[tier]++
+		}
+	}
+	for i, c := range counts {
+		if c > in.Tiers[i].Capacity {
+			t.Errorf("tier %d holds %d > capacity %d", i, c, in.Tiers[i].Capacity)
+		}
+	}
+}
+
+func TestPlacementPrefersPopularObjects(t *testing.T) {
+	in := twoProxyInput([]float64{100, 90, 80, 1, 1, 1}, 2, true)
+	pl, err := ComputePlacement(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The three popular objects must be placed somewhere before any
+	// unpopular one.
+	for o := trace.ObjectID(0); o < 3; o++ {
+		if !pl.Anywhere(o) {
+			t.Errorf("popular object %d not placed", o)
+		}
+	}
+}
+
+func TestPlacementCooperationAvoidsDuplication(t *testing.T) {
+	// With cooperation and tight capacity, the cluster should cover
+	// more distinct objects than 2 independent caches would (which
+	// would both cache the same top objects).
+	freq := []float64{100, 99, 98, 97, 96, 95, 94, 93}
+	coop, err := ComputePlacement(twoProxyInput(freq, 4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep, err := ComputePlacement(twoProxyInput(freq, 4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := func(pl *Placement) int {
+		s := map[trace.ObjectID]bool{}
+		for p := range pl.ByProxy {
+			for o := range pl.ByProxy[p] {
+				s[o] = true
+			}
+		}
+		return len(s)
+	}
+	dc, di := distinct(coop), distinct(indep)
+	if dc <= di {
+		t.Errorf("cooperative distinct coverage %d <= independent %d", dc, di)
+	}
+	if di != 4 {
+		t.Errorf("independent proxies should both cache the top 4, got %d distinct", di)
+	}
+	if dc != 8 {
+		t.Errorf("cooperative cluster should cover all 8, got %d", dc)
+	}
+}
+
+func TestPlacementDuplicatesWhenWorthIt(t *testing.T) {
+	// A single extremely hot object and loose capacity: both proxies
+	// should hold their own copy (Tc > Tl makes a local copy worth a
+	// slot once coverage no longer suffers).
+	freq := []float64{1000, 1, 1}
+	pl, err := ComputePlacement(twoProxyInput(freq, 3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pl.HasCopy(0, 0); !ok {
+		t.Error("proxy 0 lacks copy of hot object")
+	}
+	if _, ok := pl.HasCopy(1, 0); !ok {
+		t.Error("proxy 1 lacks copy of hot object")
+	}
+}
+
+func TestPlacementTwoTiersPutsHotObjectsInFastTier(t *testing.T) {
+	in := PlacementInput{
+		Freq: [][]float64{{100, 50, 10, 5}},
+		Tiers: []Tier{
+			{Proxy: 0, Capacity: 2, HitLatency: 0.05}, // proxy tier (Tl)
+			{Proxy: 0, Capacity: 2, HitLatency: 0.07}, // p2p tier (Tp2p)
+		},
+		ServerLatency: 1.0,
+		RemoteLatency: 0.1,
+		Cooperative:   false,
+	}
+	pl, err := ComputePlacement(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := trace.ObjectID(0); o < 2; o++ {
+		if tier, ok := pl.ByProxy[0][o]; !ok || tier != 0 {
+			t.Errorf("hot object %d in tier %d, want proxy tier 0", o, tier)
+		}
+	}
+	for o := trace.ObjectID(2); o < 4; o++ {
+		if tier, ok := pl.ByProxy[0][o]; !ok || tier != 1 {
+			t.Errorf("warm object %d in tier %d, want p2p tier 1", o, tier)
+		}
+	}
+}
+
+func TestPlacementZeroBenefitObjectsUnplaced(t *testing.T) {
+	in := twoProxyInput([]float64{10, 0, 0, 0}, 3, true)
+	pl, err := ComputePlacement(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := trace.ObjectID(1); o < 4; o++ {
+		if pl.Anywhere(o) {
+			t.Errorf("zero-frequency object %d placed", o)
+		}
+	}
+}
+
+func TestPlacementInputValidation(t *testing.T) {
+	base := twoProxyInput([]float64{1}, 1, true)
+	bad := base
+	bad.Freq = nil
+	if _, err := ComputePlacement(bad); err == nil {
+		t.Error("no proxies accepted")
+	}
+	bad = base
+	bad.Freq = [][]float64{{1}, {1, 2}}
+	if _, err := ComputePlacement(bad); err == nil {
+		t.Error("ragged freq accepted")
+	}
+	bad = base
+	bad.Tiers = []Tier{{Proxy: 5, Capacity: 1, HitLatency: 0.05}}
+	if _, err := ComputePlacement(bad); err == nil {
+		t.Error("bad tier proxy accepted")
+	}
+	bad = base
+	bad.ServerLatency = 0
+	if _, err := ComputePlacement(bad); err == nil {
+		t.Error("zero server latency accepted")
+	}
+	bad = base
+	bad.Tiers = []Tier{{Proxy: 0, Capacity: -1, HitLatency: 0.05}}
+	if _, err := ComputePlacement(bad); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+// evaluate computes the total latency of a placement under the
+// perfect-frequency model, for comparing greedy to brute force.
+func evaluate(in PlacementInput, pl *Placement) float64 {
+	numObjects := len(in.Freq[0])
+	total := 0.0
+	for p := range in.Freq {
+		for o := 0; o < numObjects; o++ {
+			lat := in.ServerLatency
+			if l, ok := pl.HasCopy(p, trace.ObjectID(o)); ok {
+				lat = l
+			} else if in.Cooperative && pl.Anywhere(trace.ObjectID(o)) && in.RemoteLatency < lat {
+				lat = in.RemoteLatency
+			}
+			total += in.Freq[p][o] * lat
+		}
+	}
+	return total
+}
+
+// bruteForce enumerates all placements for tiny instances (2 proxies,
+// 1 tier each, <=4 objects, capacity <=2) and returns the optimum.
+func bruteForce(in PlacementInput) float64 {
+	numObjects := len(in.Freq[0])
+	best := -1.0
+	capacity0 := in.Tiers[0].Capacity
+	capacity1 := in.Tiers[1].Capacity
+	// Each proxy picks a subset of objects within capacity.
+	for m0 := 0; m0 < 1<<numObjects; m0++ {
+		if popcount(m0) > capacity0 {
+			continue
+		}
+		for m1 := 0; m1 < 1<<numObjects; m1++ {
+			if popcount(m1) > capacity1 {
+				continue
+			}
+			pl := &Placement{
+				ByProxy: []map[trace.ObjectID]int{{}, {}},
+				Tiers:   in.Tiers,
+			}
+			for o := 0; o < numObjects; o++ {
+				if m0&(1<<o) != 0 {
+					pl.ByProxy[0][trace.ObjectID(o)] = 0
+				}
+				if m1&(1<<o) != 0 {
+					pl.ByProxy[1][trace.ObjectID(o)] = 1
+				}
+			}
+			v := evaluate(in, pl)
+			if best < 0 || v < best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Property: greedy placement achieves at least the classic (1-1/e)
+// submodular-greedy guarantee of the optimal latency *benefit*
+// (baseline minus achieved latency) on tiny brute-forceable instances.
+// In practice it is nearly optimal; the bound here is the proven floor.
+func TestPropPlacementNearOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numObjects := 3 + rng.Intn(2)
+		freq0 := make([]float64, numObjects)
+		freq1 := make([]float64, numObjects)
+		for o := range freq0 {
+			freq0[o] = float64(rng.Intn(50))
+			freq1[o] = float64(rng.Intn(50))
+		}
+		in := PlacementInput{
+			Freq: [][]float64{freq0, freq1},
+			Tiers: []Tier{
+				{Proxy: 0, Capacity: 1 + rng.Intn(2), HitLatency: 0.05},
+				{Proxy: 1, Capacity: 1 + rng.Intn(2), HitLatency: 0.05},
+			},
+			ServerLatency: 1.0,
+			RemoteLatency: 0.1,
+			Cooperative:   true,
+		}
+		pl, err := ComputePlacement(in)
+		if err != nil {
+			return false
+		}
+		baseline := 0.0
+		for p := range in.Freq {
+			for _, fr := range in.Freq[p] {
+				baseline += fr * in.ServerLatency
+			}
+		}
+		greedyBenefit := baseline - evaluate(in, pl)
+		optBenefit := baseline - bruteForce(in)
+		if optBenefit <= 0 {
+			return greedyBenefit >= -1e-9
+		}
+		return greedyBenefit >= 0.63*optBenefit-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"webcache/internal/trace"
+)
+
+func TestGDSFBasicCycle(t *testing.T) {
+	c := NewGDSF(3)
+	if c.Access(1) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Add(unit(1))
+	if !c.Access(1) || !c.Contains(1) || c.Len() != 1 || c.Used() != 1 {
+		t.Fatal("state wrong after add")
+	}
+	if got := c.Frequency(1); got != 2 { // 1 on add + 1 access
+		t.Errorf("frequency = %g, want 2", got)
+	}
+	if _, ok := c.Peek(1); !ok {
+		t.Error("peek missed")
+	}
+	if _, ok := c.Remove(1); !ok || c.Len() != 0 {
+		t.Error("remove failed")
+	}
+	if _, ok := c.Remove(1); ok {
+		t.Error("double remove")
+	}
+}
+
+func TestGDSFFrequencyProtects(t *testing.T) {
+	c := NewGDSF(2)
+	c.Add(Entry{Obj: 1, Size: 1, Cost: 1})
+	c.Add(Entry{Obj: 2, Size: 1, Cost: 1})
+	// Make 1 frequent: H(1) = L + 3*1, H(2) = L + 1.
+	c.Access(1)
+	c.Access(1)
+	ev := c.Add(Entry{Obj: 3, Size: 1, Cost: 1})
+	if len(ev) != 1 || ev[0].Obj != 2 {
+		t.Fatalf("evicted %v, want 2 (frequency protects 1)", ev)
+	}
+}
+
+func TestGDSFSizeAware(t *testing.T) {
+	c := NewGDSF(10)
+	c.Add(Entry{Obj: 1, Size: 5, Cost: 5})  // density 1
+	c.Add(Entry{Obj: 2, Size: 1, Cost: 10}) // density 10
+	ev := c.Add(Entry{Obj: 3, Size: 5, Cost: 50})
+	if len(ev) != 1 || ev[0].Obj != 1 {
+		t.Fatalf("evicted %v, want low-density object 1", ev)
+	}
+}
+
+func TestGDSFFrequencyResetsOnReAdd(t *testing.T) {
+	c := NewGDSF(2)
+	c.Add(unit(1))
+	c.Access(1)
+	c.Access(1)
+	c.Remove(1)
+	c.Add(unit(1))
+	if got := c.Frequency(1); got != 1 {
+		t.Errorf("frequency after re-add = %g, want 1", got)
+	}
+}
+
+func TestGDSFInflationMonotone(t *testing.T) {
+	c := NewGDSF(4)
+	rng := rand.New(rand.NewSource(2))
+	last := 0.0
+	for i := 0; i < 2000; i++ {
+		obj := trace.ObjectID(rng.Intn(40))
+		if !c.Access(obj) {
+			c.Add(Entry{Obj: obj, Size: 1, Cost: 1 + rng.Float64()*4})
+		}
+		if l := c.Inflation(); l < last {
+			t.Fatalf("inflation decreased %g -> %g", last, l)
+		} else {
+			last = l
+		}
+		if c.Used() > c.Capacity() {
+			t.Fatal("over capacity")
+		}
+	}
+}
+
+// GDSF should beat plain greedy-dual when popularity varies but cost
+// does not: the frequency term is the only signal.
+func TestGDSFBeatsGDOnFrequencySkew(t *testing.T) {
+	workload := func(p Policy) float64 {
+		rng := rand.New(rand.NewSource(9))
+		misses := 0.0
+		for i := 0; i < 30000; i++ {
+			var obj trace.ObjectID
+			if rng.Float64() < 0.6 {
+				obj = trace.ObjectID(rng.Intn(20)) // hot set
+			} else {
+				obj = trace.ObjectID(20 + rng.Intn(2000)) // cold mass
+			}
+			if !p.Access(obj) {
+				misses++
+				p.Add(Entry{Obj: obj, Size: 1, Cost: 1})
+			}
+		}
+		return misses
+	}
+	gdsf := workload(NewGDSF(25))
+	gd := workload(NewGreedyDual(25))
+	if gdsf >= gd {
+		t.Errorf("GDSF misses %g >= GD misses %g on frequency-skewed workload", gdsf, gd)
+	}
+}
+
+func TestGDSFOversizeAndDuplicate(t *testing.T) {
+	c := NewGDSF(4)
+	c.Add(unit(1))
+	if ev := c.Add(Entry{Obj: 2, Size: 100, Cost: 1}); len(ev) != 0 || c.Contains(2) {
+		t.Error("oversize entry mishandled")
+	}
+	assertPanics(t, "dup add", func() { c.Add(unit(1)) })
+}

@@ -1,0 +1,125 @@
+package cache
+
+import "webcache/internal/trace"
+
+// GreedyDual implements the greedy-dual replacement algorithm (Young's
+// on-line file caching algorithm, SODA 1998) in its efficient
+// inflation-value form, generalized to sizes as GreedyDual-Size (Cao &
+// Irani): each cached object carries a value
+//
+//	H(o) = L + Cost(o)/Size(o)
+//
+// where L is a monotonically non-decreasing "inflation" set to the H
+// value of the last eviction victim.  On a hit, H is refreshed with the
+// current L.  Eviction removes the minimum-H object.
+//
+// Hier-GD (paper §3) runs this algorithm at the proxy and at every
+// client cache: objects the proxy evicts are "passed down" into the P2P
+// client cache, where the receiving client cache enforces greedy-dual
+// again.  Because cost is the fetch latency, greedy-dual implicitly
+// coordinates caches: cheap-to-refetch objects (a cooperating proxy
+// already has them) are evicted before expensive ones (server-only),
+// which is the "implicit cache coordination" Korupolu & Dahlin
+// observed.
+type GreedyDual struct {
+	capacity  uint64
+	used      uint64
+	inflation float64
+	entries   map[trace.ObjectID]Entry
+	heap      *keyedHeap
+}
+
+// NewGreedyDual returns a greedy-dual cache of the given capacity.
+func NewGreedyDual(capacity uint64) *GreedyDual {
+	return &GreedyDual{
+		capacity: capacity,
+		entries:  make(map[trace.ObjectID]Entry),
+		heap:     newKeyedHeap(64),
+	}
+}
+
+// Name implements Policy.
+func (c *GreedyDual) Name() string { return "greedy-dual" }
+
+func (c *GreedyDual) hvalue(e Entry) float64 {
+	return c.inflation + e.Cost/float64(e.Size)
+}
+
+// Access implements Policy.  A hit restores the object's H value to
+// L + Cost/Size with the current inflation.
+func (c *GreedyDual) Access(obj trace.ObjectID) bool {
+	e, ok := c.entries[obj]
+	if !ok {
+		return false
+	}
+	c.heap.update(obj, c.hvalue(e))
+	return true
+}
+
+// Add implements Policy.
+func (c *GreedyDual) Add(e Entry) []Entry {
+	_, present := c.entries[e.Obj]
+	if err := checkAddable(c.Name(), e, present, c.capacity); err != nil {
+		return nil
+	}
+	evicted := evictFor(e.Size, &c.used, c.capacity, func() Entry {
+		obj, h := c.heap.popMin()
+		// The inflation rises to the victim's H value; every later
+		// insertion and refresh builds on it.
+		c.inflation = h
+		victim := c.entries[obj]
+		delete(c.entries, obj)
+		return victim
+	}, nil)
+	c.entries[e.Obj] = e
+	c.heap.push(e.Obj, c.hvalue(e))
+	c.used += uint64(e.Size)
+	return evicted
+}
+
+// Remove implements Policy.
+func (c *GreedyDual) Remove(obj trace.ObjectID) (Entry, bool) {
+	e, ok := c.entries[obj]
+	if !ok {
+		return Entry{}, false
+	}
+	c.heap.remove(obj)
+	delete(c.entries, obj)
+	c.used -= uint64(e.Size)
+	return e, true
+}
+
+// Contains implements Policy.
+func (c *GreedyDual) Contains(obj trace.ObjectID) bool {
+	_, ok := c.entries[obj]
+	return ok
+}
+
+// Peek implements Policy.
+func (c *GreedyDual) Peek(obj trace.ObjectID) (Entry, bool) {
+	e, ok := c.entries[obj]
+	return e, ok
+}
+
+// HValue exposes the current H value of a cached object for tests and
+// the Hier-GD pass-down logic.
+func (c *GreedyDual) HValue(obj trace.ObjectID) (float64, bool) {
+	return c.heap.key(obj)
+}
+
+// Inflation exposes the current L value.
+func (c *GreedyDual) Inflation() float64 { return c.inflation }
+
+// Len implements Policy.
+func (c *GreedyDual) Len() int { return len(c.entries) }
+
+// Used implements Policy.
+func (c *GreedyDual) Used() uint64 { return c.used }
+
+// Capacity implements Policy.
+func (c *GreedyDual) Capacity() uint64 { return c.capacity }
+
+var _ Policy = (*GreedyDual)(nil)
+
+// Objects lists the cached object ids in ascending order.
+func (c *GreedyDual) Objects() []trace.ObjectID { return sortedObjects(c.entries) }

@@ -1,0 +1,159 @@
+package cache
+
+import "webcache/internal/trace"
+
+// keyedHeap is a binary min-heap over objects keyed by a float64
+// priority, with a position index for in-place key updates and
+// removals.  Ties break by insertion sequence (FIFO), which makes every
+// policy built on it fully deterministic.
+//
+// It is the engine under both the LFU policy (key = frequency) and the
+// greedy-dual policy (key = H value).
+type keyedHeap struct {
+	items []heapItem
+	pos   map[trace.ObjectID]int
+	seq   uint64
+}
+
+type heapItem struct {
+	obj trace.ObjectID
+	key float64
+	seq uint64
+}
+
+func newKeyedHeap(hint int) *keyedHeap {
+	return &keyedHeap{pos: make(map[trace.ObjectID]int, hint)}
+}
+
+func (h *keyedHeap) len() int { return len(h.items) }
+
+func (h *keyedHeap) contains(obj trace.ObjectID) bool {
+	_, ok := h.pos[obj]
+	return ok
+}
+
+// less orders by key, then insertion order.
+func (h *keyedHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+func (h *keyedHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].obj] = i
+	h.pos[h.items[j].obj] = j
+}
+
+func (h *keyedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *keyedHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// push inserts obj with the given key; obj must not be present.
+func (h *keyedHeap) push(obj trace.ObjectID, key float64) {
+	if _, ok := h.pos[obj]; ok {
+		panic("cache: keyedHeap.push: duplicate object")
+	}
+	h.seq++
+	h.items = append(h.items, heapItem{obj: obj, key: key, seq: h.seq})
+	i := len(h.items) - 1
+	h.pos[obj] = i
+	h.up(i)
+}
+
+// update changes obj's key (and refreshes its tie-break sequence so
+// equal-key re-touches behave FIFO-by-last-touch).
+func (h *keyedHeap) update(obj trace.ObjectID, key float64) {
+	i, ok := h.pos[obj]
+	if !ok {
+		panic("cache: keyedHeap.update: object not present")
+	}
+	h.seq++
+	old := h.items[i].key
+	h.items[i].key = key
+	h.items[i].seq = h.seq
+	if key < old {
+		h.up(i)
+	} else {
+		h.down(i)
+	}
+}
+
+// key returns obj's current key.
+func (h *keyedHeap) key(obj trace.ObjectID) (float64, bool) {
+	i, ok := h.pos[obj]
+	if !ok {
+		return 0, false
+	}
+	return h.items[i].key, true
+}
+
+// popMin removes and returns the minimum-key object.
+func (h *keyedHeap) popMin() (trace.ObjectID, float64) {
+	if len(h.items) == 0 {
+		panic("cache: keyedHeap.popMin: empty heap")
+	}
+	top := h.items[0]
+	h.removeAt(0)
+	return top.obj, top.key
+}
+
+// min peeks at the minimum without removing it.
+func (h *keyedHeap) min() (trace.ObjectID, float64, bool) {
+	if len(h.items) == 0 {
+		return 0, 0, false
+	}
+	return h.items[0].obj, h.items[0].key, true
+}
+
+// remove deletes obj if present.
+func (h *keyedHeap) remove(obj trace.ObjectID) bool {
+	i, ok := h.pos[obj]
+	if !ok {
+		return false
+	}
+	h.removeAt(i)
+	return true
+}
+
+func (h *keyedHeap) removeAt(i int) {
+	last := len(h.items) - 1
+	delete(h.pos, h.items[i].obj)
+	if i != last {
+		h.items[i] = h.items[last]
+		h.pos[h.items[i].obj] = i
+	}
+	h.items = h.items[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}

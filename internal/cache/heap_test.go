@@ -1,0 +1,181 @@
+package cache
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"webcache/internal/trace"
+)
+
+func TestKeyedHeapPushPopOrder(t *testing.T) {
+	h := newKeyedHeap(8)
+	keys := []float64{5, 1, 4, 2, 3}
+	for i, k := range keys {
+		h.push(trace.ObjectID(i), k)
+	}
+	var got []float64
+	for h.len() > 0 {
+		_, k := h.popMin()
+		got = append(got, k)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("pop order not sorted: %v", got)
+	}
+}
+
+func TestKeyedHeapTieBreakFIFO(t *testing.T) {
+	h := newKeyedHeap(8)
+	for i := 0; i < 5; i++ {
+		h.push(trace.ObjectID(i), 1.0)
+	}
+	for i := 0; i < 5; i++ {
+		obj, _ := h.popMin()
+		if obj != trace.ObjectID(i) {
+			t.Fatalf("tie-break not FIFO: pop %d gave %d", i, obj)
+		}
+	}
+}
+
+func TestKeyedHeapUpdate(t *testing.T) {
+	h := newKeyedHeap(8)
+	h.push(1, 10)
+	h.push(2, 20)
+	h.push(3, 30)
+	h.update(3, 5) // decrease
+	if obj, _ := h.popMin(); obj != 3 {
+		t.Fatalf("after decrease, min = %d, want 3", obj)
+	}
+	h.update(1, 100) // increase
+	if obj, _ := h.popMin(); obj != 2 {
+		t.Fatalf("after increase, min = %d, want 2", obj)
+	}
+	if k, ok := h.key(1); !ok || k != 100 {
+		t.Fatalf("key(1) = %v %v", k, ok)
+	}
+}
+
+func TestKeyedHeapRemove(t *testing.T) {
+	h := newKeyedHeap(8)
+	for i := 0; i < 10; i++ {
+		h.push(trace.ObjectID(i), float64(10-i))
+	}
+	if !h.remove(9) { // current min
+		t.Fatal("remove(9) = false")
+	}
+	if h.remove(9) {
+		t.Fatal("double remove succeeded")
+	}
+	obj, k := h.popMin()
+	if obj != 8 || k != 2 {
+		t.Fatalf("min after remove = (%d, %g), want (8, 2)", obj, k)
+	}
+	if h.contains(9) {
+		t.Fatal("contains removed object")
+	}
+}
+
+func TestKeyedHeapPanics(t *testing.T) {
+	h := newKeyedHeap(2)
+	h.push(1, 1)
+	assertPanics(t, "dup push", func() { h.push(1, 2) })
+	assertPanics(t, "update missing", func() { h.update(42, 1) })
+	h.popMin()
+	assertPanics(t, "pop empty", func() { h.popMin() })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	f()
+}
+
+// Property: against a brute-force model, the heap returns the same
+// min sequence under random pushes, updates, removes.
+func TestPropKeyedHeapMatchesModel(t *testing.T) {
+	type modelItem struct {
+		key float64
+		seq uint64
+	}
+	f := func(seed int64, opsRaw []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newKeyedHeap(4)
+		model := map[trace.ObjectID]modelItem{}
+		var seq uint64
+		next := trace.ObjectID(0)
+		modelMin := func() (trace.ObjectID, bool) {
+			var best trace.ObjectID
+			found := false
+			var bk modelItem
+			for o, it := range model {
+				if !found || it.key < bk.key || (it.key == bk.key && it.seq < bk.seq) {
+					best, bk, found = o, it, true
+				}
+			}
+			return best, found
+		}
+		for _, op := range opsRaw {
+			switch op % 4 {
+			case 0:
+				k := float64(rng.Intn(50))
+				h.push(next, k)
+				seq++
+				model[next] = modelItem{k, seq}
+				next++
+			case 1:
+				if len(model) == 0 {
+					continue
+				}
+				o := smallestKeyOf(model)
+				k := float64(rng.Intn(50))
+				h.update(o, k)
+				seq++
+				model[o] = modelItem{k, seq}
+			case 2:
+				if len(model) == 0 {
+					continue
+				}
+				o := smallestKeyOf(model)
+				h.remove(o)
+				delete(model, o)
+			case 3:
+				if len(model) == 0 {
+					if h.len() != 0 {
+						return false
+					}
+					continue
+				}
+				want, _ := modelMin()
+				got, _ := h.popMin()
+				if got != want {
+					return false
+				}
+				delete(model, got)
+			}
+			if h.len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func smallestKeyOf[V any](m map[trace.ObjectID]V) trace.ObjectID {
+	var min trace.ObjectID
+	first := true
+	for k := range m {
+		if first || k < min {
+			min = k
+			first = false
+		}
+	}
+	return min
+}

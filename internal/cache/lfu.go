@@ -1,0 +1,164 @@
+package cache
+
+import "webcache/internal/trace"
+
+// LFU is a least-frequently-used cache.  The paper's NC, SC, NC-EC and
+// SC-EC schemes "implement the LFU replacement policy" (§5.1).
+//
+// Two frequency-bookkeeping variants are provided:
+//
+//   - in-cache LFU (Perfect=false): an object's count restarts at 1
+//     each time it (re-)enters the cache;
+//   - perfect LFU (Perfect=true): counts persist across evictions, the
+//     classic "perfect frequency knowledge" variant, which is the one
+//     the paper's upper-bound framing implies.
+//
+// Eviction takes the minimum-frequency object, breaking ties by least
+// recent touch.
+type LFU struct {
+	capacity uint64
+	used     uint64
+	perfect  bool
+	entries  map[trace.ObjectID]Entry
+	heap     *keyedHeap
+	// history holds persistent counts for the perfect variant,
+	// including objects not currently cached.
+	history map[trace.ObjectID]uint64
+}
+
+// NewLFU returns an in-cache LFU cache.
+func NewLFU(capacity uint64) *LFU { return newLFU(capacity, false) }
+
+// NewPerfectLFU returns a perfect-frequency LFU cache.
+func NewPerfectLFU(capacity uint64) *LFU { return newLFU(capacity, true) }
+
+// NewPerfectLFUShared returns a perfect-frequency LFU cache whose
+// frequency history is the caller-provided map.  Passing the same map
+// to several caches makes them agree on object frequencies — the EC
+// schemes use this so the proxy tier and client tier of a unified
+// cache rank objects consistently.
+func NewPerfectLFUShared(capacity uint64, history map[trace.ObjectID]uint64) *LFU {
+	c := newLFU(capacity, true)
+	c.history = history
+	return c
+}
+
+func newLFU(capacity uint64, perfect bool) *LFU {
+	c := &LFU{
+		capacity: capacity,
+		perfect:  perfect,
+		entries:  make(map[trace.ObjectID]Entry),
+		heap:     newKeyedHeap(64),
+	}
+	if perfect {
+		c.history = make(map[trace.ObjectID]uint64)
+	}
+	return c
+}
+
+// Name implements Policy.
+func (c *LFU) Name() string {
+	if c.perfect {
+		return "lfu-perfect"
+	}
+	return "lfu"
+}
+
+// RecordMiss lets the perfect variant count references to objects that
+// are not cached (so their history is warm when they are next added).
+// It is a no-op for in-cache LFU.
+func (c *LFU) RecordMiss(obj trace.ObjectID) {
+	if c.perfect {
+		c.history[obj]++
+	}
+}
+
+// Access implements Policy.
+func (c *LFU) Access(obj trace.ObjectID) bool {
+	if _, ok := c.entries[obj]; !ok {
+		return false
+	}
+	var f float64
+	if c.perfect {
+		c.history[obj]++
+		f = float64(c.history[obj])
+	} else {
+		cur, _ := c.heap.key(obj)
+		f = cur + 1
+	}
+	c.heap.update(obj, f)
+	return true
+}
+
+// Add implements Policy.
+func (c *LFU) Add(e Entry) []Entry {
+	_, present := c.entries[e.Obj]
+	if err := checkAddable(c.Name(), e, present, c.capacity); err != nil {
+		return nil
+	}
+	evicted := evictFor(e.Size, &c.used, c.capacity, func() Entry {
+		obj, _ := c.heap.popMin()
+		victim := c.entries[obj]
+		delete(c.entries, obj)
+		return victim
+	}, nil)
+	c.entries[e.Obj] = e
+	f := 1.0
+	if c.perfect {
+		c.history[e.Obj]++
+		f = float64(c.history[e.Obj])
+	}
+	c.heap.push(e.Obj, f)
+	c.used += uint64(e.Size)
+	return evicted
+}
+
+// Remove implements Policy.
+func (c *LFU) Remove(obj trace.ObjectID) (Entry, bool) {
+	e, ok := c.entries[obj]
+	if !ok {
+		return Entry{}, false
+	}
+	c.heap.remove(obj)
+	delete(c.entries, obj)
+	c.used -= uint64(e.Size)
+	return e, true
+}
+
+// Contains implements Policy.
+func (c *LFU) Contains(obj trace.ObjectID) bool {
+	_, ok := c.entries[obj]
+	return ok
+}
+
+// Peek implements Policy.
+func (c *LFU) Peek(obj trace.ObjectID) (Entry, bool) {
+	e, ok := c.entries[obj]
+	return e, ok
+}
+
+// Frequency reports the policy's current frequency for obj (0 if
+// unknown), exposed for tests and metrics.
+func (c *LFU) Frequency(obj trace.ObjectID) uint64 {
+	if c.perfect {
+		return c.history[obj]
+	}
+	if f, ok := c.heap.key(obj); ok {
+		return uint64(f)
+	}
+	return 0
+}
+
+// Len implements Policy.
+func (c *LFU) Len() int { return len(c.entries) }
+
+// Used implements Policy.
+func (c *LFU) Used() uint64 { return c.used }
+
+// Capacity implements Policy.
+func (c *LFU) Capacity() uint64 { return c.capacity }
+
+var _ Policy = (*LFU)(nil)
+
+// Objects lists the cached object ids in ascending order.
+func (c *LFU) Objects() []trace.ObjectID { return sortedObjects(c.entries) }

@@ -1,0 +1,118 @@
+package cache
+
+import "webcache/internal/trace"
+
+// LRU is a least-recently-used cache.  It is not one of the paper's
+// headline policies but serves as a baseline comparator (the paper
+// cites Korupolu & Dahlin's finding that greedy-dual beats LRU and LFU,
+// which BenchmarkPolicies and the scheme tests reproduce).
+type LRU struct {
+	capacity uint64
+	used     uint64
+	entries  map[trace.ObjectID]*lruNode
+	// Doubly linked list through sentinel: head.next is most recently
+	// used, sentinel.prev is the eviction victim.
+	sentinel lruNode
+}
+
+type lruNode struct {
+	entry      Entry
+	prev, next *lruNode
+}
+
+// NewLRU returns an LRU cache holding at most capacity size units.
+func NewLRU(capacity uint64) *LRU {
+	c := &LRU{
+		capacity: capacity,
+		entries:  make(map[trace.ObjectID]*lruNode),
+	}
+	c.sentinel.prev = &c.sentinel
+	c.sentinel.next = &c.sentinel
+	return c
+}
+
+// Name implements Policy.
+func (c *LRU) Name() string { return "lru" }
+
+func (c *LRU) unlink(n *lruNode) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+}
+
+func (c *LRU) pushFront(n *lruNode) {
+	n.next = c.sentinel.next
+	n.prev = &c.sentinel
+	n.next.prev = n
+	c.sentinel.next = n
+}
+
+// Access implements Policy.
+func (c *LRU) Access(obj trace.ObjectID) bool {
+	n, ok := c.entries[obj]
+	if !ok {
+		return false
+	}
+	c.unlink(n)
+	c.pushFront(n)
+	return true
+}
+
+// Add implements Policy.
+func (c *LRU) Add(e Entry) []Entry {
+	_, present := c.entries[e.Obj]
+	if err := checkAddable(c.Name(), e, present, c.capacity); err != nil {
+		return nil
+	}
+	evicted := evictFor(e.Size, &c.used, c.capacity, func() Entry {
+		victim := c.sentinel.prev
+		c.unlink(victim)
+		delete(c.entries, victim.entry.Obj)
+		return victim.entry
+	}, nil)
+	n := &lruNode{entry: e}
+	c.entries[e.Obj] = n
+	c.pushFront(n)
+	c.used += uint64(e.Size)
+	return evicted
+}
+
+// Remove implements Policy.
+func (c *LRU) Remove(obj trace.ObjectID) (Entry, bool) {
+	n, ok := c.entries[obj]
+	if !ok {
+		return Entry{}, false
+	}
+	c.unlink(n)
+	delete(c.entries, obj)
+	c.used -= uint64(n.entry.Size)
+	return n.entry, true
+}
+
+// Contains implements Policy.
+func (c *LRU) Contains(obj trace.ObjectID) bool {
+	_, ok := c.entries[obj]
+	return ok
+}
+
+// Peek implements Policy.
+func (c *LRU) Peek(obj trace.ObjectID) (Entry, bool) {
+	n, ok := c.entries[obj]
+	if !ok {
+		return Entry{}, false
+	}
+	return n.entry, true
+}
+
+// Len implements Policy.
+func (c *LRU) Len() int { return len(c.entries) }
+
+// Used implements Policy.
+func (c *LRU) Used() uint64 { return c.used }
+
+// Capacity implements Policy.
+func (c *LRU) Capacity() uint64 { return c.capacity }
+
+var _ Policy = (*LRU)(nil)
+
+// Objects lists the cached object ids in ascending order.
+func (c *LRU) Objects() []trace.ObjectID { return sortedObjects(c.entries) }

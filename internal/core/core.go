@@ -1,0 +1,246 @@
+// Package core orchestrates the paper's experiments: it generates the
+// workloads, sweeps cache sizes and parameters, computes the
+// latency-gain metric, and assembles the series behind every figure in
+// the evaluation section (§5.2).
+//
+// Every figure is identified by its paper label ("2a".."5d"); RunFigure
+// regenerates it as a Figure (series of latency-gain-vs-cache-size
+// points) that cmd/webcachesim prints and EXPERIMENTS.md records.
+// Sweep points are independent simulations and run on a worker pool.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"webcache/internal/netmodel"
+	"webcache/internal/prowgen"
+	"webcache/internal/sim"
+	"webcache/internal/trace"
+)
+
+// Point is one sweep sample: the proxy cache size (fraction of the
+// infinite cache size) and the latency gain over NC at that size.
+type Point struct {
+	CacheFrac  float64
+	Gain       float64 // 1 - L/L_NC
+	AvgLatency float64
+	NCLatency  float64
+	// GainCI is the 95% confidence half-width of Gain across seeds;
+	// zero for single-replicate runs (see RunFigureReplicated).
+	GainCI float64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a regenerated paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Options scales and seeds a figure run.
+type Options struct {
+	// Scale multiplies the paper's workload size (1.0 = one million
+	// requests over 10,000 objects).  Benches and tests use smaller
+	// scales; shapes are stable from ~0.05 up.
+	Scale float64
+	// Fracs overrides the cache-size sweep (default 10%..100%).
+	Fracs []float64
+	// Workers bounds sweep parallelism (default NumCPU).
+	Workers int
+	// Seed drives workload generation and simulation.
+	Seed int64
+}
+
+func (o *Options) fill() {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if len(o.Fracs) == 0 {
+		o.Fracs = DefaultFracs()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+}
+
+// DefaultFracs is the paper's x-axis: 10%..100% in steps of 10.
+func DefaultFracs() []float64 {
+	out := make([]float64, 10)
+	for i := range out {
+		out[i] = float64(i+1) / 10
+	}
+	return out
+}
+
+// paperTrace generates the default synthetic workload at the given
+// scale (paper §5.1: 1M requests, 10k objects, 50% one-timers, α=0.7).
+// clients == 0 uses the generator default; figures with large
+// client->proxy mappings (5c, 5d) pass the population they need.
+func paperTrace(scale float64, seed int64, alpha, stackFrac float64, clients int) (*trace.Trace, error) {
+	cfg := prowgen.Config{
+		NumRequests:  int(float64(prowgen.DefaultNumRequests) * scale),
+		NumObjects:   int(float64(prowgen.DefaultNumObjects) * scale),
+		NumClients:   clients,
+		OneTimerFrac: prowgen.DefaultOneTimerFrac,
+		Alpha:        alpha,
+		StackFrac:    stackFrac,
+		Seed:         seed,
+	}
+	if cfg.NumClients == 0 {
+		cfg.NumClients = prowgen.DefaultNumClients
+	}
+	if cfg.NumObjects < 200 {
+		cfg.NumObjects = 200
+	}
+	if cfg.NumRequests < 20*cfg.NumObjects {
+		cfg.NumRequests = 20 * cfg.NumObjects
+	}
+	// Every client must appear often enough that each cluster sees a
+	// meaningful reference stream.
+	if cfg.NumRequests < 30*cfg.NumClients {
+		cfg.NumRequests = 30 * cfg.NumClients
+	}
+	return prowgen.Generate(cfg)
+}
+
+// sweepJob is one (series, point) simulation.
+type sweepJob struct {
+	series, point int
+	tr            *trace.Trace
+	cfg           sim.Config
+	ncCfg         sim.Config
+}
+
+// runSweep executes jobs on a worker pool and assembles the points.
+// The NC baseline for each distinct baseline configuration is computed
+// once and shared.
+func runSweep(labels []string, jobs []sweepJob, workers int) ([]Series, error) {
+	series := make([]Series, len(labels))
+	for i, l := range labels {
+		series[i] = Series{Label: l, Points: make([]Point, 0)}
+	}
+	type slot struct {
+		p   Point
+		err error
+	}
+	results := make([][]slot, len(labels))
+	counts := make([]int, len(labels))
+	for _, j := range jobs {
+		if j.point+1 > counts[j.series] {
+			counts[j.series] = j.point + 1
+		}
+	}
+	for i := range results {
+		results[i] = make([]slot, counts[i])
+	}
+
+	// NC baselines keyed by the parts of the config that affect NC.
+	type ncKey struct {
+		frac    float64
+		proxies int
+		cpc     int
+		net     netmodel.Model
+		tr      *trace.Trace
+	}
+	var baseMu sync.Mutex
+	baselines := map[ncKey]float64{}
+	baseline := func(j sweepJob) (float64, error) {
+		k := ncKey{j.ncCfg.ProxyCacheFrac, j.ncCfg.NumProxies, j.ncCfg.ClientsPerCluster, j.ncCfg.Net, j.tr}
+		baseMu.Lock()
+		v, ok := baselines[k]
+		baseMu.Unlock()
+		if ok {
+			return v, nil
+		}
+		res, err := sim.Run(j.tr, j.ncCfg)
+		if err != nil {
+			return 0, err
+		}
+		baseMu.Lock()
+		baselines[k] = res.AvgLatency
+		baseMu.Unlock()
+		return res.AvgLatency, nil
+	}
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j sweepJob) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			nc, err := baseline(j)
+			if err != nil {
+				results[j.series][j.point] = slot{err: err}
+				return
+			}
+			res, err := sim.Run(j.tr, j.cfg)
+			if err != nil {
+				results[j.series][j.point] = slot{err: err}
+				return
+			}
+			results[j.series][j.point] = slot{p: Point{
+				CacheFrac:  j.cfg.ProxyCacheFrac,
+				Gain:       netmodel.Gain(res.AvgLatency, nc),
+				AvgLatency: res.AvgLatency,
+				NCLatency:  nc,
+			}}
+		}(j)
+	}
+	wg.Wait()
+
+	for si := range results {
+		for _, s := range results[si] {
+			if s.err != nil {
+				return nil, s.err
+			}
+			series[si].Points = append(series[si].Points, s.p)
+		}
+		sort.Slice(series[si].Points, func(a, b int) bool {
+			return series[si].Points[a].CacheFrac < series[si].Points[b].CacheFrac
+		})
+	}
+	return series, nil
+}
+
+// FigureIDs lists the reproducible figures in paper order.
+func FigureIDs() []string {
+	return []string{"2a", "2b", "3", "4", "5a", "5b", "5c", "5d"}
+}
+
+// RunFigure regenerates the figure with the given paper label.
+func RunFigure(id string, opts Options) (*Figure, error) {
+	opts.fill()
+	switch id {
+	case "2a":
+		return Fig2a(opts)
+	case "2b":
+		return Fig2b(opts)
+	case "3":
+		return Fig3(opts)
+	case "4":
+		return Fig4(opts)
+	case "5a":
+		return Fig5a(opts)
+	case "5b":
+		return Fig5b(opts)
+	case "5c":
+		return Fig5c(opts)
+	case "5d":
+		return Fig5d(opts)
+	default:
+		return nil, fmt.Errorf("core: unknown figure %q (have %v)", id, FigureIDs())
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func exportFixture() *Figure {
+	return &Figure{
+		ID: "2a", Title: "test figure", XLabel: "cache", YLabel: "gain",
+		Series: []Series{
+			{Label: "SC", Points: []Point{
+				{CacheFrac: 0.1, Gain: 0.12, AvgLatency: 0.3, NCLatency: 0.4},
+				{CacheFrac: 0.2, Gain: 0.15, AvgLatency: 0.28, NCLatency: 0.4},
+			}},
+			{Label: "Hier-GD", Points: []Point{
+				{CacheFrac: 0.1, Gain: 0.7, AvgLatency: 0.1, NCLatency: 0.4},
+				{CacheFrac: 0.2, Gain: 0.72, AvgLatency: 0.09, NCLatency: 0.4},
+			}},
+		},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	f := exportFixture()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", got, f)
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestWriteDAT(t *testing.T) {
+	f := exportFixture()
+	var buf bytes.Buffer
+	if err := WriteDAT(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# Figure 2a", `"SC"`, `"Hier-GD"`, "10\t12.0000\t70.0000", "20\t15.0000\t72.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dat missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ci") {
+		t.Error("CI columns present without replicated data")
+	}
+}
+
+func TestWriteDATWithCI(t *testing.T) {
+	f := exportFixture()
+	f.Series[0].Points[0].GainCI = 0.02
+	var buf bytes.Buffer
+	if err := WriteDAT(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"SC ci"`) {
+		t.Errorf("missing CI header:\n%s", out)
+	}
+	if !strings.Contains(out, "12.0000\t2.0000") {
+		t.Errorf("missing CI value:\n%s", out)
+	}
+}
+
+func TestWriteDATRaggedSeries(t *testing.T) {
+	f := exportFixture()
+	f.Series[1].Points = f.Series[1].Points[:1]
+	var buf bytes.Buffer
+	if err := WriteDAT(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "nan") {
+		t.Error("ragged series should emit nan")
+	}
+}
+
+func TestExportGnuplot(t *testing.T) {
+	dir := t.TempDir()
+	f := exportFixture()
+	if err := ExportGnuplot(dir, f); err != nil {
+		t.Fatal(err)
+	}
+	dat, err := os.ReadFile(filepath.Join(dir, "fig2a.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dat), "# Figure 2a") {
+		t.Error("dat header missing")
+	}
+	gp, err := os.ReadFile(filepath.Join(dir, "fig2a.gp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := string(gp)
+	for _, want := range []string{"set output", "fig2a.dat", `using 1:2`, `using 1:3`, `"SC"`, `"Hier-GD"`, "linespoints"} {
+		if !strings.Contains(script, want) {
+			t.Errorf("gp script missing %q:\n%s", want, script)
+		}
+	}
+}
+
+func TestExportGnuplotWithCI(t *testing.T) {
+	dir := t.TempDir()
+	f := exportFixture()
+	f.Series[0].Points[0].GainCI = 0.02
+	if err := ExportGnuplot(dir, f); err != nil {
+		t.Fatal(err)
+	}
+	gp, err := os.ReadFile(filepath.Join(dir, "fig2a.gp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := string(gp)
+	for _, want := range []string{"yerrorlines", "using 1:2:3", "using 1:4:5"} {
+		if !strings.Contains(script, want) {
+			t.Errorf("CI gp script missing %q:\n%s", want, script)
+		}
+	}
+}

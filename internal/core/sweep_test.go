@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"webcache/internal/prowgen"
+	"webcache/internal/sim"
+)
+
+func TestSweepSchemes(t *testing.T) {
+	tr, err := prowgen.Generate(prowgen.Config{
+		NumRequests: 40_000, NumObjects: 1_500, NumClients: 200, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := SweepSchemes(tr, sim.Config{Seed: 1}, []sim.Scheme{sim.SC, sim.HierGD}, []float64{0.1, 0.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q points = %d", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Gain <= 0 {
+				t.Errorf("series %q gain %.3f at %.0f%%", s.Label, p.Gain, 100*p.CacheFrac)
+			}
+		}
+	}
+	// Squirrel is sweepable too (not one of the paper's seven).
+	fig, err = SweepSchemes(tr, sim.Config{Seed: 1}, []sim.Scheme{sim.Squirrel}, []float64{0.2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Series[0].Label != "Squirrel" {
+		t.Errorf("label %q", fig.Series[0].Label)
+	}
+}
+
+func TestSweepSchemesDefaultsAndValidation(t *testing.T) {
+	if _, err := SweepSchemes(nil, sim.Config{}, []sim.Scheme{sim.SC}, nil, 0); err == nil {
+		t.Error("nil trace accepted")
+	}
+	tr, err := prowgen.Generate(prowgen.Config{
+		NumRequests: 30_000, NumObjects: 1_000, NumClients: 200, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SweepSchemes(tr, sim.Config{}, nil, nil, 0); err == nil {
+		t.Error("no schemes accepted")
+	}
+	// Default fracs (10 points) and default workers.
+	fig, err := SweepSchemes(tr, sim.Config{Seed: 1}, []sim.Scheme{sim.SC}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series[0].Points) != 10 {
+		t.Errorf("default sweep points = %d", len(fig.Series[0].Points))
+	}
+}

@@ -1,0 +1,261 @@
+package httpcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"webcache/internal/cache"
+	"webcache/internal/pastry"
+	"webcache/internal/trace"
+)
+
+// fold compresses a 128-bit objectId into the 64-bit key the
+// replacement policies use.  A birthday collision would need ~2^32
+// distinct URLs in one cache — beyond any browser cache; the full hex
+// key is kept alongside the body for exactness on the wire.
+func fold(id pastry.ID) trace.ObjectID {
+	return trace.ObjectID(id[0] ^ bits.RotateLeft64(id[1], 31))
+}
+
+// storedObject is one cached HTTP body.
+type storedObject struct {
+	hexKey string
+	body   []byte
+	cost   float64
+}
+
+// boundedStore is a mutex-guarded greedy-dual cache of HTTP bodies,
+// shared by the client-cache daemon and the proxy.
+type boundedStore struct {
+	mu     sync.Mutex
+	gd     *cache.GreedyDual
+	bodies map[trace.ObjectID]storedObject
+}
+
+func newBoundedStore(capacityBytes uint64) *boundedStore {
+	return &boundedStore{
+		gd:     cache.NewGreedyDual(capacityBytes),
+		bodies: make(map[trace.ObjectID]storedObject),
+	}
+}
+
+// get returns the object and refreshes its greedy-dual value.
+func (s *boundedStore) get(key trace.ObjectID) (storedObject, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.gd.Access(key) {
+		return storedObject{}, false
+	}
+	return s.bodies[key], true
+}
+
+// put stores an object and returns what was evicted to make room
+// (nothing when the object is oversized or already present — the
+// present case refreshes instead).
+func (s *boundedStore) put(key trace.ObjectID, obj storedObject) (evicted []storedObject, stored bool) {
+	size := uint32(len(obj.body))
+	if size == 0 {
+		size = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gd.Access(key) {
+		return nil, true
+	}
+	if uint64(size) > s.gd.Capacity() {
+		return nil, false
+	}
+	for _, ev := range s.gd.Add(cache.Entry{Obj: key, Size: size, Cost: obj.cost}) {
+		evicted = append(evicted, s.bodies[ev.Obj])
+		delete(s.bodies, ev.Obj)
+	}
+	s.bodies[key] = obj
+	return evicted, true
+}
+
+// hasFreeSpace reports whether size bytes fit without eviction.
+func (s *boundedStore) hasFreeSpace(size int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sz := uint64(size)
+	if sz == 0 {
+		sz = 1
+	}
+	return s.gd.Used()+sz <= s.gd.Capacity()
+}
+
+// len reports the cached object count.
+func (s *boundedStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gd.Len()
+}
+
+// StoreReceipt is the §4.3 store receipt a client cache returns to its
+// proxy: what it kept and what it discarded to make room.
+type StoreReceipt struct {
+	Stored  bool     `json:"stored"`
+	Evicted []string `json:"evicted,omitempty"` // hex objectIds
+}
+
+// ClientCacheStats is the daemon's /stats payload.
+type ClientCacheStats struct {
+	Objects int `json:"objects"`
+	Hits    int `json:"hits"`
+	Misses  int `json:"misses"`
+	Stores  int `json:"stores"`
+	Pushes  int `json:"pushes"`
+}
+
+// ClientCache is a browser-cache daemon: the cooperative partition of
+// one client machine's cache, serving its local proxy over HTTP.
+type ClientCache struct {
+	store  *boundedStore
+	client *http.Client
+
+	mu    sync.Mutex
+	stats ClientCacheStats
+}
+
+// NewClientCache creates a daemon with the given cooperative-partition
+// capacity in bytes.
+func NewClientCache(capacityBytes uint64) *ClientCache {
+	return &ClientCache{
+		store:  newBoundedStore(capacityBytes),
+		client: &http.Client{Timeout: 5 * time.Second},
+	}
+}
+
+// Handler returns the daemon's HTTP interface:
+//
+//	GET  /object?key=HEX          serve a cached object (LAN fetch)
+//	POST /store?key=HEX&cost=F    pass-down from the proxy; ?ifFree=1
+//	                              refuses instead of evicting (the
+//	                              diversion probe)
+//	POST /push?key=HEX&to=URL     push the object up to the proxy for
+//	                              forwarding to a cooperating proxy
+//	GET  /stats                   counters
+func (c *ClientCache) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /object", c.handleObject)
+	mux.HandleFunc("POST /store", c.handleStore)
+	mux.HandleFunc("POST /push", c.handlePush)
+	mux.HandleFunc("GET /stats", c.handleStats)
+	return mux
+}
+
+func parseKey(r *http.Request) (pastry.ID, string, error) {
+	hex := r.URL.Query().Get("key")
+	if len(hex) != 32 {
+		return pastry.ID{}, "", fmt.Errorf("httpcache: bad key %q", hex)
+	}
+	var raw [16]byte
+	for i := 0; i < 32; i += 2 {
+		v, err := strconv.ParseUint(hex[i:i+2], 16, 8)
+		if err != nil {
+			return pastry.ID{}, "", fmt.Errorf("httpcache: bad key %q", hex)
+		}
+		raw[i/2] = byte(v)
+	}
+	return pastry.IDFromBytes(raw[:]), hex, nil
+}
+
+func (c *ClientCache) bump(f func(*ClientCacheStats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+func (c *ClientCache) handleObject(w http.ResponseWriter, r *http.Request) {
+	id, _, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	obj, ok := c.store.get(fold(id))
+	if !ok {
+		c.bump(func(s *ClientCacheStats) { s.Misses++ })
+		http.NotFound(w, r)
+		return
+	}
+	c.bump(func(s *ClientCacheStats) { s.Hits++ })
+	w.Header().Set("X-Served-By", "client-cache")
+	w.Write(obj.body)
+}
+
+func (c *ClientCache) handleStore(w http.ResponseWriter, r *http.Request) {
+	id, hex, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cost, _ := strconv.ParseFloat(r.URL.Query().Get("cost"), 64)
+	if cost <= 0 {
+		cost = 1
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if r.URL.Query().Get("ifFree") == "1" && !c.store.hasFreeSpace(len(body)) {
+		// Diversion probe: this cache would have to evict; refuse so
+		// the sender can try a neighbour (§4.3).
+		http.Error(w, "no free space", http.StatusInsufficientStorage)
+		return
+	}
+	evicted, stored := c.store.put(fold(id), storedObject{hexKey: hex, body: body, cost: cost})
+	c.bump(func(s *ClientCacheStats) { s.Stores++ })
+	receipt := StoreReceipt{Stored: stored}
+	for _, ev := range evicted {
+		receipt.Evicted = append(receipt.Evicted, ev.hexKey)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(receipt)
+}
+
+func (c *ClientCache) handlePush(w http.ResponseWriter, r *http.Request) {
+	id, _, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	to := r.URL.Query().Get("to")
+	if to == "" {
+		http.Error(w, "missing to", http.StatusBadRequest)
+		return
+	}
+	obj, ok := c.store.get(fold(id))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	// The push (§4.5): the client cache opens the connection to the
+	// proxy — never the other way around across organizations.
+	resp, err := c.client.Post(to, "application/octet-stream", bytesReader(obj.body))
+	if err != nil {
+		http.Error(w, "push failed: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	resp.Body.Close()
+	c.bump(func(s *ClientCacheStats) { s.Pushes++ })
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *ClientCache) handleStats(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	st := c.stats
+	c.mu.Unlock()
+	st.Objects = c.store.len()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// Objects reports the current cached-object count (tests).
+func (c *ClientCache) Objects() int { return c.store.len() }

@@ -1,0 +1,333 @@
+package httpcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"webcache/internal/pastry"
+)
+
+// testOrigin is a deterministic origin server counting its hits.
+type testOrigin struct {
+	srv  *httptest.Server
+	hits atomic.Int64
+}
+
+func newTestOrigin() *testOrigin {
+	o := &testOrigin{}
+	o.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		o.hits.Add(1)
+		fmt.Fprintf(w, "content-of:%s", r.URL.Path)
+	}))
+	return o
+}
+
+// deployment spins up an origin, proxies, and client-cache daemons.
+type deployment struct {
+	t       *testing.T
+	origin  *testOrigin
+	proxies []*Proxy
+	proxyS  []*httptest.Server
+	caches  [][]*ClientCache
+	cacheS  [][]*httptest.Server
+}
+
+func deploy(t *testing.T, numProxies, cachesPerProxy int, proxyCap, cacheCap uint64) *deployment {
+	t.Helper()
+	d := &deployment{t: t, origin: newTestOrigin()}
+	t.Cleanup(func() { d.origin.srv.Close() })
+	for p := 0; p < numProxies; p++ {
+		px := NewProxy(proxyCap)
+		srv := httptest.NewServer(px.Handler())
+		t.Cleanup(srv.Close)
+		px.SetSelf(srv.URL)
+		d.proxies = append(d.proxies, px)
+		d.proxyS = append(d.proxyS, srv)
+
+		var ccs []*ClientCache
+		var ccsrv []*httptest.Server
+		for c := 0; c < cachesPerProxy; c++ {
+			cc := NewClientCache(cacheCap)
+			s := httptest.NewServer(cc.Handler())
+			t.Cleanup(s.Close)
+			addr := strings.TrimPrefix(s.URL, "http://")
+			resp, err := http.Post(fmt.Sprintf("%s/register?addr=%s", srv.URL, addr), "text/plain", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			ccs = append(ccs, cc)
+			ccsrv = append(ccsrv, s)
+		}
+		d.caches = append(d.caches, ccs)
+		d.cacheS = append(d.cacheS, ccsrv)
+	}
+	// Wire cooperating proxies (full mesh).
+	for p, px := range d.proxies {
+		var peers []string
+		for q, s := range d.proxyS {
+			if q != p {
+				peers = append(peers, s.URL)
+			}
+		}
+		px.SetPeers(peers)
+	}
+	return d
+}
+
+// fetch issues a client request through proxy p and returns body+tier.
+func (d *deployment) fetch(p int, path string) (string, string) {
+	d.t.Helper()
+	u := fmt.Sprintf("%s/fetch?url=%s", d.proxyS[p].URL, url.QueryEscape(d.origin.srv.URL+path))
+	resp, err := http.Get(u)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		d.t.Fatalf("fetch %s: status %d: %s", path, resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get("X-Served-By")
+}
+
+func (d *deployment) proxyStats(p int) ProxyStats {
+	d.t.Helper()
+	resp, err := http.Get(d.proxyS[p].URL + "/stats")
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ProxyStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		d.t.Fatal(err)
+	}
+	return st
+}
+
+func TestProxyCacheHit(t *testing.T) {
+	d := deploy(t, 1, 2, 1<<20, 1<<20)
+	body, tier := d.fetch(0, "/page1")
+	if body != "content-of:/page1" || tier != "origin" {
+		t.Fatalf("first fetch: %q via %q", body, tier)
+	}
+	body, tier = d.fetch(0, "/page1")
+	if body != "content-of:/page1" || tier != "proxy" {
+		t.Fatalf("second fetch: %q via %q", body, tier)
+	}
+	if n := d.origin.hits.Load(); n != 1 {
+		t.Fatalf("origin hits = %d, want 1", n)
+	}
+}
+
+// Filling the proxy beyond capacity destages evictions into client
+// caches; refetching an evicted object must come from a client cache
+// without touching the origin.
+func TestPassDownAndClientCacheHit(t *testing.T) {
+	// Proxy holds ~3 of the ~17-byte objects; client caches are roomy.
+	d := deploy(t, 1, 4, 52, 1<<20)
+	const n = 12
+	for i := 0; i < n; i++ {
+		d.fetch(0, fmt.Sprintf("/obj%02d", i))
+	}
+	st := d.proxyStats(0)
+	if st.PassDowns == 0 {
+		t.Fatal("no pass-downs despite proxy overflow")
+	}
+	if st.DirEntries == 0 {
+		t.Fatal("directory empty after pass-downs")
+	}
+	origin := d.origin.hits.Load()
+	served := map[string]int{}
+	for i := 0; i < n; i++ {
+		_, tier := d.fetch(0, fmt.Sprintf("/obj%02d", i))
+		served[tier]++
+	}
+	if served["client-cache"] == 0 {
+		t.Fatalf("no client-cache hits on refetch: %v", served)
+	}
+	if got := d.origin.hits.Load(); got != origin {
+		t.Fatalf("refetch went to origin %d times", got-origin)
+	}
+	// Bodies are intact coming out of the client caches.
+	body, _ := d.fetch(0, "/obj03")
+	if body != "content-of:/obj03" {
+		t.Fatalf("corrupted body %q", body)
+	}
+}
+
+// A cooperating proxy serves from its own cache over /peer-lookup.
+func TestRemoteProxyHit(t *testing.T) {
+	d := deploy(t, 2, 2, 1<<20, 1<<20)
+	d.fetch(0, "/shared") // proxy 0 now caches it
+	origin := d.origin.hits.Load()
+	_, tier := d.fetch(1, "/shared")
+	if tier != "remote-proxy" {
+		t.Fatalf("tier = %q, want remote-proxy", tier)
+	}
+	if d.origin.hits.Load() != origin {
+		t.Fatal("remote hit still touched the origin")
+	}
+	// Proxy 1 cached the fetched copy (SC behaviour): now local.
+	_, tier = d.fetch(1, "/shared")
+	if tier != "proxy" {
+		t.Fatalf("tier after remote fetch = %q, want proxy", tier)
+	}
+}
+
+// The push mechanism: an object living only in proxy 0's *client
+// caches* is served to proxy 1 via push, never via an inbound
+// connection from proxy 1 to a client.
+func TestPushAcrossProxies(t *testing.T) {
+	d := deploy(t, 2, 3, 52, 1<<20)
+	const n = 12
+	for i := 0; i < n; i++ {
+		d.fetch(0, fmt.Sprintf("/p%02d", i))
+	}
+	st := d.proxyStats(0)
+	if st.DirEntries == 0 {
+		t.Fatal("nothing destaged to client caches")
+	}
+	// Find an object that is in the directory but not the proxy cache:
+	// fetch each from proxy 1 and look for the peer-p2p tier.
+	origin := d.origin.hits.Load()
+	sawPush := false
+	for i := 0; i < n && !sawPush; i++ {
+		_, tier := d.fetch(1, fmt.Sprintf("/p%02d", i))
+		if tier == "remote-proxy" && d.proxyStats(0).PushesIn > 0 {
+			sawPush = true
+		}
+	}
+	if !sawPush {
+		t.Fatalf("push mechanism never used (pushes_in=%d)", d.proxyStats(0).PushesIn)
+	}
+	if d.origin.hits.Load() != origin {
+		t.Fatal("push-served objects still hit the origin")
+	}
+}
+
+// Diversion: a full destination cache refuses the ifFree probe and the
+// object lands on a neighbour.  Cache ids derive from OS-assigned
+// ports, so the destination distribution varies per run; six caches of
+// three slots each under forty destaged objects make at least one
+// imbalanced (divertible) store a statistical certainty.
+func TestDiversionOverHTTP(t *testing.T) {
+	d := deploy(t, 1, 6, 52, 52)
+	for i := 0; i < 43; i++ {
+		d.fetch(0, fmt.Sprintf("/d%02d", i))
+	}
+	st := d.proxyStats(0)
+	if st.PassDowns == 0 {
+		t.Fatal("no pass-downs")
+	}
+	if st.Diversions == 0 {
+		t.Fatal("no diversions despite full destinations")
+	}
+}
+
+func TestClientCacheDaemonEndpoints(t *testing.T) {
+	cc := NewClientCache(1 << 20)
+	srv := httptest.NewServer(cc.Handler())
+	defer srv.Close()
+	key := pastry.HashString("http://x/y").String()
+
+	// Missing object.
+	resp, _ := http.Get(fmt.Sprintf("%s/object?key=%s", srv.URL, key))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Store then fetch.
+	resp, err := http.Post(fmt.Sprintf("%s/store?key=%s&cost=1", srv.URL, key),
+		"application/octet-stream", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec StoreReceipt
+	json.NewDecoder(resp.Body).Decode(&rec)
+	resp.Body.Close()
+	if !rec.Stored {
+		t.Fatal("store refused")
+	}
+	resp, _ = http.Get(fmt.Sprintf("%s/object?key=%s", srv.URL, key))
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "hello" {
+		t.Fatalf("body %q", body)
+	}
+
+	// Bad keys.
+	for _, bad := range []string{"zz", strings.Repeat("g", 32)} {
+		resp, _ := http.Get(fmt.Sprintf("%s/object?key=%s", srv.URL, bad))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad key %q: status %d", bad, resp.StatusCode)
+		}
+	}
+
+	// Stats.
+	resp, _ = http.Get(srv.URL + "/stats")
+	var st ClientCacheStats
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.Objects != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := newRing()
+	if _, ok := r.owner(pastry.HashString("k")); ok {
+		t.Fatal("owner on empty ring")
+	}
+	r.add("a:1")
+	r.add("b:2")
+	r.add("c:3")
+	r.add("a:1") // duplicate
+	if r.size() != 3 {
+		t.Fatalf("size = %d", r.size())
+	}
+	// Ownership is deterministic and stable.
+	key := pastry.HashString("some-url")
+	o1, _ := r.owner(key)
+	o2, _ := r.owner(key)
+	if o1 != o2 {
+		t.Fatal("owner unstable")
+	}
+	r.remove("b:2")
+	r.remove("b:2") // idempotent
+	if r.size() != 2 {
+		t.Fatalf("size after remove = %d", r.size())
+	}
+	if o, _ := r.owner(key); o == "b:2" {
+		t.Fatal("removed node still owns keys")
+	}
+}
+
+func TestFoldDeterministic(t *testing.T) {
+	a := fold(pastry.HashString("u1"))
+	b := fold(pastry.HashString("u1"))
+	c := fold(pastry.HashString("u2"))
+	if a != b || a == c {
+		t.Fatal("fold not behaving")
+	}
+}
+
+func TestKeyFromHexRoundTrip(t *testing.T) {
+	id := pastry.HashString("round-trip")
+	got := pastry.ID(keyFromHex(id.String()))
+	if got != id {
+		t.Fatalf("keyFromHex(%s) = %v, want %v", id, got, id)
+	}
+}

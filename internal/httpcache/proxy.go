@@ -1,0 +1,389 @@
+package httpcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webcache/internal/directory"
+	"webcache/internal/pastry"
+)
+
+// bytesReader avoids importing bytes in two files.
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// ProxyStats is the proxy's /stats payload: where requests were served
+// from, plus pass-down and push activity.
+type ProxyStats struct {
+	Requests    int `json:"requests"`
+	ProxyHits   int `json:"proxy_hits"`
+	ClientHits  int `json:"client_hits"`
+	RemoteHits  int `json:"remote_hits"`
+	OriginFetch int `json:"origin_fetches"`
+	PassDowns   int `json:"pass_downs"`
+	Diversions  int `json:"diversions"`
+	PushesIn    int `json:"pushes_in"`
+	DirEntries  int `json:"directory_entries"`
+	ClientPool  int `json:"client_caches"`
+}
+
+// Proxy is the caching forward proxy of the paper's architecture: a
+// greedy-dual cache whose evictions destage into the registered client
+// caches, with a lookup directory and inter-proxy cooperation.
+type Proxy struct {
+	store  *boundedStore
+	ring   *ring
+	client *http.Client
+
+	mu    sync.Mutex
+	dir   directory.Directory
+	stats ProxyStats
+	peers []string // cooperating proxies' base URLs
+	self  string   // this proxy's base URL (for push-back addressing)
+
+	pushSeq     atomic.Uint64
+	pushWaiters sync.Map // pushID string -> chan []byte
+}
+
+// NewProxy creates a proxy with the given cache capacity in bytes.
+func NewProxy(capacityBytes uint64) *Proxy {
+	return &Proxy{
+		store:  newBoundedStore(capacityBytes),
+		ring:   newRing(),
+		dir:    directory.NewExact(),
+		client: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// SetSelf tells the proxy its own externally reachable base URL
+// (needed to address push-backs); SetPeers configures the cooperating
+// proxies.
+func (p *Proxy) SetSelf(baseURL string) { p.self = baseURL }
+
+// SetPeers configures the cooperating proxy cluster.
+func (p *Proxy) SetPeers(urls []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.peers = append([]string(nil), urls...)
+}
+
+// Handler returns the proxy's HTTP interface:
+//
+//	GET  /fetch?url=U        the client entry point
+//	GET  /peer-lookup?key=K  a cooperating proxy asking for an object
+//	POST /accept-push?id=N   a client cache pushing an object up
+//	POST /register?addr=A    a client cache joining the cluster
+//	GET  /stats              counters
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /fetch", p.handleFetch)
+	mux.HandleFunc("GET /peer-lookup", p.handlePeerLookup)
+	mux.HandleFunc("POST /accept-push", p.handleAcceptPush)
+	mux.HandleFunc("POST /register", p.handleRegister)
+	mux.HandleFunc("GET /stats", p.handleStats)
+	return mux
+}
+
+func (p *Proxy) bump(f func(*ProxyStats)) {
+	p.mu.Lock()
+	f(&p.stats)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) handleRegister(w http.ResponseWriter, r *http.Request) {
+	addr := r.URL.Query().Get("addr")
+	if addr == "" {
+		http.Error(w, "missing addr", http.StatusBadRequest)
+		return
+	}
+	id := p.ring.add(addr)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"cacheId": id.String()})
+}
+
+// serve writes an object body with its serving-tier header.
+func serve(w http.ResponseWriter, body []byte, tier string) {
+	w.Header().Set("X-Served-By", tier)
+	w.Write(body)
+}
+
+func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		http.Error(w, "missing url", http.StatusBadRequest)
+		return
+	}
+	p.bump(func(s *ProxyStats) { s.Requests++ })
+	id := keyOf(url)
+	folded := fold(id)
+
+	// 1. Proxy cache.
+	if obj, ok := p.store.get(folded); ok {
+		p.bump(func(s *ProxyStats) { s.ProxyHits++ })
+		serve(w, obj.body, "proxy")
+		return
+	}
+
+	// 2. Own P2P client cache, per the lookup directory (§4.2).
+	p.mu.Lock()
+	inDir := p.dir.MayContain(folded)
+	p.mu.Unlock()
+	if inDir {
+		if addr, ok := p.ring.owner(id); ok {
+			if body, ok := p.lanFetch(addr, id); ok {
+				p.bump(func(s *ProxyStats) { s.ClientHits++ })
+				serve(w, body, "client-cache")
+				return
+			}
+		}
+		// Stale entry (crashed daemon or raced eviction): repair.
+		p.mu.Lock()
+		p.dir.Remove(folded)
+		p.mu.Unlock()
+	}
+
+	// 3. Cooperating proxies.
+	p.mu.Lock()
+	peers := p.peers
+	p.mu.Unlock()
+	for _, peer := range peers {
+		resp, err := p.client.Get(fmt.Sprintf("%s/peer-lookup?key=%s", peer, id))
+		if err != nil {
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && resp.StatusCode == http.StatusOK {
+			p.bump(func(s *ProxyStats) { s.RemoteHits++ })
+			p.insertAndDestage(url, body, remoteCost)
+			serve(w, body, "remote-proxy")
+			return
+		}
+	}
+
+	// 4. Origin.
+	resp, err := p.client.Get(url)
+	if err != nil {
+		http.Error(w, "origin fetch: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		http.Error(w, fmt.Sprintf("origin status %d", resp.StatusCode), http.StatusBadGateway)
+		return
+	}
+	p.bump(func(s *ProxyStats) { s.OriginFetch++ })
+	p.insertAndDestage(url, body, originCost)
+	serve(w, body, "origin")
+}
+
+// Greedy-dual costs mirror the latency model: origin fetches are the
+// expensive ones, remote-proxy fetches cheap.
+const (
+	originCost = 1.0
+	remoteCost = 0.1
+)
+
+// lanFetch pulls an object from one of this proxy's own client caches
+// (same intranet — direct connections are allowed here; it is only
+// *cross-organization* inbound connections the firewall forbids, which
+// is why cooperating proxies use the push path instead).
+func (p *Proxy) lanFetch(addr string, id pastry.ID) ([]byte, bool) {
+	resp, err := p.client.Get(fmt.Sprintf("http://%s/object?key=%s", addr, id))
+	if err != nil {
+		// Connection-level failure: the daemon is gone; its keys
+		// re-home to the ring neighbours on the next pass-down.
+		p.ring.remove(addr)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false
+	}
+	return body, true
+}
+
+// insertAndDestage caches a fetched object at the proxy and passes any
+// evicted objects down into the client caches (§4.3 with the
+// diversion probe), updating the directory from the store receipts.
+func (p *Proxy) insertAndDestage(url string, body []byte, cost float64) {
+	id := keyOf(url)
+	evicted, _ := p.store.put(fold(id), storedObject{hexKey: id.String(), body: body, cost: cost})
+	for _, ev := range evicted {
+		p.passDown(ev)
+	}
+}
+
+// passDown routes one evicted object to its destination client cache.
+func (p *Proxy) passDown(obj storedObject) {
+	addr, ok := p.ring.owner(keyFromHex(obj.hexKey))
+	if !ok {
+		return // no client caches registered: the object is dropped
+	}
+	// Diversion: probe the destination with ifFree; on 507 try the two
+	// ring neighbours (the HTTP stand-in for the leaf set) before
+	// forcing a replacement at the destination.
+	tryStore := func(target string, ifFree bool) (*StoreReceipt, bool) {
+		u := fmt.Sprintf("http://%s/store?key=%s&cost=%g", target, obj.hexKey, obj.cost)
+		if ifFree {
+			u += "&ifFree=1"
+		}
+		resp, err := p.client.Post(u, "application/octet-stream", bytesReader(obj.body))
+		if err != nil {
+			p.ring.remove(target) // crashed daemon: drop from the ring
+			return nil, false
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, false
+		}
+		var rec StoreReceipt
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			return nil, false
+		}
+		return &rec, true
+	}
+	rec, ok := tryStore(addr, true)
+	if !ok {
+		for _, alt := range p.ringNeighbours(addr) {
+			if rec, ok = tryStore(alt, true); ok {
+				p.bump(func(s *ProxyStats) { s.Diversions++ })
+				break
+			}
+		}
+	}
+	if !ok {
+		// Everyone is full: force the greedy-dual replacement at the
+		// destination (Figure 1, line 12).
+		if rec, ok = tryStore(addr, false); !ok {
+			return
+		}
+	}
+	p.bump(func(s *ProxyStats) { s.PassDowns++ })
+	p.mu.Lock()
+	if rec.Stored {
+		p.dir.Add(fold(keyFromHex(obj.hexKey)))
+	}
+	for _, evHex := range rec.Evicted {
+		p.dir.Remove(fold(keyFromHex(evHex)))
+	}
+	p.mu.Unlock()
+}
+
+// ringNeighbours returns up to two other cache addresses (the
+// diversion candidates).
+func (p *Proxy) ringNeighbours(exclude string) []string {
+	p.ring.mu.RLock()
+	defer p.ring.mu.RUnlock()
+	var out []string
+	for _, id := range p.ring.ids {
+		if a := p.ring.addrs[id]; a != exclude {
+			out = append(out, a)
+			if len(out) == 2 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// handlePeerLookup serves a cooperating proxy: from the local proxy
+// cache directly, or from the P2P client cache via the push mechanism
+// (§4.5) — the client cache connects *out* to this proxy, which then
+// relays the object to the peer; the peer never connects to a client.
+func (p *Proxy) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
+	id, _, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	folded := fold(id)
+	if obj, ok := p.store.get(folded); ok {
+		serve(w, obj.body, "peer-proxy")
+		return
+	}
+	p.mu.Lock()
+	inDir := p.dir.MayContain(folded)
+	p.mu.Unlock()
+	if !inDir {
+		http.NotFound(w, r)
+		return
+	}
+	addr, ok := p.ring.owner(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	// Ask the client cache to push the object up to us.
+	pushID := strconv.FormatUint(p.pushSeq.Add(1), 10)
+	ch := make(chan []byte, 1)
+	p.pushWaiters.Store(pushID, ch)
+	defer p.pushWaiters.Delete(pushID)
+	pushURL := fmt.Sprintf("http://%s/push?key=%s&to=%s/accept-push?id=%s", addr, id, p.self, pushID)
+	resp, err := p.client.Post(pushURL, "text/plain", nil)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	resp.Body.Close()
+	select {
+	case body := <-ch:
+		p.bump(func(s *ProxyStats) { s.PushesIn++ })
+		serve(w, body, "peer-p2p")
+	case <-time.After(3 * time.Second):
+		http.Error(w, "push timed out", http.StatusGatewayTimeout)
+	}
+}
+
+func (p *Proxy) handleAcceptPush(w http.ResponseWriter, r *http.Request) {
+	pushID := r.URL.Query().Get("id")
+	chAny, ok := p.pushWaiters.Load(pushID)
+	if !ok {
+		http.Error(w, "unknown push id", http.StatusGone)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	select {
+	case chAny.(chan []byte) <- body:
+	default:
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (p *Proxy) handleStats(w http.ResponseWriter, _ *http.Request) {
+	p.mu.Lock()
+	st := p.stats
+	st.DirEntries = p.dir.Len()
+	p.mu.Unlock()
+	st.ClientPool = p.ring.size()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// keyFromHex parses a 32-hex-digit objectId.
+func keyFromHex(hex string) (id [2]uint64) {
+	for i := 0; i < 16 && i*2+2 <= len(hex); i++ {
+		v, _ := strconv.ParseUint(hex[i*2:i*2+2], 16, 8)
+		if i < 8 {
+			id[0] = id[0]<<8 | v
+		} else {
+			id[1] = id[1]<<8 | v
+		}
+	}
+	return id
+}

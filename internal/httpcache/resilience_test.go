@@ -1,0 +1,82 @@
+package httpcache
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"testing"
+)
+
+// A crashed client-cache daemon must not break the proxy: the stale
+// directory entry is repaired, the dead node leaves the ring, and the
+// request is served from the origin.
+func TestClientCacheCrash(t *testing.T) {
+	d := deploy(t, 1, 3, 52, 1<<20)
+	const n = 10
+	for i := 0; i < n; i++ {
+		d.fetch(0, fmt.Sprintf("/x%02d", i))
+	}
+	if d.proxyStats(0).DirEntries == 0 {
+		t.Fatal("nothing destaged before the crash")
+	}
+	// Crash every daemon.
+	for _, s := range d.cacheS[0] {
+		s.Close()
+	}
+	// Every object must still be fetchable (origin fallback).
+	for i := 0; i < n; i++ {
+		body, _ := d.fetch(0, fmt.Sprintf("/x%02d", i))
+		if body != fmt.Sprintf("content-of:/x%02d", i) {
+			t.Fatalf("wrong body %q after crash", body)
+		}
+	}
+	st := d.proxyStats(0)
+	if st.ClientPool != 0 {
+		t.Errorf("dead daemons still in the ring: %d", st.ClientPool)
+	}
+}
+
+// Concurrent fetch storms must be race-free (run with -race) and
+// return correct bodies.
+func TestConcurrentFetches(t *testing.T) {
+	d := deploy(t, 2, 3, 200, 1<<20)
+	var wg sync.WaitGroup
+	errs := make(chan string, 256)
+	// Raw HTTP inside the goroutines: d.fetch uses t.Fatal, which must
+	// not be called off the test goroutine.
+	get := func(proxy int, path string) (string, error) {
+		u := fmt.Sprintf("%s/fetch?url=%s", d.proxyS[proxy].URL, url.QueryEscape(d.origin.srv.URL+path))
+		resp, err := http.Get(u)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return string(body), err
+	}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				path := fmt.Sprintf("/c%02d", (w*7+i)%20)
+				body, err := get(w%2, path)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if body != "content-of:"+path {
+					errs <- fmt.Sprintf("body %q for %s", body, path)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,127 @@
+package p2p
+
+import (
+	"fmt"
+
+	"webcache/internal/pastry"
+	"webcache/internal/trace"
+)
+
+// FailClient crashes client i: its overlay node disappears and every
+// object it physically stored is lost.  Objects it had diverted to
+// neighbours become unreachable (the pointers died with it) and are
+// discarded by their holders.  The returned list names every object
+// the P2P cache lost, so the proxy can scrub its lookup directory.
+func (c *Cluster) FailClient(i int) ([]trace.ObjectID, error) {
+	if i < 0 || i >= len(c.clientIDs) {
+		return nil, fmt.Errorf("p2p: client index %d out of range", i)
+	}
+	if c.dead[i] {
+		return nil, fmt.Errorf("p2p: client %d already failed", i)
+	}
+	id := c.clientIDs[i]
+	node := c.nodes[id]
+	c.dead[i] = true
+	c.live--
+	c.overlay.Fail(id)
+	delete(c.nodes, id)
+
+	var lost []trace.ObjectID
+	// Objects it held on behalf of others: scrub the owners' pointers.
+	for obj, ownerID := range node.heldFor {
+		if owner := c.nodes[ownerID]; owner != nil {
+			delete(owner.pointerTo, obj)
+		}
+	}
+	// Everything in its cache is gone.
+	for _, obj := range node.cache.Objects() {
+		node.cache.Remove(obj)
+		lost = append(lost, obj)
+	}
+	// Objects it diverted elsewhere are orphaned: the holder discards
+	// them (their DHT owner no longer knows where they are).
+	for obj, holderID := range node.pointerTo {
+		if holder := c.nodes[holderID]; holder != nil {
+			if _, ok := holder.cache.Remove(obj); ok {
+				delete(holder.heldFor, obj)
+				lost = append(lost, obj)
+			}
+		}
+	}
+	c.stats.LostOnFailure += len(lost)
+	return lost, nil
+}
+
+// JoinClient adds a brand-new client cache to the cluster and re-homes
+// any objects whose DHT ownership moves to it (the PAST-style handoff
+// that keeps lookups routable after membership changes).  It returns
+// the new client's index.
+func (c *Cluster) JoinClient() (int, error) {
+	idx := len(c.clientIDs)
+	var id pastry.ID
+	for attempt := 0; ; attempt++ {
+		id = pastry.HashString(fmt.Sprintf("client/%d/new/%d/%d", c.cfg.Seed, idx, attempt))
+		err := c.overlay.Join(id)
+		if err == nil {
+			break
+		}
+		if err != pastry.ErrDuplicateID {
+			return 0, err
+		}
+	}
+	n := newClientNode(id, c.cfg.PerClientCapacity)
+	c.nodes[id] = n
+	c.clientIDs = append(c.clientIDs, id)
+	c.dead = append(c.dead, false)
+	c.live++
+
+	// Handoff: leaf-set neighbours transfer objects the new node now
+	// owns.  Diverted placements keep their pointers (the pointer
+	// owner re-homes instead).
+	node, _ := c.overlay.Node(id)
+	for _, leafID := range node.LeafSet().Members() {
+		peer := c.nodes[leafID]
+		if peer == nil {
+			continue
+		}
+		for _, obj := range peer.cache.Objects() {
+			if _, held := peer.heldFor[obj]; held {
+				continue // diverted storage stays with its holder
+			}
+			owner, _ := c.overlay.Owner(ObjectKey(obj))
+			if owner != id {
+				continue
+			}
+			e, _ := peer.cache.Remove(obj)
+			c.stats.Messages++ // transfer message
+			if n.hasFreeSpace(e.Size) {
+				n.cache.Add(e)
+				c.stats.Handoffs++
+			} else {
+				// New node full: treat as an eviction.
+				c.stats.Evictions++
+			}
+		}
+		// Pointers whose object key now belongs to the new node move
+		// with the ownership.
+		for obj, holder := range peer.pointerTo {
+			owner, _ := c.overlay.Owner(ObjectKey(obj))
+			if owner != id {
+				continue
+			}
+			delete(peer.pointerTo, obj)
+			n.pointerTo[obj] = holder
+			if h := c.nodes[holder]; h != nil {
+				h.heldFor[obj] = id
+			}
+			c.stats.Messages++
+			c.stats.Handoffs++
+		}
+	}
+	return idx, nil
+}
+
+// IsDead reports whether client i has failed.
+func (c *Cluster) IsDead(i int) bool {
+	return i < 0 || i >= len(c.dead) || c.dead[i]
+}

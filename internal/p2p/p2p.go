@@ -1,0 +1,187 @@
+// Package p2p implements the paper's P2P client cache (§4): the
+// cooperative browser-cache partitions of all client machines in a
+// client cluster, organized into one logical cache over a Pastry
+// overlay.
+//
+// It provides the four mechanisms the paper designs:
+//
+//   - DHT store ("pass-down"): objects evicted by the proxy are routed
+//     by SHA-1 objectId to the client cache whose cacheId is
+//     numerically closest (§4.1), where the local greedy-dual
+//     replacement runs (§3);
+//   - object diversion: a full destination cache first tries to divert
+//     the object to a leaf-set neighbour with free space, keeping a
+//     pointer (§4.3, after PAST);
+//   - piggybacking: evicted objects ride the HTTP response to the
+//     requesting client, which forwards them by Pastry routing,
+//     avoiding a dedicated proxy->client connection (§4.4);
+//   - push: because client caches sit behind firewalls, a remote fetch
+//     is satisfied by asking the destination cache to push the object
+//     up to its local proxy (§4.5).
+//
+// Store receipts flowing back to the proxy keep the proxy's lookup
+// directory (package directory) synchronized.
+package p2p
+
+import (
+	"errors"
+	"fmt"
+
+	"webcache/internal/cache"
+	"webcache/internal/pastry"
+	"webcache/internal/trace"
+)
+
+// Config sizes a client cluster.
+type Config struct {
+	// NumClients is the client cluster size (paper default 100).
+	NumClients int
+	// PerClientCapacity is each client's cooperative-cache capacity in
+	// cache units (paper: 0.1% of the infinite cache size).
+	PerClientCapacity uint64
+	// B and LeafSetSize configure the Pastry overlay (defaults 4, 16).
+	B           int
+	LeafSetSize int
+	// DisableDiversion turns off leaf-set object diversion (§4.3), so
+	// a full destination cache always runs local replacement — the
+	// ablation that shows what diversion buys.
+	DisableDiversion bool
+	// ReplicateHotAfter enables PAST-style hot-object replication: a
+	// cache that has served the same object this many times since the
+	// last replication copies it to a leaf-set member, and lookups
+	// round-robin across the copies.  0 (default) disables it — the
+	// paper's design has exactly one copy per object.
+	ReplicateHotAfter int
+	// Seed drives overlay construction.
+	Seed int64
+}
+
+// Stats aggregates the cluster's mechanism-level telemetry.
+type Stats struct {
+	Stores        int // pass-down store operations
+	Diversions    int // stores satisfied by leaf-set diversion
+	Replacements  int // stores that forced a client-cache eviction
+	Evictions     int // objects discarded from client caches
+	Lookups       int // P2P lookups from the proxy
+	LookupHits    int
+	PointerHits   int // hits served through a diversion pointer
+	Pushes        int // push operations for cooperating proxies
+	Messages      int // total overlay messages (1 per hop + control)
+	PiggybackSave int // proxy->client messages avoided by piggybacking
+	RouteHops     int // cumulative Pastry routing hops
+	Handoffs      int // objects re-homed when nodes join
+	LostOnFailure int // objects lost to client-cache failures
+	Replications  int // hot-object replicas created (extension)
+}
+
+// clientNode is one client's cooperative cache partition.
+type clientNode struct {
+	id    pastry.ID
+	cache *cache.GreedyDual
+	// pointerTo maps objects this node owns (by DHT) but diverted to a
+	// leaf-set neighbour: object -> holder.
+	pointerTo map[trace.ObjectID]pastry.ID
+	// heldFor maps objects this node physically stores on behalf of
+	// another owner: object -> owner.
+	heldFor map[trace.ObjectID]pastry.ID
+	// served counts lookups this node answered (hotspot metric).
+	served int
+	// repl holds hot-object replication state (lazily allocated).
+	repl *replicaState
+}
+
+func newClientNode(id pastry.ID, capacity uint64) *clientNode {
+	return &clientNode{
+		id:        id,
+		cache:     cache.NewGreedyDual(capacity),
+		pointerTo: make(map[trace.ObjectID]pastry.ID),
+		heldFor:   make(map[trace.ObjectID]pastry.ID),
+	}
+}
+
+// hasFreeSpace reports whether e fits without eviction.
+func (n *clientNode) hasFreeSpace(size uint32) bool {
+	return n.cache.Used()+uint64(size) <= n.cache.Capacity()
+}
+
+// Cluster is the P2P client cache of one proxy's client cluster.
+type Cluster struct {
+	cfg     Config
+	overlay *pastry.Overlay
+	nodes   map[pastry.ID]*clientNode
+	// clientIDs[i] is client i's overlay id; dead[i] marks failed
+	// clients.
+	clientIDs []pastry.ID
+	dead      []bool
+	live      int
+	stats     Stats
+}
+
+// ErrNoLiveClients reports an operation on a fully failed cluster.
+var ErrNoLiveClients = errors.New("p2p: no live client caches")
+
+// NewCluster builds the overlay and joins every client.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.NumClients <= 0 {
+		return nil, fmt.Errorf("p2p: cluster needs clients (got %d)", cfg.NumClients)
+	}
+	if cfg.PerClientCapacity == 0 {
+		return nil, errors.New("p2p: per-client capacity must be positive")
+	}
+	ov, err := pastry.New(pastry.Config{B: cfg.B, LeafSetSize: cfg.LeafSetSize, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	ids, err := ov.JoinN(cfg.NumClients, fmt.Sprintf("client/%d", cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		overlay:   ov,
+		nodes:     make(map[pastry.ID]*clientNode, cfg.NumClients),
+		clientIDs: ids,
+		dead:      make([]bool, cfg.NumClients),
+		live:      cfg.NumClients,
+	}
+	for _, id := range ids {
+		c.nodes[id] = newClientNode(id, cfg.PerClientCapacity)
+	}
+	return c, nil
+}
+
+// ObjectKey maps a simulator object id onto the Pastry id space (the
+// paper's SHA-1 objectId).
+func ObjectKey(obj trace.ObjectID) pastry.ID { return pastry.HashUint64(uint64(obj)) }
+
+// NumClients returns the configured cluster size.
+func (c *Cluster) NumClients() int { return c.cfg.NumClients }
+
+// LiveClients returns the number of live client caches.
+func (c *Cluster) LiveClients() int { return c.live }
+
+// Capacity returns the cluster's aggregate cooperative capacity.
+func (c *Cluster) Capacity() uint64 {
+	return uint64(c.live) * c.cfg.PerClientCapacity
+}
+
+// Stats returns a snapshot of the mechanism telemetry.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// Overlay exposes the underlying Pastry overlay (read-only use).
+func (c *Cluster) Overlay() *pastry.Overlay { return c.overlay }
+
+// startNode picks the overlay node to route from: the requesting
+// client if it is alive, otherwise any live client (the proxy can ask
+// any of its clients to route on its behalf).
+func (c *Cluster) startNode(fromClient int) (pastry.ID, error) {
+	if fromClient >= 0 && fromClient < len(c.clientIDs) && !c.dead[fromClient] {
+		return c.clientIDs[fromClient], nil
+	}
+	for i, id := range c.clientIDs {
+		if !c.dead[i] {
+			return id, nil
+		}
+	}
+	return pastry.ID{}, ErrNoLiveClients
+}

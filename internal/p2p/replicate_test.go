@@ -1,0 +1,124 @@
+package p2p
+
+import (
+	"testing"
+
+	"webcache/internal/trace"
+)
+
+// hotspotCluster stores one object and hammers it with lookups.
+func hotspotCluster(t *testing.T, replicateAfter int, lookups int) (*Cluster, LoadStats) {
+	t.Helper()
+	c, err := NewCluster(Config{
+		NumClients:        24,
+		PerClientCapacity: 10,
+		ReplicateHotAfter: replicateAfter,
+		Seed:              8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StoreEvicted(entry(7), 0, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < lookups; i++ {
+		lr, err := c.Lookup(7, i%24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lr.Found {
+			t.Fatal("hot object lost")
+		}
+	}
+	return c, c.LoadBalance()
+}
+
+func TestHotReplicationSpreadsLoad(t *testing.T) {
+	const lookups = 600
+	_, without := hotspotCluster(t, 0, lookups)
+	cWith, with := hotspotCluster(t, 50, lookups)
+	if without.MaxServes != lookups {
+		t.Fatalf("without replication one node should serve all %d, got %d", lookups, without.MaxServes)
+	}
+	if cWith.Stats().Replications == 0 {
+		t.Fatal("no replicas created")
+	}
+	if with.MaxServes >= without.MaxServes/2 {
+		t.Errorf("replication barely helped: max load %d vs %d", with.MaxServes, without.MaxServes)
+	}
+	if with.TotalServes != lookups {
+		t.Errorf("serves lost: %d vs %d", with.TotalServes, lookups)
+	}
+}
+
+func TestReplicationOffByDefault(t *testing.T) {
+	c, _ := hotspotCluster(t, 0, 100)
+	if c.Stats().Replications != 0 {
+		t.Error("replication active without opt-in")
+	}
+}
+
+func TestReplicationSurvivesReplicaEviction(t *testing.T) {
+	// Tiny caches: replicas get evicted by churning stores; lookups
+	// must keep succeeding (stale replica lists are pruned lazily).
+	c, err := NewCluster(Config{
+		NumClients:        12,
+		PerClientCapacity: 2,
+		ReplicateHotAfter: 10,
+		Seed:              5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StoreEvicted(entry(1), 0, true)
+	for i := 0; i < 300; i++ {
+		if i%3 == 0 {
+			c.StoreEvicted(entry(trace.ObjectID(100+i)), i%12, true)
+		}
+		if c.Contains(1) {
+			if _, err := c.Lookup(1, i%12); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// No assertion beyond "no panics, lookups consistent": the
+	// stale-pruning path is what this exercises.
+}
+
+func TestReplicationSurvivesHolderCrash(t *testing.T) {
+	c, err := NewCluster(Config{
+		NumClients:        16,
+		PerClientCapacity: 10,
+		ReplicateHotAfter: 5,
+		Seed:              6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StoreEvicted(entry(3), 0, true)
+	for i := 0; i < 40; i++ {
+		c.Lookup(3, i%16)
+	}
+	if c.Stats().Replications == 0 {
+		t.Fatal("no replicas before crash")
+	}
+	// Crash half the cluster; the owner may or may not survive.
+	for i := 0; i < 8; i++ {
+		c.FailClient(i)
+	}
+	for i := 8; i < 16; i++ {
+		if c.Contains(3) {
+			if _, err := c.Lookup(3, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestLoadBalanceEmpty(t *testing.T) {
+	c := testCluster(t, 3, 4)
+	st := c.LoadBalance()
+	if st.TotalServes != 0 || st.MaxServes != 0 {
+		t.Errorf("fresh cluster load = %+v", st)
+	}
+}

@@ -1,0 +1,154 @@
+package p2p
+
+import (
+	"webcache/internal/cache"
+	"webcache/internal/pastry"
+	"webcache/internal/trace"
+)
+
+// Receipt reports the outcome of a pass-down store to the proxy, which
+// uses it to maintain its lookup directory (§4.3: "A issues a store
+// receipt of d1 to the local proxy, ... along with the information
+// about the eviction of d2").
+type Receipt struct {
+	// Stored is the object that was passed down.
+	Stored trace.ObjectID
+	// StoredOK reports whether the P2P cache kept it (an object larger
+	// than a whole client cache is dropped).
+	StoredOK bool
+	// Diverted reports the object was placed at a leaf-set neighbour.
+	Diverted bool
+	// Evicted lists objects the client caches discarded to make room;
+	// the proxy deletes their directory entries.
+	Evicted []trace.ObjectID
+	// Hops is the Pastry routing distance the object travelled.
+	Hops int
+	// Messages is the number of overlay/control messages exchanged.
+	Messages int
+}
+
+// StoreEvicted implements the Hier-GD pass-down (Figure 1 of the
+// paper) with object diversion:
+//
+//	(1) objectId := SHA-1(d1)
+//	(2) route d1 to destination client cache A
+//	(3) if A has free space: A stores d1, receipt(add d1)
+//	(7) else if a leaf B has free space: B stores, A keeps a pointer,
+//	    receipt(add d1)
+//	(12) else A runs greedy-dual: stores d1, evicts d2,
+//	    receipt(add d1, del d2)
+//
+// fromClient is the client whose HTTP response carried the object when
+// piggybacking is enabled (§4.4): the route then starts at that
+// client's node and the dedicated proxy->client connection is saved.
+// With piggyback=false the proxy hands the object to an arbitrary
+// client over a dedicated connection (one extra message).
+func (c *Cluster) StoreEvicted(e cache.Entry, fromClient int, piggyback bool) (Receipt, error) {
+	r := Receipt{Stored: e.Obj}
+	start, err := c.startNode(fromClient)
+	if err != nil {
+		return r, err
+	}
+	if piggyback {
+		c.stats.PiggybackSave++
+	} else {
+		r.Messages++ // dedicated proxy->client transfer
+	}
+	destID, hops, err := c.overlay.RouteFrom(start, ObjectKey(e.Obj))
+	if err != nil {
+		return r, err
+	}
+	r.Hops = hops
+	r.Messages += hops
+	c.stats.RouteHops += hops
+	c.stats.Stores++
+
+	a := c.nodes[destID]
+	r.Messages++ // store receipt back to the proxy
+	c.stats.Messages += r.Messages
+
+	// Refresh rather than duplicate if the P2P cache already holds it
+	// (possible after directory false negatives or churn handoffs).
+	if a.cache.Access(e.Obj) {
+		r.StoredOK = true
+		return r, nil
+	}
+	if holder, ok := a.pointerTo[e.Obj]; ok {
+		if b := c.nodes[holder]; b != nil && b.cache.Access(e.Obj) {
+			r.StoredOK = true
+			return r, nil
+		}
+		delete(a.pointerTo, e.Obj) // stale pointer
+	}
+
+	if uint64(e.Size) > a.cache.Capacity() {
+		// Larger than a whole client cache: cannot be passed down.
+		return r, nil
+	}
+
+	if a.hasFreeSpace(e.Size) {
+		a.cache.Add(e)
+		r.StoredOK = true
+		return r, nil
+	}
+
+	// Object diversion: find a leaf-set neighbour with free space.
+	candidates := c.leafCandidates(a)
+	if c.cfg.DisableDiversion {
+		candidates = nil
+	}
+	for _, leafID := range candidates {
+		b := c.nodes[leafID]
+		if b == nil || !b.hasFreeSpace(e.Size) || b.cache.Contains(e.Obj) {
+			continue
+		}
+		if uint64(e.Size) > b.cache.Capacity() {
+			continue
+		}
+		b.cache.Add(e)
+		b.heldFor[e.Obj] = a.id
+		a.pointerTo[e.Obj] = b.id
+		r.StoredOK = true
+		r.Diverted = true
+		msgs := 2 // A->B store + B->A ack
+		r.Messages += msgs
+		c.stats.Messages += msgs
+		c.stats.Diversions++
+		return r, nil
+	}
+
+	// No free space anywhere in the leaf set: local greedy-dual
+	// replacement at A.
+	evicted := a.cache.Add(e)
+	r.StoredOK = true
+	c.stats.Replacements++
+	for _, ev := range evicted {
+		c.dropEvicted(a, ev.Obj)
+		r.Evicted = append(r.Evicted, ev.Obj)
+		c.stats.Evictions++
+	}
+	return r, nil
+}
+
+// leafCandidates lists a's live leaf-set members in the leaf set's
+// deterministic order for diversion.
+func (c *Cluster) leafCandidates(a *clientNode) []pastry.ID {
+	node, ok := c.overlay.Node(a.id)
+	if !ok {
+		return nil
+	}
+	return node.LeafSet().Members()
+}
+
+// dropEvicted cleans up the bookkeeping when node holder discards obj:
+// if it was held on behalf of another owner, the owner's pointer is
+// removed (one message).
+func (c *Cluster) dropEvicted(holder *clientNode, obj trace.ObjectID) {
+	if ownerID, ok := holder.heldFor[obj]; ok {
+		delete(holder.heldFor, obj)
+		if owner := c.nodes[ownerID]; owner != nil {
+			delete(owner.pointerTo, obj)
+			c.stats.Messages++ // holder -> owner pointer invalidation
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package pastry
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: any interleaving of joins, graceful leaves, and crashes
+// followed by one stabilization round leaves a fully consistent
+// overlay whose routes all reach the ground-truth owner.
+func TestPropChurnThenStabilizeConsistent(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o, err := New(Config{Seed: seed})
+		if err != nil {
+			return false
+		}
+		if _, err := o.JoinN(20, fmt.Sprintf("churnprop%d", seed)); err != nil {
+			return false
+		}
+		joined := 20
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1:
+				id := HashString(fmt.Sprintf("cp-%d-%d", seed, joined))
+				if o.Join(id) == nil {
+					joined++
+				}
+			case 2:
+				if o.Len() > 4 {
+					o.Fail(o.IDs()[rng.Intn(o.Len())])
+				}
+			case 3:
+				if o.Len() > 4 {
+					o.Leave(o.IDs()[rng.Intn(o.Len())])
+				}
+			}
+		}
+		o.Stabilize()
+		if len(o.CheckConsistency()) != 0 {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			key := HashUint64(uint64(seed)*1000 + uint64(i))
+			want, _ := o.Owner(key)
+			got, _, err := o.Route(key)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+// Package pastry implements the Pastry structured overlay (Rowstron &
+// Druschel, Middleware 2001) that the paper's P2P client cache is built
+// on (§4.1): 128-bit circular identifier space, prefix routing with
+// 2^b-ary digits, per-node routing tables and leaf sets, node join, and
+// failure handling.
+//
+// The paper relies on three Pastry properties, all of which this
+// package provides and its tests verify:
+//
+//   - DHT functionality: a key is owned by the live node whose id is
+//     numerically closest to it (object "pass-down" in Hier-GD);
+//   - routing reaches the owner in ceil(log_{2^b} N) hops in the common
+//     case (the paper's ~log16(1024) ≈ 3-4 LAN hops argument);
+//   - the leaf set gives each node the l numerically closest neighbours
+//     (used for object diversion in storage management, §4.3).
+package pastry
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// IDBits is the width of the Pastry identifier space.
+const IDBits = 128
+
+// ID is a 128-bit Pastry identifier on the circular id space,
+// big-endian: ID[0] holds the most significant 64 bits.
+type ID [2]uint64
+
+// IDFromBytes builds an ID from the first 16 bytes of b (which must
+// have at least 16).
+func IDFromBytes(b []byte) ID {
+	return ID{binary.BigEndian.Uint64(b[:8]), binary.BigEndian.Uint64(b[8:16])}
+}
+
+// HashID derives an ID by SHA-1, truncated to 128 bits — the paper's
+// objectId derivation ("the proxy first hashes the URL of this object
+// into an objectId using SHA-1", §4.1).
+func HashID(data []byte) ID {
+	sum := sha1.Sum(data)
+	return IDFromBytes(sum[:])
+}
+
+// HashString is HashID for strings (URLs, node names).
+func HashString(s string) ID { return HashID([]byte(s)) }
+
+// HashUint64 derives an ID from a numeric key (the simulator's object
+// ids) via SHA-1 so ids spread uniformly over the ring.
+func HashUint64(v uint64) ID {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return HashID(b[:])
+}
+
+// String renders the ID as 32 hex digits.
+func (a ID) String() string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], a[0])
+	binary.BigEndian.PutUint64(b[8:], a[1])
+	return hex.EncodeToString(b[:])
+}
+
+// Cmp compares a and b as unsigned 128-bit integers: -1, 0, or +1.
+func (a ID) Cmp(b ID) int {
+	switch {
+	case a[0] < b[0]:
+		return -1
+	case a[0] > b[0]:
+		return 1
+	case a[1] < b[1]:
+		return -1
+	case a[1] > b[1]:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports a < b in plain unsigned order.
+func (a ID) Less(b ID) bool { return a.Cmp(b) < 0 }
+
+// sub returns a-b mod 2^128 (clockwise ring distance from b to a).
+func (a ID) sub(b ID) ID {
+	lo := a[1] - b[1]
+	var borrow uint64
+	if a[1] < b[1] {
+		borrow = 1
+	}
+	return ID{a[0] - b[0] - borrow, lo}
+}
+
+// Distance returns the circular distance between a and b: the minimum
+// of the two arc lengths.
+func (a ID) Distance(b ID) ID {
+	d1 := a.sub(b)
+	d2 := b.sub(a)
+	if d1.Less(d2) {
+		return d1
+	}
+	return d2
+}
+
+// CloserToThan reports whether a is strictly closer to key than c is,
+// with the deterministic tie-break "smaller id wins" so ownership is
+// unambiguous on an even ring.
+func (a ID) CloserToThan(key, c ID) bool {
+	da := a.Distance(key)
+	dc := c.Distance(key)
+	if cmp := da.Cmp(dc); cmp != 0 {
+		return cmp < 0
+	}
+	return a.Less(c)
+}
+
+// Digit returns the i-th digit (0 = most significant) of the id in base
+// 2^b.  b must divide 64 evenly into digit boundaries (1, 2, 4, or 8).
+func (a ID) Digit(i, b int) int {
+	bitOffset := i * b
+	word := a[bitOffset/64]
+	shift := 64 - b - bitOffset%64
+	return int(word>>uint(shift)) & ((1 << b) - 1)
+}
+
+// CommonPrefixLen returns the number of leading base-2^b digits a and b
+// share.
+func (a ID) CommonPrefixLen(other ID, b int) int {
+	digits := IDBits / b
+	for i := 0; i < digits; i++ {
+		if a.Digit(i, b) != other.Digit(i, b) {
+			return i
+		}
+	}
+	return digits
+}
+
+// ValidateB checks an overlay digit-width parameter.
+func ValidateB(b int) error {
+	switch b {
+	case 1, 2, 4, 8:
+		return nil
+	default:
+		return fmt.Errorf("pastry: b must be 1, 2, 4, or 8 (got %d)", b)
+	}
+}

@@ -1,0 +1,162 @@
+package pastry
+
+import "sort"
+
+// LeafSet holds the l nodes with ids numerically closest to the owning
+// node *by ring direction*: the l/2 immediate successors (clockwise,
+// wrapping) and the l/2 immediate predecessors (counter-clockwise).
+// The paper's storage management balances free space within the leaf
+// set via object diversion (§4.3), with the typical Pastry value
+// l = 16.
+//
+// Sides are directional, not minor-arc: when the overlay is small
+// relative to l, a far successor wraps most of the ring and would be
+// "closer" the other way — but it is still the successor, and real
+// Pastry keeps it on the clockwise side.  A node may therefore appear
+// on both sides of a small ring; Members dedupes.
+type LeafSet struct {
+	owner ID
+	half  int
+	// smaller: predecessors ordered by increasing counter-clockwise
+	// arc; larger: successors ordered by increasing clockwise arc.
+	smaller []ID
+	larger  []ID
+}
+
+// DefaultLeafSetSize is Pastry's typical l.
+const DefaultLeafSetSize = 16
+
+// NewLeafSet creates an empty leaf set for owner with capacity l
+// (rounded up to even).
+func NewLeafSet(owner ID, l int) *LeafSet {
+	if l < 2 {
+		l = 2
+	}
+	return &LeafSet{owner: owner, half: (l + 1) / 2}
+}
+
+// ccwDist is the counter-clockwise arc length from owner to x.
+func (ls *LeafSet) ccwDist(x ID) ID { return ls.owner.sub(x) }
+
+// cwDist is the clockwise arc length from owner to x.
+func (ls *LeafSet) cwDist(x ID) ID { return x.sub(ls.owner) }
+
+// Insert offers a node id to the leaf set.  It reports whether the id
+// was kept on at least one side (displacing a farther node or filling
+// a free slot).  The owner itself and duplicates are ignored.
+func (ls *LeafSet) Insert(x ID) bool {
+	if x == ls.owner {
+		return false
+	}
+	kept := false
+	var k bool
+	if !containsID(ls.larger, x) {
+		ls.larger, k = insertByDist(ls.larger, x, ls.half, ls.cwDist)
+		kept = kept || k
+	}
+	if !containsID(ls.smaller, x) {
+		ls.smaller, k = insertByDist(ls.smaller, x, ls.half, ls.ccwDist)
+		kept = kept || k
+	}
+	return kept
+}
+
+func containsID(side []ID, x ID) bool {
+	for _, v := range side {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func insertByDist(side []ID, x ID, half int, dist func(ID) ID) ([]ID, bool) {
+	i := sort.Search(len(side), func(i int) bool {
+		return dist(x).Less(dist(side[i]))
+	})
+	if i >= half {
+		return side, false
+	}
+	side = append(side, ID{})
+	copy(side[i+1:], side[i:])
+	side[i] = x
+	if len(side) > half {
+		side = side[:half]
+	}
+	return side, true
+}
+
+// Remove deletes x from both sides if present.
+func (ls *LeafSet) Remove(x ID) bool {
+	removed := false
+	for i, v := range ls.smaller {
+		if v == x {
+			ls.smaller = append(ls.smaller[:i], ls.smaller[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	for i, v := range ls.larger {
+		if v == x {
+			ls.larger = append(ls.larger[:i], ls.larger[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	return removed
+}
+
+// Contains reports membership on either side.
+func (ls *LeafSet) Contains(x ID) bool {
+	return containsID(ls.smaller, x) || containsID(ls.larger, x)
+}
+
+// Members returns the deduplicated leaf ids (both sides), owner
+// excluded.
+func (ls *LeafSet) Members() []ID {
+	out := make([]ID, 0, len(ls.smaller)+len(ls.larger))
+	out = append(out, ls.larger...)
+	for _, v := range ls.smaller {
+		if !containsID(out, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Len is the current number of distinct leaves.
+func (ls *LeafSet) Len() int { return len(ls.Members()) }
+
+// Covers reports whether key falls within the leaf set's id range
+// (between the farthest predecessor and the farthest successor), the
+// condition under which Pastry routes directly to the numerically
+// closest leaf.  With an unfilled side (small overlays) the range is
+// considered open on that side.
+func (ls *LeafSet) Covers(key ID) bool {
+	if len(ls.smaller) < ls.half || len(ls.larger) < ls.half {
+		// Leaf set spans the whole (small) overlay.
+		return true
+	}
+	maxCCW := ls.ccwDist(ls.smaller[len(ls.smaller)-1])
+	maxCW := ls.cwDist(ls.larger[len(ls.larger)-1])
+	dCCW := ls.ccwDist(key)
+	dCW := ls.cwDist(key)
+	// key is inside the arc [owner-maxCCW, owner+maxCW].
+	return !maxCW.Less(dCW) || !maxCCW.Less(dCCW)
+}
+
+// Closest returns the leaf (or owner) numerically closest to key.
+func (ls *LeafSet) Closest(key ID) ID {
+	best := ls.owner
+	for _, v := range ls.smaller {
+		if v.CloserToThan(key, best) {
+			best = v
+		}
+	}
+	for _, v := range ls.larger {
+		if v.CloserToThan(key, best) {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,197 @@
+package pastry
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func idNum(v uint64) ID { return ID{0, v} }
+
+func TestLeafSetInsertBothSides(t *testing.T) {
+	ls := NewLeafSet(idNum(100), 4)
+	if !ls.Insert(idNum(90)) || !ls.Insert(idNum(110)) {
+		t.Fatal("insert failed")
+	}
+	if ls.Insert(idNum(110)) {
+		t.Error("duplicate insert accepted")
+	}
+	if ls.Insert(idNum(100)) {
+		t.Error("owner insert accepted")
+	}
+	if ls.Len() != 2 {
+		t.Errorf("len = %d, want 2", ls.Len())
+	}
+}
+
+func TestLeafSetKeepsClosest(t *testing.T) {
+	ls := NewLeafSet(idNum(1000), 4) // 2 per side
+	for _, v := range []uint64{900, 950, 990, 1010, 1050, 1100} {
+		ls.Insert(idNum(v))
+	}
+	members := ls.Members()
+	want := map[ID]bool{idNum(990): true, idNum(950): true, idNum(1010): true, idNum(1050): true}
+	if len(members) != 4 {
+		t.Fatalf("members = %v", members)
+	}
+	for _, m := range members {
+		if !want[m] {
+			t.Errorf("unexpected member %v", m)
+		}
+	}
+}
+
+func TestLeafSetRemove(t *testing.T) {
+	ls := NewLeafSet(idNum(100), 4)
+	ls.Insert(idNum(90))
+	ls.Insert(idNum(110))
+	if !ls.Remove(idNum(90)) {
+		t.Error("remove existing failed")
+	}
+	if ls.Remove(idNum(90)) {
+		t.Error("double remove succeeded")
+	}
+	if ls.Contains(idNum(90)) || !ls.Contains(idNum(110)) {
+		t.Error("contains wrong after remove")
+	}
+}
+
+func TestLeafSetClosest(t *testing.T) {
+	ls := NewLeafSet(idNum(100), 8)
+	for _, v := range []uint64{80, 90, 110, 120} {
+		ls.Insert(idNum(v))
+	}
+	if got := ls.Closest(idNum(91)); got != idNum(90) {
+		t.Errorf("closest(91) = %v, want 90", got)
+	}
+	if got := ls.Closest(idNum(101)); got != idNum(100) {
+		t.Errorf("closest(101) = %v, want owner 100", got)
+	}
+	if got := ls.Closest(idNum(119)); got != idNum(120) {
+		t.Errorf("closest(119) = %v, want 120", got)
+	}
+}
+
+func TestLeafSetCoversUnderfilled(t *testing.T) {
+	ls := NewLeafSet(idNum(100), 8)
+	ls.Insert(idNum(90))
+	// With fewer members than capacity, the leaf set spans the whole
+	// (tiny) overlay and must cover everything.
+	if !ls.Covers(idNum(5)) || !ls.Covers(ID{^uint64(0), 0}) {
+		t.Error("underfilled leaf set should cover all keys")
+	}
+}
+
+func TestLeafSetCoversRange(t *testing.T) {
+	ls := NewLeafSet(idNum(100), 4)
+	for _, v := range []uint64{80, 90, 110, 120} {
+		ls.Insert(idNum(v))
+	}
+	for _, v := range []uint64{80, 85, 100, 115, 120} {
+		if !ls.Covers(idNum(v)) {
+			t.Errorf("should cover %d", v)
+		}
+	}
+	for _, v := range []uint64{5, 70, 200} {
+		if ls.Covers(idNum(v)) {
+			t.Errorf("should not cover %d", v)
+		}
+	}
+}
+
+func TestLeafSetWraparound(t *testing.T) {
+	// Owner near the top of the ring: counter-clockwise side wraps.
+	owner := ID{^uint64(0), ^uint64(0) - 5}
+	ls := NewLeafSet(owner, 4)
+	lo := idNum(3) // clockwise across the wrap
+	hi := ID{^uint64(0), ^uint64(0) - 100}
+	ls.Insert(lo)
+	ls.Insert(hi)
+	if !ls.Contains(lo) || !ls.Contains(hi) {
+		t.Fatal("wraparound inserts lost")
+	}
+	if got := ls.Closest(idNum(1)); got != lo {
+		t.Errorf("closest across wrap = %v, want %v", got, lo)
+	}
+}
+
+// Property: after inserting arbitrary ids, the leaf set holds exactly
+// the (up to) l/2 closest per side, and Closest agrees with brute
+// force over members+owner.
+func TestPropLeafSetClosestMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		owner := ridRand(rng)
+		ls := NewLeafSet(owner, 8)
+		var all []ID
+		for i := 0; i < int(n)%50+1; i++ {
+			x := ridRand(rng)
+			if x == owner {
+				continue
+			}
+			ls.Insert(x)
+			all = append(all, x)
+		}
+		key := ridRand(rng)
+		got := ls.Closest(key)
+		// Brute force over current members + owner.
+		best := owner
+		for _, m := range ls.Members() {
+			if m.CloserToThan(key, best) {
+				best = m
+			}
+		}
+		return got == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the retained members are exactly the l/2 nearest ring
+// successors plus the l/2 nearest ring predecessors among everything
+// offered (directional sides, dedup for small rings).
+func TestPropLeafSetRetainsRingNeighbours(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		owner := ridRand(rng)
+		const l = 8
+		ls := NewLeafSet(owner, l)
+		var offered []ID
+		seen := map[ID]bool{owner: true}
+		for i := 0; i < 60; i++ {
+			x := ridRand(rng)
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			ls.Insert(x)
+			offered = append(offered, x)
+		}
+		cw := append([]ID(nil), offered...)
+		ccw := append([]ID(nil), offered...)
+		sort.Slice(cw, func(i, j int) bool { return cw[i].sub(owner).Less(cw[j].sub(owner)) })
+		sort.Slice(ccw, func(i, j int) bool { return owner.sub(ccw[i]).Less(owner.sub(ccw[j])) })
+		want := map[ID]bool{}
+		for i := 0; i < len(cw) && i < l/2; i++ {
+			want[cw[i]] = true
+		}
+		for i := 0; i < len(ccw) && i < l/2; i++ {
+			want[ccw[i]] = true
+		}
+		members := ls.Members()
+		if len(members) != len(want) {
+			return false
+		}
+		for _, m := range members {
+			if !want[m] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package pastry
+
+// Node is one Pastry overlay participant: its id, routing table, and
+// leaf set.  Nodes are passive state holders; the Overlay drives the
+// routing and membership protocols against them.
+type Node struct {
+	id    ID
+	table *RoutingTable
+	leafs *LeafSet
+}
+
+// NewNode creates a node with empty state.
+func NewNode(id ID, b, leafSetSize int) *Node {
+	return &Node{
+		id:    id,
+		table: NewRoutingTable(id, b),
+		leafs: NewLeafSet(id, leafSetSize),
+	}
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() ID { return n.id }
+
+// Table exposes the routing table (read-mostly; the overlay mutates it
+// during joins and failure repair).
+func (n *Node) Table() *RoutingTable { return n.table }
+
+// LeafSet exposes the leaf set.
+func (n *Node) LeafSet() *LeafSet { return n.leafs }
+
+// learn records another node in whichever structures it fits.
+func (n *Node) learn(x ID) {
+	if x == n.id {
+		return
+	}
+	n.table.Insert(x)
+	n.leafs.Insert(x)
+}
+
+// forget removes a (failed) node from all local state.
+func (n *Node) forget(x ID) {
+	n.table.Remove(x)
+	n.leafs.Remove(x)
+}
+
+// NextHop runs one step of the Pastry routing procedure for key and
+// returns the next node to forward to, or final=true when this node is
+// the destination.
+//
+// The procedure is the published one:
+//  1. if key is within the leaf set's range, deliver to the numerically
+//     closest leaf (possibly self);
+//  2. otherwise forward to the routing-table entry sharing a longer
+//     prefix with key;
+//  3. otherwise (rare: empty slot) forward to any known node that is
+//     numerically closer to key than this node and shares at least as
+//     long a prefix.
+func (n *Node) NextHop(key ID) (next ID, final bool) {
+	if key == n.id {
+		return ID{}, true
+	}
+	if n.leafs.Covers(key) {
+		dest := n.leafs.Closest(key)
+		if dest == n.id {
+			return ID{}, true
+		}
+		return dest, false
+	}
+	if hop, ok := n.table.Lookup(key); ok {
+		return hop, false
+	}
+	// Rare case: union of leaf set and routing table.
+	myPrefix := n.id.CommonPrefixLen(key, n.table.b)
+	best := n.id
+	consider := func(t ID) {
+		if t.CommonPrefixLen(key, n.table.b) >= myPrefix && t.CloserToThan(key, best) {
+			best = t
+		}
+	}
+	for _, t := range n.leafs.Members() {
+		consider(t)
+	}
+	for _, t := range n.table.Entries() {
+		consider(t)
+	}
+	if best == n.id {
+		return ID{}, true // no better node known: deliver here
+	}
+	return best, false
+}

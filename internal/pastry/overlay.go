@@ -1,0 +1,372 @@
+package pastry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Config parameterizes an overlay.
+type Config struct {
+	// B is the digit width in bits (Pastry's b); default 4, so routing
+	// works in hex digits and tables have 16 columns.
+	B int
+	// LeafSetSize is Pastry's l; default 16.
+	LeafSetSize int
+	// Seed drives bootstrap selection and any randomized choices so
+	// overlay construction is reproducible.
+	Seed int64
+	// ProximityAware makes routing tables prefer proximally close
+	// entries over incumbents, as real Pastry does; routes then have
+	// low stretch over the simulated network plane.
+	ProximityAware bool
+}
+
+// Overlay is a simulated Pastry network: the set of live nodes plus
+// the membership protocols (join, leave, fail) and the router.
+//
+// The simulation delivers messages instantly but routes them through
+// each node's real routing state, so hop counts, routing-table content,
+// and failure behaviour are faithful to the protocol; only network
+// proximity (which real Pastry uses to pick among equally good table
+// entries) is unmodeled.
+type Overlay struct {
+	b              int
+	l              int
+	nodes          map[ID]*Node
+	ids            []ID // sorted ascending: ground truth ring membership
+	rng            *rand.Rand
+	proximityAware bool
+	coords         map[ID]Coord
+
+	// Routing telemetry.
+	routes    int
+	hopsTotal int
+	hopsMax   int
+	repairs   int // dead entries discovered and purged while routing
+	// Stretch telemetry: cumulative path distance and direct distance
+	// over the simulated network plane.
+	pathDist   float64
+	directDist float64
+}
+
+// New creates an empty overlay.
+func New(cfg Config) (*Overlay, error) {
+	if cfg.B == 0 {
+		cfg.B = 4
+	}
+	if cfg.LeafSetSize == 0 {
+		cfg.LeafSetSize = DefaultLeafSetSize
+	}
+	if err := ValidateB(cfg.B); err != nil {
+		return nil, err
+	}
+	if cfg.LeafSetSize < 2 || cfg.LeafSetSize%2 != 0 {
+		return nil, fmt.Errorf("pastry: leaf set size must be even and >= 2 (got %d)", cfg.LeafSetSize)
+	}
+	return &Overlay{
+		b:              cfg.B,
+		l:              cfg.LeafSetSize,
+		nodes:          make(map[ID]*Node),
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		proximityAware: cfg.ProximityAware,
+		coords:         make(map[ID]Coord),
+	}, nil
+}
+
+// B returns the overlay digit width.
+func (o *Overlay) B() int { return o.b }
+
+// Len returns the number of live nodes.
+func (o *Overlay) Len() int { return len(o.ids) }
+
+// Node returns the live node with the given id.
+func (o *Overlay) Node(id ID) (*Node, bool) {
+	n, ok := o.nodes[id]
+	return n, ok
+}
+
+// IDs returns the sorted live node ids (shared slice; do not mutate).
+func (o *Overlay) IDs() []ID { return o.ids }
+
+// ErrDuplicateID reports a join with an id already present.
+var ErrDuplicateID = errors.New("pastry: node id already in overlay")
+
+// ErrEmptyOverlay reports an operation requiring at least one node.
+var ErrEmptyOverlay = errors.New("pastry: overlay has no nodes")
+
+func (o *Overlay) insertID(id ID) {
+	i := sort.Search(len(o.ids), func(i int) bool { return !o.ids[i].Less(id) })
+	o.ids = append(o.ids, ID{})
+	copy(o.ids[i+1:], o.ids[i:])
+	o.ids[i] = id
+}
+
+func (o *Overlay) removeID(id ID) {
+	i := sort.Search(len(o.ids), func(i int) bool { return !o.ids[i].Less(id) })
+	if i < len(o.ids) && o.ids[i] == id {
+		o.ids = append(o.ids[:i], o.ids[i+1:]...)
+	}
+}
+
+// Join adds a node with the given id using the Pastry join protocol:
+// the join message routes from a bootstrap node to the current owner Z
+// of the new id; the new node takes row i of its routing table from the
+// i-th node on the route and its leaf set from Z, then announces itself
+// to every node it has learned of.
+func (o *Overlay) Join(id ID) error {
+	if _, dup := o.nodes[id]; dup {
+		return ErrDuplicateID
+	}
+	x := NewNode(id, o.b, o.l)
+	o.coords[id] = Coord{X: o.rng.Float64(), Y: o.rng.Float64()}
+	if o.proximityAware {
+		x.table.SetPreference(o.closerTo(id))
+	}
+	if len(o.ids) == 0 {
+		o.nodes[id] = x
+		o.insertID(id)
+		return nil
+	}
+	boot := o.ids[o.rng.Intn(len(o.ids))]
+	_, _, path := o.routeFrom(boot, id)
+	// Routing-table rows from the nodes along the path: node path[i]
+	// shares (at least) i digits of prefix handling, so its row i is a
+	// valid row i for x.
+	for i, hop := range path {
+		n := o.nodes[hop]
+		if n == nil {
+			continue
+		}
+		for _, e := range n.table.Row(i) {
+			x.learn(e)
+		}
+		x.learn(hop)
+	}
+	// Leaf set from Z, the numerically closest existing node.
+	z := o.nodes[path[len(path)-1]]
+	for _, e := range z.leafs.Members() {
+		x.learn(e)
+	}
+	x.learn(z.id)
+
+	o.nodes[id] = x
+	o.insertID(id)
+
+	// Announce: everyone x knows learns x, and x pulls their leaf
+	// members too (Pastry's state exchange on join).
+	known := append(x.table.Entries(), x.leafs.Members()...)
+	for _, t := range known {
+		if n := o.nodes[t]; n != nil {
+			n.learn(id)
+			for _, e := range n.leafs.Members() {
+				x.learn(e)
+			}
+		}
+	}
+	return nil
+}
+
+// JoinN joins count nodes with ids derived from the seed namespace,
+// returning their ids.  Convenience for building client clusters.
+func (o *Overlay) JoinN(count int, namespace string) ([]ID, error) {
+	ids := make([]ID, 0, count)
+	for i := 0; len(ids) < count; i++ {
+		id := HashString(fmt.Sprintf("%s/%d", namespace, i))
+		if err := o.Join(id); err != nil {
+			if errors.Is(err, ErrDuplicateID) {
+				continue
+			}
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Fail abruptly removes a node (crash).  Remaining nodes discover the
+// failure lazily while routing; neighbours repair their leaf sets
+// immediately, as the Pastry failure protocol does when keep-alives
+// stop.
+func (o *Overlay) Fail(id ID) bool {
+	n, ok := o.nodes[id]
+	if !ok {
+		return false
+	}
+	delete(o.nodes, id)
+	delete(o.coords, id)
+	o.removeID(id)
+	// Leaf-set neighbours notice quickly (keep-alive) and repair.
+	for _, m := range n.leafs.Members() {
+		if peer := o.nodes[m]; peer != nil {
+			peer.forget(id)
+			o.repairLeafSet(peer)
+		}
+	}
+	return true
+}
+
+// Leave gracefully removes a node: it notifies everything in its state.
+func (o *Overlay) Leave(id ID) bool {
+	n, ok := o.nodes[id]
+	if !ok {
+		return false
+	}
+	delete(o.nodes, id)
+	delete(o.coords, id)
+	o.removeID(id)
+	notify := append(n.table.Entries(), n.leafs.Members()...)
+	for _, t := range notify {
+		if peer := o.nodes[t]; peer != nil {
+			peer.forget(id)
+			o.repairLeafSet(peer)
+		}
+	}
+	return true
+}
+
+// repairLeafSet refills a node's leaf set by pulling the leaf sets of
+// its current members (the published repair procedure: ask the live
+// node with the largest index on the side of the failed node).
+func (o *Overlay) repairLeafSet(n *Node) {
+	for _, m := range n.leafs.Members() {
+		peer := o.nodes[m]
+		if peer == nil {
+			n.forget(m)
+			continue
+		}
+		for _, e := range peer.leafs.Members() {
+			if _, live := o.nodes[e]; live {
+				n.learn(e)
+			}
+		}
+	}
+}
+
+// maxRouteHops bounds a single route to catch routing loops: prefix
+// routing can take at most one hop per digit plus leaf-set/rare-case
+// slack.
+func (o *Overlay) maxRouteHops() int { return IDBits/o.b + o.l + 8 }
+
+// RouteFrom routes key from a specific start node.  It returns the
+// destination node id, the hop count (0 when start owns the key), and
+// the path of node ids visited (including start and destination).
+// Dead routing entries encountered on the way are purged (lazy repair)
+// and routing continues.
+func (o *Overlay) RouteFrom(start ID, key ID) (ID, int, error) {
+	dest, hops, path := o.routeFrom(start, key)
+	if _, ok := o.nodes[dest]; !ok {
+		return ID{}, 0, ErrEmptyOverlay
+	}
+	o.routes++
+	o.hopsTotal += hops
+	if hops > o.hopsMax {
+		o.hopsMax = hops
+	}
+	if hops > 0 {
+		o.pathDist += o.pathDistance(path)
+		o.directDist += o.proximity(start, dest)
+	}
+	return dest, hops, nil
+}
+
+func (o *Overlay) routeFrom(start ID, key ID) (ID, int, []ID) {
+	cur, ok := o.nodes[start]
+	if !ok {
+		return ID{}, 0, nil
+	}
+	path := []ID{start}
+	hops := 0
+	for limit := o.maxRouteHops(); limit >= 0; limit-- {
+		next, final := cur.NextHop(key)
+		if final {
+			return cur.id, hops, path
+		}
+		nextNode, alive := o.nodes[next]
+		if !alive {
+			// Lazy failure discovery: purge and retry from the same
+			// node; its next-best option takes over.
+			cur.forget(next)
+			o.repairLeafSet(cur)
+			o.repairs++
+			continue
+		}
+		cur = nextNode
+		hops++
+		path = append(path, next)
+	}
+	// Routing loop safety valve: deliver at the numerically closest
+	// node among those visited (should be unreachable; tests assert
+	// loops never happen).
+	best := path[0]
+	for _, p := range path {
+		if p.CloserToThan(key, best) {
+			best = p
+		}
+	}
+	return best, hops, path
+}
+
+// Route routes key from a uniformly random live node, as a client
+// contacting the overlay would.
+func (o *Overlay) Route(key ID) (ID, int, error) {
+	if len(o.ids) == 0 {
+		return ID{}, 0, ErrEmptyOverlay
+	}
+	start := o.ids[o.rng.Intn(len(o.ids))]
+	return o.RouteFrom(start, key)
+}
+
+// Owner returns the ground-truth owner of key: the live node whose id
+// is numerically closest (ties to the smaller id).  Tests compare
+// Route's destination to this.
+func (o *Overlay) Owner(key ID) (ID, bool) {
+	if len(o.ids) == 0 {
+		return ID{}, false
+	}
+	i := sort.Search(len(o.ids), func(i int) bool { return !o.ids[i].Less(key) })
+	best := o.ids[i%len(o.ids)]
+	// Check the ring neighbours of the insertion point.
+	for _, j := range []int{i - 1, i, i + 1} {
+		c := o.ids[((j%len(o.ids))+len(o.ids))%len(o.ids)]
+		if c.CloserToThan(key, best) {
+			best = c
+		}
+	}
+	return best, true
+}
+
+// Stats reports cumulative routing telemetry.
+type Stats struct {
+	Routes    int
+	MeanHops  float64
+	MaxHops   int
+	Repairs   int
+	NumNodes  int
+	LeafSize  int
+	DigitBits int
+	// MeanStretch is cumulative path distance over direct distance on
+	// the simulated network plane (1.0 = perfect; proximity-aware
+	// tables push it toward 1).
+	MeanStretch float64
+}
+
+// Stats returns a snapshot of routing telemetry.
+func (o *Overlay) Stats() Stats {
+	s := Stats{
+		Routes:    o.routes,
+		MaxHops:   o.hopsMax,
+		Repairs:   o.repairs,
+		NumNodes:  len(o.ids),
+		LeafSize:  o.l,
+		DigitBits: o.b,
+	}
+	if o.routes > 0 {
+		s.MeanHops = float64(o.hopsTotal) / float64(o.routes)
+	}
+	if o.directDist > 0 {
+		s.MeanStretch = o.pathDist / o.directDist
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+package pastry
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCoordDistance(t *testing.T) {
+	a := Coord{0, 0}
+	b := Coord{3, 4}
+	if d := a.DistanceTo(b); d != 5 {
+		t.Errorf("distance = %g, want 5", d)
+	}
+	if d := a.DistanceTo(a); d != 0 {
+		t.Errorf("self distance = %g", d)
+	}
+	if a.DistanceTo(b) != b.DistanceTo(a) {
+		t.Error("distance not symmetric")
+	}
+}
+
+func TestCoordsAssignedAndCleaned(t *testing.T) {
+	o, ids := buildOverlay(t, 20, Config{Seed: 1})
+	seen := map[Coord]bool{}
+	for _, id := range ids {
+		c := o.Coord(id)
+		if c.X < 0 || c.X > 1 || c.Y < 0 || c.Y > 1 {
+			t.Fatalf("coordinate %v outside unit square", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) < 19 {
+		t.Error("coordinates not distinct")
+	}
+	o.Fail(ids[0])
+	if o.Coord(ids[0]) != (Coord{}) {
+		t.Error("failed node's coordinate survives")
+	}
+	o.Leave(ids[1])
+	if o.Coord(ids[1]) != (Coord{}) {
+		t.Error("left node's coordinate survives")
+	}
+}
+
+// measureStretch builds an overlay and returns the mean route stretch.
+func measureStretch(t *testing.T, aware bool) (stretch float64, hops float64) {
+	t.Helper()
+	o, err := New(Config{Seed: 5, ProximityAware: aware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.JoinN(400, "stretch"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		if _, _, err := o.Route(HashString(fmt.Sprintf("sk%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := o.Stats()
+	return st.MeanStretch, st.MeanHops
+}
+
+// The Pastry locality property: proximity-aware tables cut route
+// stretch without hurting hop counts or correctness.
+func TestProximityAwareRoutingReducesStretch(t *testing.T) {
+	obliviousStretch, obliviousHops := measureStretch(t, false)
+	awareStretch, awareHops := measureStretch(t, true)
+	if awareStretch >= obliviousStretch {
+		t.Errorf("proximity-aware stretch %.2f >= oblivious %.2f", awareStretch, obliviousStretch)
+	}
+	if awareStretch < 1 {
+		t.Errorf("stretch %.2f below 1 is impossible on average", awareStretch)
+	}
+	// Hop counts must stay in the same band (proximity changes which
+	// node fills a slot, not how many digits must be resolved).
+	if awareHops > obliviousHops*1.2+0.5 {
+		t.Errorf("proximity awareness inflated hops: %.2f vs %.2f", awareHops, obliviousHops)
+	}
+}
+
+func TestProximityAwareRoutingStillCorrect(t *testing.T) {
+	o, err := New(Config{Seed: 6, ProximityAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.JoinN(150, "pcorrect"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := HashString(fmt.Sprintf("pk%d", i))
+		want, _ := o.Owner(key)
+		got, _, err := o.Route(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("key %d: routed to %v, owner %v", i, got, want)
+		}
+	}
+}
+
+func TestRoutingTablePreference(t *testing.T) {
+	owner := ID{0, 0}
+	rt := NewRoutingTable(owner, 4)
+	// Two candidates for the same slot (both differ in digit 0 = 0xF).
+	a := ID{0xF0 << 56, 1}
+	bnode := ID{0xF0 << 56, 2}
+	if !rt.Insert(a) {
+		t.Fatal("first insert failed")
+	}
+	if rt.Insert(bnode) {
+		t.Fatal("without preference the incumbent must stay")
+	}
+	// Prefer the numerically larger id (arbitrary test preference).
+	rt.SetPreference(func(cand, inc ID) bool { return inc.Less(cand) })
+	if !rt.Insert(bnode) {
+		t.Fatal("preferred candidate rejected")
+	}
+	got, ok := rt.Lookup(ID{0xF0 << 56, 9})
+	if !ok || got != bnode {
+		t.Fatalf("lookup = %v %v, want %v", got, ok, bnode)
+	}
+	// Re-inserting the same id is a no-op.
+	if rt.Insert(bnode) {
+		t.Error("self-replacement reported as insert")
+	}
+}
+
+func TestStretchUnmeasuredIsZero(t *testing.T) {
+	o, _ := New(Config{Seed: 7})
+	o.Join(idNum(1))
+	if st := o.Stats(); st.MeanStretch != 0 {
+		t.Errorf("stretch with no routes = %g", st.MeanStretch)
+	}
+}

@@ -1,0 +1,141 @@
+package pastry
+
+// RoutingTable is the prefix-routing table of one Pastry node:
+// ceil(128/b) rows of 2^b columns.  The entry at (row r, column c)
+// names a node whose id shares the first r digits with the owner and
+// whose (r+1)-th digit is c.  The owner's own column in each row is
+// conceptually the owner itself and stays empty.
+type RoutingTable struct {
+	owner ID
+	b     int
+	rows  [][]ID
+	set   [][]bool
+	// prefer, when non-nil, decides whether a candidate should
+	// displace an incumbent entry (proximity-aware Pastry).
+	prefer func(candidate, incumbent ID) bool
+}
+
+// SetPreference installs a proximity preference for occupied slots.
+func (rt *RoutingTable) SetPreference(prefer func(candidate, incumbent ID) bool) {
+	rt.prefer = prefer
+}
+
+// NewRoutingTable creates an empty table for owner with digit width b.
+func NewRoutingTable(owner ID, b int) *RoutingTable {
+	numRows := IDBits / b
+	cols := 1 << b
+	rt := &RoutingTable{
+		owner: owner,
+		b:     b,
+		rows:  make([][]ID, numRows),
+		set:   make([][]bool, numRows),
+	}
+	for i := range rt.rows {
+		rt.rows[i] = make([]ID, cols)
+		rt.set[i] = make([]bool, cols)
+	}
+	return rt
+}
+
+// slot computes the (row, col) where x belongs in the owner's table,
+// or ok=false if x is the owner itself.
+func (rt *RoutingTable) slot(x ID) (row, col int, ok bool) {
+	row = rt.owner.CommonPrefixLen(x, rt.b)
+	if row >= len(rt.rows) {
+		return 0, 0, false // x == owner
+	}
+	return row, x.Digit(row, rt.b), true
+}
+
+// Insert offers x for the table.  An empty slot takes it; an occupied
+// slot keeps its incumbent unless a proximity preference (see
+// SetPreference) says the candidate is closer, which is how real
+// Pastry builds proximity-aware tables.  Reports whether x was stored.
+func (rt *RoutingTable) Insert(x ID) bool {
+	row, col, ok := rt.slot(x)
+	if !ok {
+		return false
+	}
+	if rt.set[row][col] {
+		if rt.rows[row][col] == x || rt.prefer == nil || !rt.prefer(x, rt.rows[row][col]) {
+			return false
+		}
+	}
+	rt.rows[row][col] = x
+	rt.set[row][col] = true
+	return true
+}
+
+// Replace unconditionally stores x in its slot.
+func (rt *RoutingTable) Replace(x ID) {
+	if row, col, ok := rt.slot(x); ok {
+		rt.rows[row][col] = x
+		rt.set[row][col] = true
+	}
+}
+
+// Lookup returns the entry for routing key from the owner: the node in
+// row CommonPrefixLen(owner, key) at key's next digit.
+func (rt *RoutingTable) Lookup(key ID) (ID, bool) {
+	row := rt.owner.CommonPrefixLen(key, rt.b)
+	if row >= len(rt.rows) {
+		return ID{}, false // key == owner id
+	}
+	col := key.Digit(row, rt.b)
+	if !rt.set[row][col] {
+		return ID{}, false
+	}
+	return rt.rows[row][col], true
+}
+
+// Remove deletes x from the table if present (e.g., a failed node).
+func (rt *RoutingTable) Remove(x ID) bool {
+	row, col, ok := rt.slot(x)
+	if !ok || !rt.set[row][col] || rt.rows[row][col] != x {
+		return false
+	}
+	rt.set[row][col] = false
+	rt.rows[row][col] = ID{}
+	return true
+}
+
+// Row returns the populated entries of row r (for join-time state
+// transfer: the i-th node on the join route donates its row i).
+func (rt *RoutingTable) Row(r int) []ID {
+	if r < 0 || r >= len(rt.rows) {
+		return nil
+	}
+	var out []ID
+	for c, ok := range rt.set[r] {
+		if ok {
+			out = append(out, rt.rows[r][c])
+		}
+	}
+	return out
+}
+
+// Entries returns every populated entry.
+func (rt *RoutingTable) Entries() []ID {
+	var out []ID
+	for r := range rt.rows {
+		for c, ok := range rt.set[r] {
+			if ok {
+				out = append(out, rt.rows[r][c])
+			}
+		}
+	}
+	return out
+}
+
+// Size returns the number of populated entries.
+func (rt *RoutingTable) Size() int {
+	n := 0
+	for _, row := range rt.set {
+		for _, ok := range row {
+			if ok {
+				n++
+			}
+		}
+	}
+	return n
+}

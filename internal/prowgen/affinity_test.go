@@ -1,0 +1,97 @@
+package prowgen
+
+import (
+	"testing"
+
+	"webcache/internal/trace"
+)
+
+func affinityTrace(t *testing.T, affinity float64) *trace.Trace {
+	t.Helper()
+	tr, err := Generate(Config{
+		NumRequests:     50_000,
+		NumObjects:      2_000,
+		NumClients:      200,
+		NumClusters:     2,
+		ClusterAffinity: affinity,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// crossClusterSharing measures the fraction of multi-accessed objects
+// referenced by both halves of the client population.
+func crossClusterSharing(tr *trace.Trace) float64 {
+	type seen struct{ a, b bool }
+	byObj := map[trace.ObjectID]*seen{}
+	count := map[trace.ObjectID]int{}
+	for _, r := range tr.Requests {
+		s := byObj[r.Object]
+		if s == nil {
+			s = &seen{}
+			byObj[r.Object] = s
+		}
+		if int(r.Client) < 100 {
+			s.a = true
+		} else {
+			s.b = true
+		}
+		count[r.Object]++
+	}
+	shared, multi := 0, 0
+	for obj, s := range byObj {
+		if count[obj] < 2 {
+			continue
+		}
+		multi++
+		if s.a && s.b {
+			shared++
+		}
+	}
+	if multi == 0 {
+		return 0
+	}
+	return float64(shared) / float64(multi)
+}
+
+func TestClusterAffinityControlsSharing(t *testing.T) {
+	none := crossClusterSharing(affinityTrace(t, 0))
+	strong := crossClusterSharing(affinityTrace(t, 0.95))
+	if strong >= none {
+		t.Errorf("affinity 0.95 sharing %.2f >= homogeneous %.2f", strong, none)
+	}
+	if none < 0.5 {
+		t.Errorf("homogeneous sharing %.2f implausibly low", none)
+	}
+	if strong > 0.6 {
+		t.Errorf("high-affinity sharing %.2f too high", strong)
+	}
+}
+
+func TestClusterAffinityValidation(t *testing.T) {
+	bad := Config{NumRequests: 10_000, NumObjects: 500, NumClients: 100, ClusterAffinity: 1.5}
+	if err := bad.Validate(); err == nil {
+		t.Error("affinity 1.5 accepted")
+	}
+	bad = Config{NumRequests: 10_000, NumObjects: 500, NumClients: 3, NumClusters: 10}
+	if err := bad.Validate(); err == nil {
+		t.Error("more clusters than clients accepted")
+	}
+}
+
+func TestClusterAffinityKeepsWorkloadShape(t *testing.T) {
+	tr := affinityTrace(t, 0.9)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Analyze(tr)
+	if st.DistinctObjs != 2000 {
+		t.Errorf("objects = %d", st.DistinctObjs)
+	}
+	if st.OneTimerFrac < 0.45 || st.OneTimerFrac > 0.55 {
+		t.Errorf("one-timer fraction %.2f drifted", st.OneTimerFrac)
+	}
+}

@@ -1,0 +1,125 @@
+package prowgen
+
+import (
+	"math"
+	"math/rand"
+
+	"webcache/internal/trace"
+)
+
+// lruStack is the finite LRU stack of ProWGen's temporal-locality
+// model.  Referenced objects move to the top; new objects push in at
+// the top; when the stack exceeds its capacity the bottom (least
+// recently referenced) object falls out.
+//
+// Re-references sample a stack *position* with probability proportional
+// to 1/(position+1) from the top, so recently referenced objects are
+// re-referenced soonest — that is the temporal locality.  The slice is
+// kept dense with the top at the end; because sampled positions cluster
+// near the top, the shifts done by moveToTop/remove touch only a few
+// elements on average.
+type lruStack struct {
+	capacity int
+	items    []trace.ObjectID // dense in [head, len(items)); top at the end
+	head     int
+	pos      map[trace.ObjectID]int // absolute index into items
+}
+
+func newLRUStack(capacity int) *lruStack {
+	return &lruStack{
+		capacity: capacity,
+		pos:      make(map[trace.ObjectID]int, capacity+1),
+	}
+}
+
+func (s *lruStack) size() int { return len(s.items) - s.head }
+
+func (s *lruStack) contains(obj trace.ObjectID) bool {
+	_, ok := s.pos[obj]
+	return ok
+}
+
+// pushTop pushes obj onto the top of the stack.  If that overflows the
+// capacity, the bottom object is evicted and returned with ok=true.
+func (s *lruStack) pushTop(obj trace.ObjectID) (evicted trace.ObjectID, ok bool) {
+	if _, dup := s.pos[obj]; dup {
+		s.moveToTop(obj)
+		return 0, false
+	}
+	s.items = append(s.items, obj)
+	s.pos[obj] = len(s.items) - 1
+	if s.size() > s.capacity {
+		evicted = s.items[s.head]
+		delete(s.pos, evicted)
+		s.head++
+		ok = true
+		s.maybeCompact()
+	}
+	return evicted, ok
+}
+
+// moveToTop moves an in-stack object to the top position.
+func (s *lruStack) moveToTop(obj trace.ObjectID) {
+	i, ok := s.pos[obj]
+	if !ok {
+		panic("prowgen: moveToTop of object not in stack")
+	}
+	last := len(s.items) - 1
+	if i == last {
+		return
+	}
+	copy(s.items[i:], s.items[i+1:])
+	s.items[last] = obj
+	for j := i; j < last; j++ {
+		s.pos[s.items[j]] = j
+	}
+	s.pos[obj] = last
+}
+
+// remove deletes an in-stack object (its reference quota is exhausted).
+func (s *lruStack) remove(obj trace.ObjectID) {
+	i, ok := s.pos[obj]
+	if !ok {
+		panic("prowgen: remove of object not in stack")
+	}
+	delete(s.pos, obj)
+	last := len(s.items) - 1
+	copy(s.items[i:], s.items[i+1:])
+	s.items = s.items[:last]
+	for j := i; j < last; j++ {
+		s.pos[s.items[j]] = j
+	}
+}
+
+// sample draws an object at a harmonic-weighted position from the top:
+// P(position p) ~ 1/(p+1), p=0 at the top.  The inverse-CDF of the
+// harmonic distribution over k positions is p = floor(exp(u*ln(k+1)))-1.
+func (s *lruStack) sample(rng *rand.Rand) trace.ObjectID {
+	k := s.size()
+	if k == 0 {
+		panic("prowgen: sample from empty stack")
+	}
+	u := rng.Float64()
+	p := int(math.Exp(u*math.Log(float64(k+1)))) - 1
+	if p < 0 {
+		p = 0
+	}
+	if p >= k {
+		p = k - 1
+	}
+	return s.items[len(s.items)-1-p]
+}
+
+// maybeCompact reclaims the dead prefix left behind by bottom
+// evictions once it dominates the backing array.
+func (s *lruStack) maybeCompact() {
+	if s.head < 2*s.capacity || s.head < len(s.items)/2 {
+		return
+	}
+	n := copy(s.items, s.items[s.head:])
+	s.items = s.items[:n]
+	s.head = 0
+	for j, obj := range s.items {
+		s.pos[obj] = j
+	}
+}

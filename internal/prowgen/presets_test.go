@@ -1,0 +1,117 @@
+package prowgen
+
+import (
+	"math"
+	"testing"
+
+	"webcache/internal/trace"
+)
+
+func TestPresetsListed(t *testing.T) {
+	ps := Presets()
+	if len(ps) < 5 {
+		t.Fatalf("only %d presets", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Name >= ps[i].Name {
+			t.Fatalf("presets not sorted: %q >= %q", ps[i-1].Name, ps[i].Name)
+		}
+	}
+	for _, p := range ps {
+		if p.Description == "" || p.Alpha <= 0 || p.ReqsPerObject <= 0 {
+			t.Errorf("preset %q incomplete: %+v", p.Name, p)
+		}
+	}
+}
+
+func TestLookupPreset(t *testing.T) {
+	if _, err := LookupPreset("UCB-HOMEIP"); err != nil {
+		t.Errorf("case-insensitive lookup failed: %v", err)
+	}
+	if _, err := LookupPreset("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestPresetStatisticsRealized(t *testing.T) {
+	for _, p := range Presets() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := p.Config(120_000, 0, 11)
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("config invalid: %v", err)
+			}
+			tr, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := trace.Analyze(tr)
+			if math.Abs(st.OneTimerFrac-p.OneTimerFrac) > 0.02 {
+				t.Errorf("one-timers %.2f, want ~%.2f", st.OneTimerFrac, p.OneTimerFrac)
+			}
+			rpo := float64(st.Requests) / float64(st.DistinctObjs)
+			// Dense presets introduce every object, so the realized
+			// density tracks the target closely.
+			if math.Abs(rpo-p.ReqsPerObject)/p.ReqsPerObject > 0.15 {
+				t.Errorf("reqs/object %.1f, want ~%.1f", rpo, p.ReqsPerObject)
+			}
+			if math.Abs(st.ZipfAlpha-p.Alpha) > 0.25 {
+				t.Errorf("alpha %.2f, want ~%.2f", st.ZipfAlpha, p.Alpha)
+			}
+		})
+	}
+}
+
+func TestPresetTinyRequestCountClamped(t *testing.T) {
+	p, err := LookupPreset("backbone-nlanr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.Config(50, 0, 1) // absurdly small: floors kick in
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("clamped config invalid: %v", err)
+	}
+	if _, err := Generate(cfg); err != nil {
+		t.Fatalf("clamped generate failed: %v", err)
+	}
+}
+
+func TestGeneratePresetHelper(t *testing.T) {
+	p, cfg, err := GeneratePreset("dec-isp", 50_000, 3)
+	if err != nil || p.Name != "dec-isp" {
+		t.Fatalf("%v %v", p, err)
+	}
+	if cfg.NumRequests < 50_000 {
+		t.Errorf("requests %d", cfg.NumRequests)
+	}
+	if _, _, err := GeneratePreset("missing", 1000, 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+// Families differ measurably: the backbone preset must show weaker
+// locality (larger reuse distances) than the campus preset.
+func TestPresetLocalityOrdering(t *testing.T) {
+	gen := func(name string) *trace.Trace {
+		p, cfg, err := GeneratePreset(name, 60_000, 5)
+		_ = p
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	campus := trace.AnalyzeLocality(gen("edu-campus"))
+	backbone := trace.AnalyzeLocality(gen("backbone-nlanr"))
+	// Normalize by the universe: compare median distance relative to
+	// distinct objects.
+	cm := float64(campus.MedianDistance) / float64(trace.Analyze(gen("edu-campus")).DistinctObjs)
+	bm := float64(backbone.MedianDistance) / float64(trace.Analyze(gen("backbone-nlanr")).DistinctObjs)
+	if cm >= bm {
+		t.Errorf("campus relative median distance %.3f >= backbone %.3f", cm, bm)
+	}
+}

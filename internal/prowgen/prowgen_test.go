@@ -1,0 +1,316 @@
+package prowgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"webcache/internal/trace"
+)
+
+// smallCfg is a fast configuration used across the tests.
+func smallCfg(seed int64) Config {
+	return Config{
+		NumRequests:  50_000,
+		NumObjects:   2_000,
+		NumClients:   100,
+		OneTimerFrac: 0.5,
+		Alpha:        0.7,
+		StackFrac:    0.2,
+		Seed:         seed,
+	}
+}
+
+func TestGenerateExactCounts(t *testing.T) {
+	cfg := smallCfg(1)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != cfg.NumRequests {
+		t.Fatalf("got %d requests, want %d", tr.Len(), cfg.NumRequests)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	s := trace.Analyze(tr)
+	if s.DistinctObjs != cfg.NumObjects {
+		t.Errorf("distinct objects = %d, want %d", s.DistinctObjs, cfg.NumObjects)
+	}
+}
+
+func TestGenerateOneTimerFraction(t *testing.T) {
+	cfg := smallCfg(2)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Analyze(tr)
+	if math.Abs(s.OneTimerFrac-cfg.OneTimerFrac) > 0.01 {
+		t.Errorf("one-timer fraction = %g, want ~%g", s.OneTimerFrac, cfg.OneTimerFrac)
+	}
+	// Every non-one-timer must be referenced at least twice by construction.
+	if s.MultiAccessed != s.DistinctObjs-s.OneTimers {
+		t.Errorf("multi-accessed %d + one-timers %d != distinct %d", s.MultiAccessed, s.OneTimers, s.DistinctObjs)
+	}
+}
+
+func TestGenerateZipfAlpha(t *testing.T) {
+	for _, alpha := range []float64{0.5, 0.7, 1.0} {
+		cfg := smallCfg(3)
+		cfg.Alpha = alpha
+		cfg.NumRequests = 200_000
+		tr, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := trace.Analyze(tr)
+		if math.Abs(s.ZipfAlpha-alpha) > 0.2 {
+			t.Errorf("alpha=%g: measured %g", alpha, s.ZipfAlpha)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a.Requests[i], b.Requests[i])
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(smallCfg(1))
+	b, _ := Generate(smallCfg(2))
+	same := 0
+	for i := range a.Requests {
+		if a.Requests[i].Object == b.Requests[i].Object {
+			same++
+		}
+	}
+	if same == a.Len() {
+		t.Error("different seeds produced identical object streams")
+	}
+}
+
+// Temporal locality: with a larger LRU stack, re-references should land
+// closer (in stack distance) to their previous reference.  We measure
+// the median inter-reference gap and expect it to grow as the stack
+// shrinks.
+func TestStackSizeControlsTemporalLocality(t *testing.T) {
+	medGap := func(stackFrac float64) float64 {
+		cfg := smallCfg(11)
+		cfg.StackFrac = stackFrac
+		tr, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := make(map[trace.ObjectID]int)
+		var gaps []int
+		for i, r := range tr.Requests {
+			if p, ok := last[r.Object]; ok {
+				gaps = append(gaps, i-p)
+			}
+			last[r.Object] = i
+		}
+		if len(gaps) == 0 {
+			t.Fatal("no re-references")
+		}
+		// median
+		sum := 0.0
+		for _, g := range gaps {
+			sum += float64(g)
+		}
+		return sum / float64(len(gaps))
+	}
+	small := medGap(0.05)
+	large := medGap(0.6)
+	if large >= small {
+		t.Errorf("mean re-reference gap: stack 5%% -> %.0f, stack 60%% -> %.0f; want smaller gap for larger stack", small, large)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{NumRequests: -1, NumObjects: 10, NumClients: 1, OneTimerFrac: 0.5, Alpha: 0.7, StackFrac: 0.2},
+		{NumRequests: 100, NumObjects: 10, NumClients: 1, OneTimerFrac: 1.5, Alpha: 0.7, StackFrac: 0.2},
+		{NumRequests: 100, NumObjects: 10, NumClients: 1, OneTimerFrac: 0.5, Alpha: -1, StackFrac: 0.2},
+		{NumRequests: 100, NumObjects: 10, NumClients: 1, OneTimerFrac: 0.5, Alpha: 0.7, StackFrac: 0},
+		// too few requests to introduce every object twice
+		{NumRequests: 12, NumObjects: 10, NumClients: 1, OneTimerFrac: 0.5, Alpha: 0.7, StackFrac: 0.2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateAppliesDefaults(t *testing.T) {
+	// A zero config must resolve to the paper defaults; use a reduced
+	// request count to keep the test quick but leave the rest zero.
+	tr, err := Generate(Config{NumRequests: 30_000, NumObjects: 1500, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumClients != DefaultNumClients {
+		t.Errorf("NumClients = %d, want default %d", tr.NumClients, DefaultNumClients)
+	}
+}
+
+func TestZipfFrequencies(t *testing.T) {
+	fs := zipfFrequencies(100, 5000, 0.7)
+	sum := 0
+	for i, f := range fs {
+		if f < 2 {
+			t.Fatalf("rank %d has frequency %d < 2", i, f)
+		}
+		if i > 0 && f > fs[i-1] {
+			t.Fatalf("frequencies not non-increasing at rank %d: %d > %d", i, f, fs[i-1])
+		}
+		sum += f
+	}
+	if sum != 5000 {
+		t.Fatalf("frequencies sum to %d, want 5000", sum)
+	}
+}
+
+// Property: zipfFrequencies always sums exactly to the requested total
+// and respects the >=2 floor.
+func TestPropZipfFrequencies(t *testing.T) {
+	f := func(n8 uint8, extra uint16, a uint8) bool {
+		n := int(n8)%200 + 1
+		total := 2*n + int(extra)%5000
+		alpha := 0.3 + float64(a%15)/10 // 0.3..1.7
+		fs := zipfFrequencies(n, total, alpha)
+		sum := 0
+		for _, v := range fs {
+			if v < 2 {
+				return false
+			}
+			sum += v
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := SampleSizes(rng, 10000)
+	var max uint32
+	var sum float64
+	for _, v := range s {
+		if v < 1 {
+			t.Fatal("size below 1 KB")
+		}
+		if v > max {
+			max = v
+		}
+		sum += float64(v)
+	}
+	mean := sum / float64(len(s))
+	if mean < 2 || mean > 200 {
+		t.Errorf("mean size %.1f KB implausible", mean)
+	}
+	if max <= 100 {
+		t.Errorf("no heavy tail: max size %d KB", max)
+	}
+}
+
+func TestVariableSizesInTrace(t *testing.T) {
+	cfg := smallCfg(9)
+	cfg.VariableSizes = true
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make(map[trace.ObjectID]uint32)
+	diverse := false
+	var first uint32
+	for i, r := range tr.Requests {
+		if prev, ok := sizes[r.Object]; ok && prev != r.Size {
+			t.Fatalf("object %d changed size %d -> %d", r.Object, prev, r.Size)
+		}
+		sizes[r.Object] = r.Size
+		if i == 0 {
+			first = r.Size
+		} else if r.Size != first {
+			diverse = true
+		}
+	}
+	if !diverse {
+		t.Error("variable sizes requested but all sizes equal")
+	}
+}
+
+func TestGenerateUCB(t *testing.T) {
+	tr, err := GenerateUCB(UCBConfig{Scale: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("UCB trace invalid: %v", err)
+	}
+	s := trace.Analyze(tr)
+	if math.Abs(s.OneTimerFrac-UCBOneTimerFrac) > 0.02 {
+		t.Errorf("one-timer fraction %g, want ~%g", s.OneTimerFrac, UCBOneTimerFrac)
+	}
+	rpo := float64(s.Requests) / float64(s.DistinctObjs)
+	if math.Abs(rpo-UCBReqsPerObject) > 0.3 {
+		t.Errorf("requests/object = %g, want ~%g", rpo, UCBReqsPerObject)
+	}
+	// Times must span multiple days.
+	span := tr.Requests[len(tr.Requests)-1].Time - tr.Requests[0].Time
+	if span < 86400*(UCBDays-1) {
+		t.Errorf("trace spans %d seconds, want ~%d days", span, UCBDays)
+	}
+}
+
+func TestGenerateUCBRejectsBadScale(t *testing.T) {
+	if _, err := GenerateUCB(UCBConfig{Scale: 2}); err == nil {
+		t.Error("scale 2 accepted")
+	}
+	if _, err := GenerateUCB(UCBConfig{Scale: -0.5}); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestDiurnalModulation(t *testing.T) {
+	tr, err := GenerateUCB(UCBConfig{Scale: 0.01, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket requests by hour of day: the evening peak should carry
+	// substantially more traffic than the overnight trough.
+	var byHour [24]int
+	for _, r := range tr.Requests {
+		byHour[(r.Time/3600)%24]++
+	}
+	min, max := byHour[0], byHour[0]
+	for _, c := range byHour {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3*min {
+		t.Errorf("diurnal modulation too weak: min %d max %d per hour", min, max)
+	}
+}

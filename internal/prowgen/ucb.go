@@ -1,0 +1,125 @@
+package prowgen
+
+import (
+	"fmt"
+	"math"
+
+	"webcache/internal/trace"
+)
+
+// The paper's second workload is the UC Berkeley Home-IP HTTP trace
+// (ita.ee.lbl.gov): 18 days of dial-in client traffic, 9,244,728
+// requests.  The original trace is no longer distributable, so this
+// file reconstructs a UCB-like workload with that trace family's
+// published first-order statistics (see DESIGN.md §2 for the
+// substitution argument):
+//
+//   - Zipf-like popularity with alpha ≈ 0.74 (Breslau et al. report
+//     0.64–0.83 for proxy traces; Home-IP sits mid-range);
+//   - a high one-time-referencing fraction (~57% of distinct objects);
+//   - roughly 3.5 requests per distinct object;
+//   - weaker temporal locality than ProWGen's defaults (dial-in users,
+//     long inter-session gaps) — modeled with a small LRU stack;
+//   - diurnal request-rate modulation over the 18-day span.
+//
+// The caching schemes observe only the (client, object) reference
+// stream, so matching these statistics reproduces the *shape* the paper
+// reports in Figure 2(b): lower absolute gains than the synthetic
+// workload, with the same scheme ordering.
+
+// UCB trace family constants.
+const (
+	UCBRequests      = 9_244_728
+	UCBDays          = 18
+	UCBAlpha         = 0.74
+	UCBOneTimerFrac  = 0.57
+	UCBReqsPerObject = 3.5
+	UCBStackFrac     = 0.08
+	UCBClients       = 5000
+)
+
+// UCBConfig scales the reconstruction.  Scale=1 reproduces the full
+// 9.2M-request trace; the test suite and default benches use smaller
+// scales to stay fast.
+type UCBConfig struct {
+	// Scale multiplies the request count (0 < Scale <= 1; default 1).
+	Scale float64
+	// Clients overrides the client population (default scales with
+	// the trace so per-client request counts stay realistic).
+	Clients int
+	// Seed drives the generator.
+	Seed int64
+}
+
+// GenerateUCB synthesizes the UCB-like trace.
+func GenerateUCB(cfg UCBConfig) (*trace.Trace, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	if cfg.Scale < 0 || cfg.Scale > 1 {
+		return nil, fmt.Errorf("prowgen: UCB scale %g outside (0,1]", cfg.Scale)
+	}
+	reqs := int(float64(UCBRequests) * cfg.Scale)
+	objs := int(float64(reqs) / UCBReqsPerObject)
+	clients := cfg.Clients
+	if clients == 0 {
+		clients = int(float64(UCBClients) * math.Sqrt(cfg.Scale))
+		if clients < 100 {
+			clients = 100
+		}
+	}
+	t, err := Generate(Config{
+		NumRequests:  reqs,
+		NumObjects:   objs,
+		NumClients:   clients,
+		OneTimerFrac: UCBOneTimerFrac,
+		Alpha:        UCBAlpha,
+		StackFrac:    UCBStackFrac,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("prowgen: UCB generation: %w", err)
+	}
+	applyDiurnalTimes(t, UCBDays)
+	return t, nil
+}
+
+// applyDiurnalTimes rewrites request timestamps so the request rate
+// follows a day/night pattern over the given number of days: a broad
+// daytime plateau peaking in the evening (dial-in usage) and a deep
+// overnight trough.  The stream order is unchanged, so the reference
+// pattern the caches see is untouched — only wall-clock realism is
+// added.
+func applyDiurnalTimes(t *trace.Trace, days int) {
+	const buckets = 24
+	// Relative request rate per hour of day (dial-in evening peak).
+	var hourWeight [buckets]float64
+	for h := 0; h < buckets; h++ {
+		// Trough ~4am, peak ~8pm.
+		hourWeight[h] = 1.0 + 0.9*math.Sin(2*math.Pi*(float64(h)-10)/24)
+	}
+	// Cumulative weight over the whole span.
+	total := 0.0
+	cum := make([]float64, days*buckets+1)
+	for i := 0; i < days*buckets; i++ {
+		total += hourWeight[i%buckets]
+		cum[i+1] = total
+	}
+	n := len(t.Requests)
+	spanSeconds := float64(days * 86400)
+	bucketSeconds := spanSeconds / float64(days*buckets)
+	// Request i sits at cumulative-rate fraction (i+0.5)/n; invert the
+	// piecewise-linear CDF to a timestamp.
+	j := 0
+	for i := range t.Requests {
+		target := total * (float64(i) + 0.5) / float64(n)
+		for j+1 < len(cum) && cum[j+1] < target {
+			j++
+		}
+		frac := 0.0
+		if w := cum[j+1] - cum[j]; w > 0 {
+			frac = (target - cum[j]) / w
+		}
+		t.Requests[i].Time = uint32((float64(j) + frac) * bucketSeconds)
+	}
+}

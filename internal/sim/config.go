@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"fmt"
+
+	"webcache/internal/netmodel"
+	"webcache/internal/trace"
+)
+
+// BasePolicy selects the replacement policy of the LFU-family schemes
+// (NC, SC, NC-EC, SC-EC).  The paper fixes LFU; the alternatives exist
+// to ablate that choice.
+type BasePolicy int
+
+const (
+	// BasePerfectLFU is the default: frequency counts persist across
+	// evictions (the "perfect frequency" reading of the paper's LFU).
+	BasePerfectLFU BasePolicy = iota
+	// BaseLFUInCache restarts counts when an object re-enters.
+	BaseLFUInCache
+	// BaseLRU uses recency instead of frequency.
+	BaseLRU
+	// BaseGreedyDual uses cost-aware greedy-dual even for the
+	// non-Hier-GD schemes.
+	BaseGreedyDual
+)
+
+// String implements fmt.Stringer.
+func (b BasePolicy) String() string {
+	switch b {
+	case BaseLFUInCache:
+		return "lfu-incache"
+	case BaseLRU:
+		return "lru"
+	case BaseGreedyDual:
+		return "greedy-dual"
+	default:
+		return "lfu-perfect"
+	}
+}
+
+// DirectoryKind selects a Hier-GD lookup directory representation
+// (paper §4.2).
+type DirectoryKind int
+
+const (
+	// DirExact is the Exact-Directory hashtable.
+	DirExact DirectoryKind = iota
+	// DirBloom is the counting-Bloom-filter directory.
+	DirBloom
+)
+
+// String implements fmt.Stringer.
+func (d DirectoryKind) String() string {
+	if d == DirBloom {
+		return "bloom"
+	}
+	return "exact"
+}
+
+// Paper defaults (§5.1).
+const (
+	DefaultNumProxies        = 2
+	DefaultClientsPerCluster = 100
+	DefaultProxyCacheFrac    = 0.5
+	DefaultClientCacheFrac   = 0.001
+	DefaultBloomFPRate       = 0.01
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Scheme is the caching scheme to simulate.
+	Scheme Scheme
+	// NumProxies is the proxy cluster size (paper default 2;
+	// Figure 5(d) sweeps to 10).
+	NumProxies int
+	// ClientsPerCluster is the client cluster size per proxy (paper
+	// default 100), which fixes the client->proxy mapping.
+	ClientsPerCluster int
+	// P2PClientCaches is the number of client machines contributing
+	// their cooperative cache partition to the P2P client cache
+	// (Figure 5(c) sweeps 100..1000).  0 means every client in the
+	// cluster contributes (== ClientsPerCluster).
+	P2PClientCaches int
+	// Net is the latency model (zero value = paper defaults).
+	Net netmodel.Model
+	// ProxyCacheFrac sizes each proxy cache as a fraction of its
+	// cluster's infinite cache size (the x-axis of every figure).
+	ProxyCacheFrac float64
+	// ClientCacheFrac sizes each client's cooperative cache as a
+	// fraction of the infinite cache size (paper: 0.001, so a
+	// 100-client cluster yields a P2P cache of 10%).
+	ClientCacheFrac float64
+	// Directory selects Hier-GD's lookup directory; BloomFPRate sizes
+	// the Bloom variant.
+	Directory   DirectoryKind
+	BloomFPRate float64
+	// Piggyback destages proxy evictions on HTTP responses (§4.4);
+	// the paper's design enables it (default true via fillDefaults —
+	// set DisablePiggyback to turn it off for the ablation).
+	DisablePiggyback bool
+	// DisableDiversion turns off Hier-GD's leaf-set object diversion
+	// (§4.3) for the ablation bench.
+	DisableDiversion bool
+	// ProxyGDSF runs Hier-GD's proxy caches with GreedyDual-Size-
+	// Frequency instead of plain greedy-dual — the extension policy
+	// the library offers beyond the paper.
+	ProxyGDSF bool
+	// ReplicateHotAfter enables PAST-style hot-object replication in
+	// Hier-GD's P2P client caches (see internal/p2p/replicate.go);
+	// 0 disables it (the paper's single-copy design).
+	ReplicateHotAfter int
+	// SinglePoolEC simulates the EC schemes' P2P client cache as one
+	// pooled cache at proxy latency — the paper's literal upper bound
+	// — instead of the default exclusive two-level (proxy tier at Tl,
+	// client tier at Tp2p).
+	SinglePoolEC bool
+	// FailEvery injects a client-cache crash every N requests
+	// (Hier-GD only; 0 disables).  ReplaceFailed re-joins a fresh
+	// client after each crash.
+	FailEvery     int
+	ReplaceFailed bool
+	// LFUInCache switches NC/SC/NC-EC/SC-EC from perfect-frequency
+	// LFU (default) to in-cache LFU.  Shorthand for
+	// BasePolicy == BaseLFUInCache.
+	LFUInCache bool
+	// BasePolicy selects the replacement policy of the LFU-family
+	// schemes (NC, SC, NC-EC, SC-EC): the paper fixes LFU (§2); the
+	// other values ablate that design choice.
+	BasePolicy BasePolicy
+	// FCWindow is the re-placement period (in requests) of the FC and
+	// FC-EC cost-benefit placement; 0 uses the default (10k).
+	FCWindow int
+	// FCTrailing computes each FC/FC-EC window placement from the
+	// *previous* window's frequencies instead of the upcoming window.
+	// The default (upcoming window) matches the paper's framing of
+	// FC/FC-EC as upper bounds ("yielding the upper bound on
+	// performance benefit of cooperating proxy caching"); the trailing
+	// variant is the implementable adaptive form and is strictly
+	// weaker — at small caches it can even lose to the online schemes.
+	FCTrailing bool
+	// DigestInterval switches inter-proxy cooperation from perfect
+	// instantaneous knowledge (0, the paper's idealization) to
+	// Summary-Cache-style Bloom digests rebuilt and exchanged every N
+	// requests.  Stale digest entries cost a wasted Tc probe, charged
+	// on top of the final fetch.  Applies to SC, SC-EC and Hier-GD.
+	DigestInterval int
+	// DigestFPRate sizes the digest filters (default 1%).
+	DigestFPRate float64
+	// WarmupRequests excludes the first N requests from the latency
+	// and hit-ratio accounting (caches still process them), isolating
+	// steady-state behaviour from cold-start compulsory misses.  The
+	// paper measures whole traces (warmup 0, the default).
+	WarmupRequests int
+	// Seed drives overlay construction and failure injection.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.NumProxies == 0 {
+		c.NumProxies = DefaultNumProxies
+	}
+	if c.ClientsPerCluster == 0 {
+		c.ClientsPerCluster = DefaultClientsPerCluster
+	}
+	if c.P2PClientCaches == 0 {
+		c.P2PClientCaches = c.ClientsPerCluster
+	}
+	if c.Net == (netmodel.Model{}) {
+		c.Net = netmodel.Default()
+	}
+	if c.ProxyCacheFrac == 0 {
+		c.ProxyCacheFrac = DefaultProxyCacheFrac
+	}
+	if c.ClientCacheFrac == 0 {
+		c.ClientCacheFrac = DefaultClientCacheFrac
+	}
+	if c.BloomFPRate == 0 {
+		c.BloomFPRate = DefaultBloomFPRate
+	}
+	if c.DigestFPRate == 0 {
+		c.DigestFPRate = DefaultBloomFPRate
+	}
+	if c.LFUInCache && c.BasePolicy == BasePerfectLFU {
+		c.BasePolicy = BaseLFUInCache
+	}
+}
+
+// Validate reports configuration errors (after defaulting).
+func (c Config) Validate() error {
+	if c.Scheme < 0 || c.Scheme >= numSchemes {
+		return fmt.Errorf("sim: invalid scheme %d", c.Scheme)
+	}
+	if c.NumProxies < 1 {
+		return fmt.Errorf("sim: need at least one proxy (got %d)", c.NumProxies)
+	}
+	if c.ClientsPerCluster < 1 {
+		return fmt.Errorf("sim: need at least one client per cluster (got %d)", c.ClientsPerCluster)
+	}
+	if c.P2PClientCaches < 0 {
+		return fmt.Errorf("sim: negative P2P client cache count %d", c.P2PClientCaches)
+	}
+	if c.ProxyCacheFrac <= 0 || c.ProxyCacheFrac > 1 {
+		return fmt.Errorf("sim: proxy cache fraction %g outside (0,1]", c.ProxyCacheFrac)
+	}
+	if c.ClientCacheFrac <= 0 || c.ClientCacheFrac > 1 {
+		return fmt.Errorf("sim: client cache fraction %g outside (0,1]", c.ClientCacheFrac)
+	}
+	if c.BloomFPRate <= 0 || c.BloomFPRate >= 1 {
+		return fmt.Errorf("sim: bloom FP rate %g outside (0,1)", c.BloomFPRate)
+	}
+	if c.DigestInterval < 0 {
+		return fmt.Errorf("sim: negative digest interval %d", c.DigestInterval)
+	}
+	if c.WarmupRequests < 0 {
+		return fmt.Errorf("sim: negative warmup %d", c.WarmupRequests)
+	}
+	if c.DigestFPRate <= 0 || c.DigestFPRate >= 1 {
+		return fmt.Errorf("sim: digest FP rate %g outside (0,1)", c.DigestFPRate)
+	}
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// sizing holds the per-cluster capacities derived from the trace.
+type sizing struct {
+	infinite  []int    // per-cluster infinite cache size, in cache units
+	proxyCap  []uint64 // per-proxy cache capacity
+	clientCap []uint64 // per-client cache capacity per cluster
+	p2pCap    []uint64 // aggregate P2P capacity per cluster
+}
+
+// computeSizing applies the paper's sizing rules (§5.1).  With
+// variable-size traces the infinite cache size counts cache units
+// rather than objects (they coincide for the paper's unit-size
+// workloads).
+func computeSizing(tr *trace.Trace, cfg Config) sizing {
+	total := cfg.NumProxies * cfg.ClientsPerCluster
+	units := trace.InfiniteCacheUnits(tr, cfg.NumProxies, func(c trace.ClientID) int {
+		return (int(c) % total) / cfg.ClientsPerCluster
+	})
+	inf := make([]int, len(units))
+	for i, u := range units {
+		inf[i] = int(u)
+	}
+	s := sizing{
+		infinite:  inf,
+		proxyCap:  make([]uint64, cfg.NumProxies),
+		clientCap: make([]uint64, cfg.NumProxies),
+		p2pCap:    make([]uint64, cfg.NumProxies),
+	}
+	for p, n := range inf {
+		pc := uint64(cfg.ProxyCacheFrac * float64(n))
+		if pc < 1 {
+			pc = 1
+		}
+		cc := uint64(cfg.ClientCacheFrac * float64(n))
+		if cc < 1 {
+			cc = 1
+		}
+		s.proxyCap[p] = pc
+		s.clientCap[p] = cc
+		s.p2pCap[p] = cc * uint64(cfg.P2PClientCaches)
+	}
+	return s
+}
+
+// clientMapping resolves a trace client onto (proxy, member index).
+func clientMapping(cfg Config, c trace.ClientID) (proxy, member int) {
+	total := cfg.NumProxies * cfg.ClientsPerCluster
+	idx := int(c) % total
+	return idx / cfg.ClientsPerCluster, idx % cfg.ClientsPerCluster
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"webcache/internal/bloom"
+	"webcache/internal/trace"
+)
+
+// Inter-proxy digests (Summary Cache, Fan et al. — the paper's
+// reference [7] and the deployable form of "directory-based schemes"
+// its related work surveys).
+//
+// With Config.DigestInterval == 0 the simulator gives cooperating
+// proxies perfect, instantaneous knowledge of each other's contents —
+// the idealization the paper's SC/FC/Hier-GD results assume.  With a
+// positive interval, each proxy instead publishes a Bloom-filter
+// digest of everything it can serve (proxy cache plus, for Hier-GD,
+// its P2P client cache) every N requests.  Peers consult the possibly
+// stale digest; a probe that the digest endorses but the peer can no
+// longer serve costs a wasted Tc round trip on top of wherever the
+// object is finally found, exactly as a stale Summary-Cache entry
+// does.
+type digest struct {
+	filter *bloom.Filter
+	fpRate float64
+	// contents enumerates what the owner can currently serve; it is
+	// re-snapshotted into the filter on each rebuild.
+	contents func() []trace.ObjectID
+	rebuilds int
+}
+
+// newDigest creates a digest around a content snapshotter.
+func newDigest(capacityHint int, fpRate float64, contents func() []trace.ObjectID) *digest {
+	d := &digest{
+		filter:   bloom.NewForCapacity(capacityHint+1, fpRate),
+		fpRate:   fpRate,
+		contents: contents,
+	}
+	d.rebuild()
+	return d
+}
+
+// rebuild re-snapshots the owner's contents.
+func (d *digest) rebuild() {
+	d.filter.Reset()
+	for _, obj := range d.contents() {
+		d.filter.Add(uint64(obj))
+	}
+	d.rebuilds++
+}
+
+// mayContain consults the (possibly stale) digest.
+func (d *digest) mayContain(obj trace.ObjectID) bool {
+	return d.filter.MayContain(uint64(obj))
+}
+
+// memoryBytes is the digest's advertised footprint.
+func (d *digest) memoryBytes() uint64 { return d.filter.MemoryBytes() }

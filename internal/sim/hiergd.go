@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"math/rand"
+
+	"webcache/internal/cache"
+	"webcache/internal/directory"
+	"webcache/internal/netmodel"
+	"webcache/internal/p2p"
+	"webcache/internal/trace"
+)
+
+// hierGDEngine implements Hier-GD (paper §3–4) end to end:
+//
+//   - each proxy runs greedy-dual over its proxy cache;
+//   - each proxy owns a real P2P client cluster (Pastry overlay,
+//     greedy-dual at every client cache, object diversion);
+//   - proxy evictions are passed down into the P2P client cache,
+//     piggybacked on HTTP responses unless disabled;
+//   - the proxy maintains a lookup directory (Exact or Bloom) kept
+//     consistent by store receipts;
+//   - cooperating proxies serve each other from proxy caches or, via
+//     the push mechanism, from their P2P client caches.
+type hierGDEngine struct {
+	cfg         Config
+	net         netmodel.Model
+	proxies     []*hierGDProxy
+	rng         *rand.Rand
+	failed      int
+	staleProbes int
+}
+
+type hierGDProxy struct {
+	// cache is greedy-dual per the paper, or GDSF with Config.ProxyGDSF
+	// (the extension policy).
+	cache   cache.Policy
+	cluster *p2p.Cluster
+	dir     directory.Directory
+	dirFP   int
+	// digest advertises everything this proxy can serve to its
+	// cooperating proxies (proxy cache + P2P client cache); nil under
+	// perfect inter-proxy knowledge.
+	digest *digest
+}
+
+// serveable snapshots everything the proxy can serve a peer: its own
+// cache plus the P2P client cache (as recorded in its directory).
+func (px *hierGDProxy) serveable() []trace.ObjectID {
+	return append(px.cache.Objects(), px.dir.Objects()...)
+}
+
+func newHierGDEngine(cfg Config, sz sizing) (*hierGDEngine, error) {
+	e := &hierGDEngine{
+		cfg: cfg,
+		net: cfg.Net,
+		rng: rand.New(rand.NewSource(cfg.Seed + 0x5ee1)),
+	}
+	for p := 0; p < cfg.NumProxies; p++ {
+		cluster, err := p2p.NewCluster(p2p.Config{
+			NumClients:        cfg.P2PClientCaches,
+			PerClientCapacity: sz.clientCap[p],
+			DisableDiversion:  cfg.DisableDiversion,
+			ReplicateHotAfter: cfg.ReplicateHotAfter,
+			Seed:              cfg.Seed + int64(p)*7919,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var dir directory.Directory
+		if cfg.Directory == DirBloom {
+			dir = directory.NewBloom(int(sz.p2pCap[p])+1, cfg.BloomFPRate)
+		} else {
+			dir = directory.NewExact()
+		}
+		var proxyCache cache.Policy = cache.NewGreedyDual(sz.proxyCap[p])
+		if cfg.ProxyGDSF {
+			proxyCache = cache.NewGDSF(sz.proxyCap[p])
+		}
+		px := &hierGDProxy{
+			cache:   proxyCache,
+			cluster: cluster,
+			dir:     dir,
+		}
+		if cfg.DigestInterval > 0 {
+			px.digest = newDigest(int(sz.proxyCap[p]+sz.p2pCap[p]), cfg.DigestFPRate, px.serveable)
+		}
+		e.proxies = append(e.proxies, px)
+	}
+	return e, nil
+}
+
+func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int) (netmodel.Source, float64) {
+	px := e.proxies[proxy]
+	// Only the first P2PClientCaches members contribute cache nodes;
+	// requests from other members route via their nearest contributor.
+	member %= e.cfg.P2PClientCaches
+
+	// 1. Local proxy cache (greedy-dual hit refreshes H).
+	if px.cache.Access(obj) {
+		return netmodel.SrcLocalProxy, e.net.Latency(netmodel.SrcLocalProxy)
+	}
+
+	// 2. Own P2P client cache, if the lookup directory says so (§4.2).
+	//    The object is served from the client cache and stays there —
+	//    the proxy redirects the request, the response does not flow
+	//    through the proxy cache.
+	if px.dir.MayContain(obj) {
+		lr, err := px.cluster.Lookup(obj, member)
+		if err == nil && lr.Found {
+			for _, gone := range lr.Displaced {
+				px.dir.Remove(gone) // hot-object replica displaced these
+			}
+			return netmodel.SrcP2P, e.net.LatencyHops(netmodel.SrcP2P, lr.Hops)
+		}
+		// False positive (Bloom) or object lost to churn: repair the
+		// directory and fall through.  The wasted LAN lookup is charged
+		// on top of wherever the object is finally found.
+		px.dir.Remove(obj)
+		px.dirFP++
+	}
+
+	// 3. Cooperating proxies: their proxy caches first, then their P2P
+	//    client caches via push (§4.5).  With digests enabled, a peer
+	//    is only probed when its (possibly stale) digest endorses the
+	//    object; a wasted probe costs an extra Tc round trip.
+	src := netmodel.SrcServer
+	extra := 0.0
+	for q := 1; q < len(e.proxies); q++ {
+		peer := e.proxies[(proxy+q)%len(e.proxies)]
+		if peer.digest != nil && !peer.digest.mayContain(obj) {
+			continue
+		}
+		if peer.cache.Access(obj) {
+			src = netmodel.SrcRemoteProxy
+			break
+		}
+		if peer.dir.MayContain(obj) {
+			lr, err := peer.cluster.PushFetch(obj)
+			if err == nil && lr.Found {
+				for _, gone := range lr.Displaced {
+					peer.dir.Remove(gone) // replica displacement receipts
+				}
+				src = netmodel.SrcRemoteProxy
+				break
+			}
+			peer.dir.Remove(obj)
+			peer.dirFP++
+		}
+		if peer.digest != nil {
+			e.staleProbes++
+			extra += e.net.Tc
+		}
+	}
+
+	// 4. Fetch and cache at the proxy; greedy-dual cost is the fetch
+	//    latency actually paid.  Evictions pass down into the P2P
+	//    client cache (§3, Figure 1), piggybacked on the HTTP response
+	//    to the requesting client (§4.4).
+	cost := e.net.FetchCost(src)
+	evicted := px.cache.Add(entryFor(obj, size, cost))
+	for _, ev := range evicted {
+		r, err := px.cluster.StoreEvicted(ev, member, !e.cfg.DisablePiggyback)
+		if err != nil {
+			continue // cluster fully failed: the object is dropped
+		}
+		if r.StoredOK {
+			px.dir.Add(r.Stored)
+		}
+		for _, gone := range r.Evicted {
+			px.dir.Remove(gone)
+		}
+	}
+	return src, e.net.Latency(src) + extra
+}
+
+// maintain rebuilds inter-proxy digests and injects client-cache
+// failures (and optional replacements) on their respective periods.
+func (e *hierGDEngine) maintain(reqIdx int, res *Result) {
+	if e.cfg.DigestInterval > 0 && reqIdx > 0 && reqIdx%e.cfg.DigestInterval == 0 {
+		for _, px := range e.proxies {
+			px.digest.rebuild()
+		}
+	}
+	if e.cfg.FailEvery <= 0 || reqIdx == 0 || reqIdx%e.cfg.FailEvery != 0 {
+		return
+	}
+	p := e.rng.Intn(len(e.proxies))
+	px := e.proxies[p]
+	if px.cluster.LiveClients() <= 1 {
+		return
+	}
+	// Pick a random live client.
+	for attempts := 0; attempts < 100; attempts++ {
+		i := e.rng.Intn(e.cfg.P2PClientCaches)
+		if px.cluster.IsDead(i) {
+			continue
+		}
+		lost, err := px.cluster.FailClient(i)
+		if err != nil {
+			continue
+		}
+		for _, obj := range lost {
+			px.dir.Remove(obj)
+		}
+		e.failed++
+		res.FailedClients++
+		if e.cfg.ReplaceFailed {
+			px.cluster.JoinClient()
+		}
+		return
+	}
+}
+
+func (e *hierGDEngine) finish(res *Result) {
+	res.DigestStaleProbes += e.staleProbes
+	for _, px := range e.proxies {
+		res.addP2P(px.cluster.Stats())
+		if lb := px.cluster.LoadBalance(); lb.MaxServes > res.P2PMaxNodeServes {
+			res.P2PMaxNodeServes = lb.MaxServes
+		}
+		res.DirectoryFalsePositives += px.dirFP
+		res.DirectoryMemoryBytes += px.dir.MemoryBytes()
+		if px.digest != nil {
+			res.DigestMemoryBytes += px.digest.memoryBytes()
+			res.DigestRebuilds += px.digest.rebuilds
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+
+	"webcache/internal/netmodel"
+)
+
+func TestBytesAccounting(t *testing.T) {
+	tr := testTrace(t, 50)
+	for _, s := range []Scheme{NC, SCEC, HierGD} {
+		res := run(t, tr, Config{Scheme: s, ProxyCacheFrac: 0.2, Seed: 1})
+		var total uint64
+		for _, b := range res.Bytes {
+			total += b
+		}
+		// Unit sizes: bytes == request counts per source.
+		if total != uint64(tr.Len()) {
+			t.Errorf("%v: byte conservation broken (%d vs %d)", s, total, tr.Len())
+		}
+		for src := 0; src < netmodel.NumSources; src++ {
+			if res.Bytes[src] != uint64(res.Sources[src]) {
+				t.Errorf("%v: bytes[%d]=%d != sources %d (unit sizes)", s, src, res.Bytes[src], res.Sources[src])
+			}
+		}
+	}
+}
+
+func TestServerByteRatioDropsWithClientCaches(t *testing.T) {
+	tr := testTrace(t, 51)
+	nc := run(t, tr, Config{Scheme: NC, ProxyCacheFrac: 0.2, Seed: 1})
+	hg := run(t, tr, Config{Scheme: HierGD, ProxyCacheFrac: 0.2, Seed: 1})
+	if hg.ServerByteRatio() >= nc.ServerByteRatio() {
+		t.Errorf("Hier-GD server-byte ratio %.3f >= NC %.3f",
+			hg.ServerByteRatio(), nc.ServerByteRatio())
+	}
+	if nc.ServerByteRatio() <= 0 || nc.ServerByteRatio() > 1 {
+		t.Errorf("NC server-byte ratio %.3f out of range", nc.ServerByteRatio())
+	}
+}
+
+func TestServerByteRatioEmpty(t *testing.T) {
+	var r Result
+	if r.ServerByteRatio() != 0 {
+		t.Error("empty result ratio nonzero")
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"webcache/internal/netmodel"
+)
+
+// Property: over random small configurations of every scheme, the
+// simulator conserves requests, keeps latency within the physical
+// bounds, and never serves from tiers the scheme does not have.
+func TestPropSimInvariants(t *testing.T) {
+	tr := testTrace(t, 90)
+	f := func(seed int64, raw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scheme := Scheme(int(raw) % (NumSchemes))
+		cfg := Config{
+			Scheme:            scheme,
+			ProxyCacheFrac:    0.05 + rng.Float64()*0.9,
+			ClientsPerCluster: 20 + rng.Intn(80),
+			NumProxies:        1 + rng.Intn(3),
+			Seed:              seed,
+		}
+		res, err := Run(tr, cfg)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, n := range res.Sources {
+			sum += n
+		}
+		if sum != tr.Len() {
+			return false
+		}
+		net := netmodel.Default()
+		if res.AvgLatency < 0 || res.AvgLatency > net.Tl+net.Ts+net.Tc {
+			return false
+		}
+		if !scheme.UsesClientCaches() && res.Sources[netmodel.SrcP2P] != 0 {
+			return false
+		}
+		if !scheme.Cooperative() && res.Sources[netmodel.SrcRemoteProxy] != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

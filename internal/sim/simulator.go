@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"fmt"
+
+	"webcache/internal/cache"
+	"webcache/internal/netmodel"
+	"webcache/internal/trace"
+)
+
+// engine is one scheme's per-request logic.  serve processes a request
+// by a member of a proxy's cluster and returns the serving tier plus
+// the end-to-end latency charged to the client.
+type engine interface {
+	serve(obj trace.ObjectID, size uint32, proxy, member int) (netmodel.Source, float64)
+	// finish folds engine-specific telemetry into the result.
+	finish(res *Result)
+}
+
+// maintainer is implemented by engines with background maintenance
+// (Hier-GD's failure injection).
+type maintainer interface {
+	maintain(reqIdx int, res *Result)
+}
+
+// Run replays the trace under the configured scheme.
+func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	sz := computeSizing(tr, cfg)
+	for p, n := range sz.infinite {
+		if n == 0 {
+			return nil, fmt.Errorf("sim: cluster %d has an empty infinite cache (trace too small for %d proxies x %d clients)",
+				p, cfg.NumProxies, cfg.ClientsPerCluster)
+		}
+	}
+
+	var eng engine
+	var err error
+	switch cfg.Scheme {
+	case NC, SC, NCEC, SCEC:
+		eng = newLFUEngine(cfg, sz)
+	case FC, FCEC:
+		eng, err = newFCEngine(tr, cfg, sz)
+	case HierGD:
+		eng, err = newHierGDEngine(cfg, sz)
+	case Squirrel:
+		eng, err = newSquirrelEngine(cfg, sz)
+	default:
+		err = fmt.Errorf("sim: unhandled scheme %v", cfg.Scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Scheme:             cfg.Scheme,
+		InfiniteCacheSizes: sz.infinite,
+		ProxyCapacities:    sz.proxyCap,
+		ClientCapacity:     sz.clientCap[0],
+	}
+	mnt, hasMaintenance := eng.(maintainer)
+	for i, r := range tr.Requests {
+		if hasMaintenance {
+			mnt.maintain(i, res)
+		}
+		proxy, member := clientMapping(cfg, r.Client)
+		src, lat := eng.serve(r.Object, r.Size, proxy, member)
+		if i < cfg.WarmupRequests {
+			continue // warm the caches without measuring
+		}
+		res.Requests++
+		res.Sources[src]++
+		res.Bytes[src] += uint64(r.Size)
+		res.TotalLatency += lat
+	}
+	if res.Requests > 0 {
+		res.AvgLatency = res.TotalLatency / float64(res.Requests)
+	}
+	eng.finish(res)
+	return res, nil
+}
+
+// lfuEngine implements NC, SC, NC-EC, and SC-EC: per-proxy LFU caches
+// (unified with the P2P client-cache tier for the EC variants) with
+// optional inter-proxy miss sharing, no replacement coordination.
+type lfuEngine struct {
+	cfg     Config
+	caches  []*tieredCache
+	digests []*digest // nil with perfect inter-proxy knowledge
+	stale   int
+}
+
+func newLFUEngine(cfg Config, sz sizing) *lfuEngine {
+	e := &lfuEngine{cfg: cfg, caches: make([]*tieredCache, cfg.NumProxies)}
+	ec := cfg.Scheme.UsesClientCaches()
+	for p := range e.caches {
+		p2pCap := uint64(0)
+		if ec {
+			p2pCap = sz.p2pCap[p]
+		}
+		// Non-EC schemes have no client tier: pool with zero extra.
+		single := !ec || cfg.SinglePoolEC
+		e.caches[p] = newTieredCache(sz.proxyCap[p], p2pCap, cfg.BasePolicy, single)
+	}
+	if cfg.DigestInterval > 0 && cfg.Scheme.Cooperative() {
+		for p := range e.caches {
+			c := e.caches[p]
+			e.digests = append(e.digests, newDigest(
+				int(sz.proxyCap[p]+sz.p2pCap[p]), cfg.DigestFPRate, c.objects))
+		}
+	}
+	return e
+}
+
+// maintain rebuilds the inter-proxy digests on their exchange period.
+func (e *lfuEngine) maintain(reqIdx int, _ *Result) {
+	if e.digests == nil || reqIdx == 0 || reqIdx%e.cfg.DigestInterval != 0 {
+		return
+	}
+	for _, d := range e.digests {
+		d.rebuild()
+	}
+}
+
+func (e *lfuEngine) serve(obj trace.ObjectID, size uint32, proxy, _ int) (netmodel.Source, float64) {
+	c := e.caches[proxy]
+	switch c.access(obj) {
+	case tierProxy:
+		return netmodel.SrcLocalProxy, e.cfg.Net.Latency(netmodel.SrcLocalProxy)
+	case tierClient:
+		return netmodel.SrcP2P, e.cfg.Net.Latency(netmodel.SrcP2P)
+	}
+	c.recordMiss(obj)
+	src := netmodel.SrcServer
+	extra := 0.0
+	if e.cfg.Scheme.Cooperative() {
+		for q := 1; q < len(e.caches); q++ {
+			pi := (proxy + q) % len(e.caches)
+			peer := e.caches[pi]
+			if e.digests != nil && !e.digests[pi].mayContain(obj) {
+				continue // digest says the peer cannot serve it
+			}
+			if peer.contains(obj) {
+				peer.touchRemote(obj)
+				src = netmodel.SrcRemoteProxy
+				break
+			}
+			if e.digests != nil {
+				// Stale digest entry: the probe was wasted.
+				e.stale++
+				extra += e.cfg.Net.Tc
+			}
+		}
+	}
+	// "Once a proxy fetches an object from another proxy, it caches
+	// the object locally" (§2) — and likewise for server fetches.
+	c.insert(entryFor(obj, size, e.cfg.Net.FetchCost(src)))
+	return src, e.cfg.Net.Latency(src) + extra
+}
+
+func (e *lfuEngine) finish(res *Result) {
+	res.DigestStaleProbes += e.stale
+	for _, d := range e.digests {
+		res.DigestMemoryBytes += d.memoryBytes()
+		res.DigestRebuilds += d.rebuilds
+	}
+}
+
+// entryFor builds a cache entry for a fetched object.
+func entryFor(obj trace.ObjectID, size uint32, cost float64) cache.Entry {
+	return cache.Entry{Obj: obj, Size: size, Cost: cost}
+}

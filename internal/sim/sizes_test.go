@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+
+	"webcache/internal/cache"
+	"webcache/internal/netmodel"
+	"webcache/internal/prowgen"
+	"webcache/internal/trace"
+)
+
+// variableSizeTrace generates a workload with the lognormal/Pareto
+// size model — the extension beyond the paper's unit-size assumption.
+func variableSizeTrace(t testing.TB) *trace.Trace {
+	t.Helper()
+	tr, err := prowgen.Generate(prowgen.Config{
+		NumRequests:   60_000,
+		NumObjects:    2_000,
+		NumClients:    200,
+		VariableSizes: true,
+		Seed:          31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestAllSchemesRunWithVariableSizes(t *testing.T) {
+	tr := variableSizeTrace(t)
+	nc := run(t, tr, Config{Scheme: NC, ProxyCacheFrac: 0.2, Seed: 1})
+	for _, s := range AllSchemes() {
+		res := run(t, tr, Config{Scheme: s, ProxyCacheFrac: 0.2, Seed: 1})
+		sum := 0
+		for _, n := range res.Sources {
+			sum += n
+		}
+		if sum != tr.Len() {
+			t.Errorf("%v: conservation broken (%d vs %d)", s, sum, tr.Len())
+		}
+		if s != NC {
+			if g := netmodel.Gain(res.AvgLatency, nc.AvgLatency); g <= 0 {
+				t.Errorf("%v: non-positive gain %.3f with variable sizes", s, g)
+			}
+		}
+	}
+}
+
+func TestVariableSizesInfiniteCacheInUnits(t *testing.T) {
+	tr := variableSizeTrace(t)
+	cfg := Config{Scheme: NC, ProxyCacheFrac: 0.2, Seed: 1}
+	cfg.fillDefaults()
+	sz := computeSizing(tr, cfg)
+	// With multi-KB objects the unit count must far exceed the object
+	// count.
+	st := trace.Analyze(tr)
+	for p, n := range sz.infinite {
+		if n <= st.MultiAccessed {
+			t.Errorf("cluster %d: infinite units %d <= multi-accessed objects %d", p, n, st.MultiAccessed)
+		}
+	}
+}
+
+func TestPlacementWithSizesRespectsUnits(t *testing.T) {
+	in := cache.PlacementInput{
+		Freq: [][]float64{{100, 90, 80, 70}},
+		Tiers: []cache.Tier{
+			{Proxy: 0, Capacity: 10, HitLatency: 0.05},
+		},
+		ServerLatency: 1,
+		RemoteLatency: 0.1,
+		Cooperative:   false,
+		Sizes:         []uint32{8, 4, 4, 2},
+	}
+	pl, err := cache.ComputePlacement(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := 0
+	for o := range pl.ByProxy[0] {
+		used += int(in.Sizes[o])
+	}
+	if used > 10 {
+		t.Fatalf("placement used %d units of 10", used)
+	}
+	// Density favours the small objects: 90/4, 80/4 and 70/2 beat
+	// 100/8, so objects 1,2,3 (10 units) should fill the tier.
+	for _, o := range []trace.ObjectID{1, 2, 3} {
+		if _, ok := pl.ByProxy[0][o]; !ok {
+			t.Errorf("dense object %d not placed", o)
+		}
+	}
+	if _, ok := pl.ByProxy[0][0]; ok {
+		t.Error("bulky object 0 placed over denser set")
+	}
+}
+
+func TestPlacementOversizeObjectSkipped(t *testing.T) {
+	in := cache.PlacementInput{
+		Freq:          [][]float64{{1000}},
+		Tiers:         []cache.Tier{{Proxy: 0, Capacity: 4, HitLatency: 0.05}},
+		ServerLatency: 1,
+		RemoteLatency: 0.1,
+		Sizes:         []uint32{100},
+	}
+	pl, err := cache.ComputePlacement(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Anywhere(0) {
+		t.Error("object larger than the tier placed anyway")
+	}
+}
+
+func TestPlacementSizesValidation(t *testing.T) {
+	in := cache.PlacementInput{
+		Freq:          [][]float64{{1, 2}},
+		Tiers:         []cache.Tier{{Proxy: 0, Capacity: 4, HitLatency: 0.05}},
+		ServerLatency: 1,
+		RemoteLatency: 0.1,
+		Sizes:         []uint32{1}, // wrong length
+	}
+	if _, err := cache.ComputePlacement(in); err == nil {
+		t.Error("mismatched sizes accepted")
+	}
+}

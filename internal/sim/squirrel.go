@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"webcache/internal/netmodel"
+	"webcache/internal/p2p"
+	"webcache/internal/trace"
+)
+
+// squirrelEngine implements the Squirrel home-node model (Iyer,
+// Rowstron & Druschel, PODC 2002) — the related system the paper
+// differentiates itself from (§6): a decentralized peer-to-peer web
+// cache pooling browser caches *in the absence of the proxy*.
+//
+// Per-request behaviour (home-store model):
+//
+//  1. the client routes the request through the Pastry overlay to the
+//     object's home node (its own cache partition acts as L1, but the
+//     trace is proxy-level — browser hits are already filtered out, as
+//     for every other scheme);
+//  2. a home-node hit serves at LAN cost (Tp2p);
+//  3. a miss fetches from the origin server and the home node caches
+//     the object.
+//
+// Squirrel has no proxy tier and, crucially, no inter-organization
+// sharing: client caches sit behind their organization's firewall, so
+// a Squirrel cluster in one organization cannot serve another (the
+// paper's §6 argument for keeping proxies in the loop).  The simulator
+// therefore gives each cluster an isolated overlay, and the
+// Hier-GD-vs-Squirrel comparison quantifies what proxy cooperation
+// adds on top of client-cache pooling.
+//
+// Squirrel is not one of the paper's seven schemes; it is provided as
+// the related-work baseline (Scheme value Squirrel).
+type squirrelEngine struct {
+	cfg      Config
+	net      netmodel.Model
+	clusters []*p2p.Cluster
+}
+
+func newSquirrelEngine(cfg Config, sz sizing) (*squirrelEngine, error) {
+	e := &squirrelEngine{cfg: cfg, net: cfg.Net}
+	for p := 0; p < cfg.NumProxies; p++ {
+		// Squirrel pools the whole client cache budget: the proxy-tier
+		// budget does not exist, so each client contributes only its
+		// cooperative partition, as in Hier-GD.
+		cluster, err := p2p.NewCluster(p2p.Config{
+			NumClients:        cfg.P2PClientCaches,
+			PerClientCapacity: sz.clientCap[p],
+			DisableDiversion:  cfg.DisableDiversion,
+			Seed:              cfg.Seed + int64(p)*104729,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.clusters = append(e.clusters, cluster)
+	}
+	return e, nil
+}
+
+func (e *squirrelEngine) serve(obj trace.ObjectID, size uint32, proxy, member int) (netmodel.Source, float64) {
+	cl := e.clusters[proxy]
+	member %= e.cfg.P2PClientCaches
+	lr, err := cl.Lookup(obj, member)
+	if err == nil && lr.Found {
+		// Home-node hit: the request goes client -> home node directly
+		// over the LAN; there is no proxy leg (Tl) at all.
+		lat := e.net.Tp2p
+		if lr.Hops > 1 {
+			lat += float64(lr.Hops-1) * e.net.PerHop
+		}
+		return netmodel.SrcP2P, lat
+	}
+	// Miss: the requesting client fetches from the origin server and
+	// hands the object to its home node for storage.
+	r, err := cl.StoreEvicted(entryFor(obj, size, e.net.Ts), member, true)
+	_ = r
+	if err != nil {
+		return netmodel.SrcServer, e.net.Ts
+	}
+	// No proxy: the client pays the server latency without the Tl leg.
+	return netmodel.SrcServer, e.net.Ts
+}
+
+func (e *squirrelEngine) finish(res *Result) {
+	for _, cl := range e.clusters {
+		res.addP2P(cl.Stats())
+	}
+}

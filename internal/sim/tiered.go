@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"webcache/internal/cache"
+	"webcache/internal/trace"
+)
+
+// tieredCache is the unified proxy+P2P cache the EC schemes use: an
+// exclusive two-level hierarchy where the proxy tier serves at Tl and
+// the client tier at Tp2p.  Insertions enter the proxy tier; proxy
+// evictions demote into the client tier; client-tier hits promote back
+// up (and the displaced proxy-tier victim demotes).  "Proxies and
+// their own P2P client caches share cache contents and coordinate
+// replacement so that they appear as one unified cache" (§2).
+//
+// With singlePool=true the two capacities are pooled into one cache
+// whose hits all cost the proxy-tier latency: the paper's literal
+// "simulate a P2P client cache as one single cache" upper bound.
+type tieredCache struct {
+	upper      cache.Policy
+	lower      cache.Policy
+	history    map[trace.ObjectID]uint64 // shared perfect-LFU history (nil for in-cache LFU)
+	singlePool bool
+}
+
+// newTieredCache builds the unified cache for one proxy.
+func newTieredCache(proxyCap, p2pCap uint64, kind BasePolicy, singlePool bool) *tieredCache {
+	t := &tieredCache{singlePool: singlePool}
+	mk := func(capacity uint64) cache.Policy {
+		switch kind {
+		case BaseLFUInCache:
+			return cache.NewLFU(capacity)
+		case BaseLRU:
+			return cache.NewLRU(capacity)
+		case BaseGreedyDual:
+			return cache.NewGreedyDual(capacity)
+		default: // BasePerfectLFU
+			if t.history == nil {
+				t.history = make(map[trace.ObjectID]uint64)
+			}
+			return cache.NewPerfectLFUShared(capacity, t.history)
+		}
+	}
+	if singlePool {
+		t.upper = mk(proxyCap + p2pCap)
+		return t
+	}
+	t.upper = mk(proxyCap)
+	t.lower = mk(p2pCap)
+	return t
+}
+
+// tier identifies where a unified-cache hit was served.
+type tier int
+
+const (
+	tierMiss tier = iota
+	tierProxy
+	tierClient
+)
+
+// access looks obj up in the unified cache, promoting client-tier hits.
+func (t *tieredCache) access(obj trace.ObjectID) tier {
+	if t.upper.Access(obj) {
+		return tierProxy
+	}
+	if t.singlePool {
+		return tierMiss
+	}
+	e, ok := t.lower.Peek(obj)
+	if !ok {
+		return tierMiss
+	}
+	// Promote: the object moves up; whatever the proxy tier evicts to
+	// make room demotes down.  Count the access in the shared history
+	// via Access before removal so LFU ranks stay truthful.
+	t.lower.Access(obj)
+	t.lower.Remove(obj)
+	t.insert(e)
+	return tierClient
+}
+
+// recordMiss updates perfect-LFU history for an uncached object.
+func (t *tieredCache) recordMiss(obj trace.ObjectID) {
+	if lfu, ok := t.upper.(*cache.LFU); ok {
+		lfu.RecordMiss(obj)
+	}
+}
+
+// insert adds a fetched object to the proxy tier, cascading evictions
+// into the client tier.  Objects falling out of the client tier leave
+// the unified cache entirely.
+func (t *tieredCache) insert(e cache.Entry) {
+	if t.upper.Contains(e.Obj) {
+		return
+	}
+	for _, ev := range t.upper.Add(e) {
+		if t.lower == nil {
+			continue
+		}
+		if uint64(ev.Size) > t.lower.Capacity() || t.lower.Contains(ev.Obj) {
+			continue
+		}
+		// Demotion: client-tier overflow is discarded.
+		t.lower.Add(ev)
+	}
+}
+
+// contains reports presence in either tier (for inter-proxy sharing).
+func (t *tieredCache) contains(obj trace.ObjectID) bool {
+	if t.upper.Contains(obj) {
+		return true
+	}
+	return t.lower != nil && t.lower.Contains(obj)
+}
+
+// touchRemote refreshes replacement state when a cooperating proxy
+// fetches obj from this unified cache.
+func (t *tieredCache) touchRemote(obj trace.ObjectID) {
+	if t.upper.Access(obj) {
+		return
+	}
+	if t.lower != nil {
+		t.lower.Access(obj)
+	}
+}
+
+// objects snapshots the unified contents (for digest rebuilds).
+func (t *tieredCache) objects() []trace.ObjectID {
+	out := t.upper.Objects()
+	if t.lower != nil {
+		out = append(out, t.lower.Objects()...)
+	}
+	return out
+}
+
+// len reports the unified population (tests).
+func (t *tieredCache) len() int {
+	n := t.upper.Len()
+	if t.lower != nil {
+		n += t.lower.Len()
+	}
+	return n
+}

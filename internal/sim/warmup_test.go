@@ -1,0 +1,50 @@
+package sim
+
+import "testing"
+
+func TestWarmupExcludesColdStart(t *testing.T) {
+	tr := testTrace(t, 60)
+	cold := run(t, tr, Config{Scheme: NC, ProxyCacheFrac: 0.3, Seed: 1})
+	warm := run(t, tr, Config{Scheme: NC, ProxyCacheFrac: 0.3, Seed: 1, WarmupRequests: 20_000})
+	if warm.Requests != tr.Len()-20_000 {
+		t.Fatalf("measured %d requests, want %d", warm.Requests, tr.Len()-20_000)
+	}
+	// Steady state must look better than whole-trace (compulsory
+	// misses concentrated early).
+	if warm.AvgLatency >= cold.AvgLatency {
+		t.Errorf("warm latency %.4f >= cold %.4f", warm.AvgLatency, cold.AvgLatency)
+	}
+	sum := 0
+	for _, n := range warm.Sources {
+		sum += n
+	}
+	if sum != warm.Requests {
+		t.Errorf("conservation under warmup broken: %d vs %d", sum, warm.Requests)
+	}
+}
+
+func TestWarmupValidation(t *testing.T) {
+	tr := testTrace(t, 61)
+	if _, err := Run(tr, Config{Scheme: NC, WarmupRequests: -1}); err == nil {
+		t.Error("negative warmup accepted")
+	}
+}
+
+// Sharing-starved organizations: with high cluster affinity the
+// inter-proxy schemes lose their edge while the EC tier keeps its own.
+func TestClusterAffinityStarvesSharing(t *testing.T) {
+	mk := func(aff float64) float64 {
+		tr, err := genAffinity(aff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc := run(t, tr, Config{Scheme: NC, ProxyCacheFrac: 0.2, Seed: 1})
+		sc := run(t, tr, Config{Scheme: SC, ProxyCacheFrac: 0.2, Seed: 1})
+		return 1 - sc.AvgLatency/nc.AvgLatency
+	}
+	homogeneous := mk(0)
+	disjoint := mk(0.95)
+	if disjoint >= homogeneous {
+		t.Errorf("SC gain with disjoint interests %.3f >= homogeneous %.3f", disjoint, homogeneous)
+	}
+}

@@ -1,0 +1,141 @@
+// Package stats provides the summary statistics the experiment layer
+// uses for multi-seed replication: means, variance, percentiles, and
+// Student-t confidence intervals, stdlib-only.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty reports a statistic over no samples.
+var ErrEmpty = errors.New("stats: no samples")
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased sample variance.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, errors.New("stats: variance needs >= 2 samples")
+	}
+	m, _ := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Percentile returns the p-th percentile (0..100) by linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile outside [0,100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median is the 50th percentile.
+func Median(xs []float64) (float64, error) { return Percentile(xs, 50) }
+
+// tCritical95 approximates the two-sided 95% Student-t critical value
+// for the given degrees of freedom (exact table for small df, the
+// normal limit beyond).
+func tCritical95(df int) float64 {
+	table := []float64{
+		0,                                                             // df=0 unused
+		12.706,                                                        // 1
+		4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2..10
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11..20
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21..30
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	switch {
+	case df < 40:
+		return 2.03
+	case df < 60:
+		return 2.01
+	case df < 120:
+		return 1.99
+	default:
+		return 1.96
+	}
+}
+
+// Summary bundles the replication statistics of one quantity.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+	// CI95 is the half-width of the 95% confidence interval of the
+	// mean (zero with fewer than two samples).
+	CI95 float64
+}
+
+// Summarize computes a Summary over the samples.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	med, _ := Median(xs)
+	s := Summary{N: len(xs), Mean: m, Median: med, Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	if len(xs) >= 2 {
+		sd, _ := StdDev(xs)
+		s.StdDev = sd
+		s.CI95 = tCritical95(len(xs)-1) * sd / math.Sqrt(float64(len(xs)))
+	}
+	return s, nil
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Error("empty mean accepted")
+	}
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || !close(m, 2.5) {
+		t.Errorf("mean = %g, %v", m, err)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	if _, err := Variance([]float64{1}); err == nil {
+		t.Error("variance of 1 sample accepted")
+	}
+	v, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil || !close(v, 32.0/7) {
+		t.Errorf("variance = %g, %v", v, err)
+	}
+	sd, _ := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !close(sd, math.Sqrt(32.0/7)) {
+		t.Errorf("stddev = %g", sd)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {62.5, 3.5},
+	} {
+		got, err := Percentile(xs, c.p)
+		if err != nil || !close(got, c.want) {
+			t.Errorf("P%g = %g, want %g (%v)", c.p, got, c.want, err)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty percentile accepted")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("percentile 101 accepted")
+	}
+	if v, err := Percentile([]float64{7}, 99); err != nil || v != 7 {
+		t.Errorf("single-sample percentile = %g, %v", v, err)
+	}
+	if m, err := Median([]float64{3, 1, 2}); err != nil || m != 2 {
+		t.Errorf("median = %g", m)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if !math.IsNaN(tCritical95(0)) {
+		t.Error("df=0 should be NaN")
+	}
+	if !close(tCritical95(1), 12.706) {
+		t.Error("df=1 wrong")
+	}
+	if !close(tCritical95(10), 2.228) {
+		t.Error("df=10 wrong")
+	}
+	if tCritical95(500) != 1.96 {
+		t.Error("large df should approach 1.96")
+	}
+	// Monotone non-increasing.
+	prev := tCritical95(1)
+	for df := 2; df < 200; df++ {
+		cur := tCritical95(df)
+		if cur > prev+1e-9 {
+			t.Fatalf("t-critical increased at df=%d: %g > %g", df, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Error("empty summarize accepted")
+	}
+	s, err := Summarize([]float64{5})
+	if err != nil || s.N != 1 || s.Mean != 5 || s.CI95 != 0 {
+		t.Errorf("single summary = %+v, %v", s, err)
+	}
+	s, _ = Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Min != 1 || s.Max != 5 || !close(s.Mean, 3) || !close(s.Median, 3) {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.CI95 <= 0 {
+		t.Error("CI95 should be positive with 5 samples")
+	}
+}
+
+// Property: the 95% CI of samples from a normal distribution contains
+// the true mean roughly 95% of the time (loose bound: >= 80% over 200
+// trials to keep the test stable).
+func TestPropCICoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const trials = 300
+	covered := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 10)
+		for j := range xs {
+			xs[j] = 4 + rng.NormFloat64()
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s.Mean-4) <= s.CI95 {
+			covered++
+		}
+	}
+	if frac := float64(covered) / trials; frac < 0.85 || frac > 1 {
+		t.Errorf("CI coverage %.2f far from nominal 0.95", frac)
+	}
+}
+
+// Property: Mean lies within [Min, Max] and Summarize agrees with the
+// direct computations.
+func TestPropSummaryConsistent(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		m, _ := Mean(xs)
+		return s.Mean == m && s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.N == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

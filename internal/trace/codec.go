@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Two interchange formats are provided:
+//
+//   - a text format (one "time client object size" line per request,
+//     '#' comments) for human inspection and interop with plotting
+//     scripts, and
+//   - a compact binary format (magic + varint-delta encoding) for
+//     storing the large traces the benchmark harness replays.
+//
+// Both round-trip exactly (property-tested in codec_test.go).
+
+const (
+	binaryMagic   = "WCTR"
+	binaryVersion = 1
+)
+
+// WriteText writes t in the text format.
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# webcache trace: %d requests, %d clients, %d objects\n",
+		len(t.Requests), t.NumClients, t.NumObjects)
+	for _, r := range t.Requests {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d\n", r.Time, r.Client, r.Object, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format.  Malformed lines produce an error
+// naming the line number.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	t := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		f := strings.Fields(s)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", line, len(f))
+		}
+		tm, err := strconv.ParseUint(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time: %v", line, err)
+		}
+		cl, err := strconv.ParseUint(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad client: %v", line, err)
+		}
+		ob, err := strconv.ParseUint(f[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad object: %v", line, err)
+		}
+		sz, err := strconv.ParseUint(f[3], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad size: %v", line, err)
+		}
+		t.Requests = append(t.Requests, Request{
+			Time:   uint32(tm),
+			Client: ClientID(cl),
+			Object: ObjectID(ob),
+			Size:   uint32(sz),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t.Recount()
+	return t, nil
+}
+
+// WriteBinary writes t in the binary format: a magic header, counts,
+// then per-request varints with time delta-encoded (times are
+// non-decreasing in valid traces, so deltas are small).
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	buf := make([]byte, binary.MaxVarintLen64)
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf, v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	for _, v := range []uint64{binaryVersion, uint64(len(t.Requests)), uint64(t.NumClients), uint64(t.NumObjects)} {
+		if err := put(v); err != nil {
+			return err
+		}
+	}
+	var prev uint32
+	for _, r := range t.Requests {
+		var dt uint64
+		if r.Time >= prev {
+			dt = uint64(r.Time-prev) << 1
+		} else {
+			// Encode a backwards jump (invalid but preserved) as
+			// odd-tagged absolute time so decoding round-trips.
+			dt = uint64(r.Time)<<1 | 1
+		}
+		if err := put(dt); err != nil {
+			return err
+		}
+		prev = r.Time
+		if err := put(uint64(r.Client)); err != nil {
+			return err
+		}
+		if err := put(uint64(r.Object)); err != nil {
+			return err
+		}
+		if err := put(uint64(r.Size)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ErrBadMagic reports a stream that is not a binary webcache trace.
+var ErrBadMagic = errors.New("trace: bad magic (not a binary webcache trace)")
+
+// ReadBinary parses the binary format written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, ErrBadMagic
+	}
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	ver, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if ver != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	n, err := get()
+	if err != nil {
+		return nil, err
+	}
+	nc, err := get()
+	if err != nil {
+		return nil, err
+	}
+	no, err := get()
+	if err != nil {
+		return nil, err
+	}
+	const maxRequests = 1 << 31
+	if n > maxRequests {
+		return nil, fmt.Errorf("trace: implausible request count %d", n)
+	}
+	t := &Trace{
+		Requests:   make([]Request, 0, n),
+		NumClients: int(nc),
+		NumObjects: int(no),
+	}
+	var prev uint32
+	for i := uint64(0); i < n; i++ {
+		dt, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("trace: request %d: %w", i, err)
+		}
+		var tm uint32
+		if dt&1 == 1 {
+			tm = uint32(dt >> 1)
+		} else {
+			tm = prev + uint32(dt>>1)
+		}
+		prev = tm
+		cl, err := get()
+		if err != nil {
+			return nil, err
+		}
+		ob, err := get()
+		if err != nil {
+			return nil, err
+		}
+		sz, err := get()
+		if err != nil {
+			return nil, err
+		}
+		t.Requests = append(t.Requests, Request{
+			Time:   tm,
+			Client: ClientID(cl),
+			Object: ObjectID(ob),
+			Size:   uint32(sz),
+		})
+	}
+	return t, nil
+}

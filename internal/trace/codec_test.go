@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomTrace(rng *rand.Rand, n int) *Trace {
+	t := &Trace{}
+	var tm uint32
+	for i := 0; i < n; i++ {
+		tm += uint32(rng.Intn(10))
+		t.Requests = append(t.Requests, Request{
+			Time:   tm,
+			Client: ClientID(rng.Intn(50)),
+			Object: ObjectID(rng.Intn(1000)),
+			Size:   uint32(1 + rng.Intn(5)),
+		})
+	}
+	t.Recount()
+	return t
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(1)), 500)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Requests, tr.Requests) {
+		t.Fatal("text round trip mismatch")
+	}
+	if got.NumClients != tr.NumClients || got.NumObjects != tr.NumObjects {
+		t.Errorf("universe mismatch: %d/%d vs %d/%d", got.NumClients, got.NumObjects, tr.NumClients, tr.NumObjects)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(2)), 500)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatal("binary round trip mismatch")
+	}
+}
+
+func TestBinaryRoundTripBackwardsTime(t *testing.T) {
+	// Backwards time is invalid per Validate but the codec must still
+	// round-trip it faithfully (odd-tag escape path).
+	tr := &Trace{Requests: []Request{
+		{Time: 100, Client: 0, Object: 0, Size: 1},
+		{Time: 50, Client: 1, Object: 1, Size: 1},
+		{Time: 60, Client: 0, Object: 2, Size: 1},
+	}}
+	tr.Recount()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Requests, tr.Requests) {
+		t.Fatalf("backwards-time round trip mismatch: %+v vs %+v", got.Requests, tr.Requests)
+	}
+}
+
+func TestReadTextCommentsAndBlank(t *testing.T) {
+	in := "# header\n\n0 1 2 3\n# trailing\n1 2 3 4\n"
+	tr, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tr.Len())
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"too few fields": "1 2 3\n",
+		"bad time":       "x 1 2 3\n",
+		"bad client":     "1 x 2 3\n",
+		"bad object":     "1 2 x 3\n",
+		"bad size":       "1 2 3 x\n",
+	} {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadText accepted %q", name, in)
+		}
+	}
+}
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPExxxx")); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(3)), 50)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for _, cut := range []int{2, 5, len(b) / 2, len(b) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(b[:cut])); err == nil {
+			t.Errorf("truncated at %d: no error", cut)
+		}
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(4)), 5000)
+	var tb, bb bytes.Buffer
+	if err := WriteText(&tb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if bb.Len() >= tb.Len() {
+		t.Errorf("binary (%d bytes) not smaller than text (%d bytes)", bb.Len(), tb.Len())
+	}
+}
+
+// Property: binary encode/decode is the identity on arbitrary valid
+// request streams.
+func TestPropBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		tr := randomTrace(rand.New(rand.NewSource(seed)), int(n)%200+1)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: text encode/decode preserves the request stream.
+func TestPropTextRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		tr := randomTrace(rand.New(rand.NewSource(seed)), int(n)%100+1)
+		var buf bytes.Buffer
+		if err := WriteText(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Requests, tr.Requests)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

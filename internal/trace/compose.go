@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"errors"
+	"sort"
+)
+
+// Trace composition utilities: experiments often need to combine
+// workloads (two organizations' logs into one proxy-cluster trace),
+// cut them by time window (one business day out of an 18-day UCB
+// trace), or interleave synthetic phases.  These helpers keep ids
+// disjoint and replay order time-consistent.
+
+// Merge interleaves traces by timestamp into one trace.  Client and
+// object ids are remapped into disjoint ranges per input (organization
+// A's object 7 is not organization B's object 7), which is what the
+// multi-organization experiments need.  Ties replay in input order.
+func Merge(traces ...*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, errors.New("trace: nothing to merge")
+	}
+	var clientBase []ClientID
+	var objectBase []ObjectID
+	var cb ClientID
+	var ob ObjectID
+	total := 0
+	for _, t := range traces {
+		if t == nil || len(t.Requests) == 0 {
+			return nil, errors.New("trace: cannot merge an empty trace")
+		}
+		clientBase = append(clientBase, cb)
+		objectBase = append(objectBase, ob)
+		cb += ClientID(t.NumClients)
+		ob += ObjectID(t.NumObjects)
+		total += len(t.Requests)
+	}
+	out := &Trace{Requests: make([]Request, 0, total)}
+	// k-way merge by time, stable across inputs.
+	idx := make([]int, len(traces))
+	for out.Len() < total {
+		best := -1
+		for i, t := range traces {
+			if idx[i] >= len(t.Requests) {
+				continue
+			}
+			if best == -1 || t.Requests[idx[i]].Time < traces[best].Requests[idx[best]].Time {
+				best = i
+			}
+		}
+		r := traces[best].Requests[idx[best]]
+		idx[best]++
+		out.Requests = append(out.Requests, Request{
+			Time:   r.Time,
+			Client: clientBase[best] + r.Client,
+			Object: objectBase[best] + r.Object,
+			Size:   r.Size,
+		})
+	}
+	out.NumClients = int(cb)
+	out.NumObjects = int(ob)
+	return out, nil
+}
+
+// Concat appends traces end to end in time: each subsequent trace's
+// timestamps are shifted to start one second after the previous one
+// ends.  Ids are shared (same universe), which models phased workloads
+// over one population.
+func Concat(traces ...*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, errors.New("trace: nothing to concatenate")
+	}
+	out := &Trace{}
+	var offset uint32
+	for _, t := range traces {
+		if t == nil || len(t.Requests) == 0 {
+			return nil, errors.New("trace: cannot concatenate an empty trace")
+		}
+		start := t.Requests[0].Time
+		var last uint32
+		for _, r := range t.Requests {
+			shifted := r.Time - start + offset
+			out.Requests = append(out.Requests, Request{
+				Time:   shifted,
+				Client: r.Client,
+				Object: r.Object,
+				Size:   r.Size,
+			})
+			last = shifted
+		}
+		offset = last + 1
+	}
+	out.Recount()
+	return out, nil
+}
+
+// TimeSlice returns the sub-trace with Time in [from, to) (original
+// ids preserved, timestamps rebased to the slice start).
+func TimeSlice(t *Trace, from, to uint32) (*Trace, error) {
+	if from >= to {
+		return nil, errors.New("trace: empty time window")
+	}
+	// Requests are time-ordered in valid traces: binary search.
+	lo := sort.Search(len(t.Requests), func(i int) bool { return t.Requests[i].Time >= from })
+	hi := sort.Search(len(t.Requests), func(i int) bool { return t.Requests[i].Time >= to })
+	if lo == hi {
+		return nil, errors.New("trace: time window contains no requests")
+	}
+	out := &Trace{
+		Requests:   make([]Request, hi-lo),
+		NumClients: t.NumClients,
+		NumObjects: t.NumObjects,
+	}
+	for i, r := range t.Requests[lo:hi] {
+		out.Requests[i] = Request{
+			Time:   r.Time - from,
+			Client: r.Client,
+			Object: r.Object,
+			Size:   r.Size,
+		}
+	}
+	return out, nil
+}
+
+// Compact renumbers clients and objects densely (dropping unused ids),
+// which shrinks the universe after filtering or slicing.  The mapping
+// preserves first-appearance order.
+func Compact(t *Trace) *Trace {
+	clientMap := make(map[ClientID]ClientID)
+	objectMap := make(map[ObjectID]ObjectID)
+	out := &Trace{Requests: make([]Request, len(t.Requests))}
+	for i, r := range t.Requests {
+		c, ok := clientMap[r.Client]
+		if !ok {
+			c = ClientID(len(clientMap))
+			clientMap[r.Client] = c
+		}
+		o, ok := objectMap[r.Object]
+		if !ok {
+			o = ObjectID(len(objectMap))
+			objectMap[r.Object] = o
+		}
+		out.Requests[i] = Request{Time: r.Time, Client: c, Object: o, Size: r.Size}
+	}
+	out.NumClients = len(clientMap)
+	out.NumObjects = len(objectMap)
+	return out
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func timedTrace(times []uint32, clientOffset ClientID) *Trace {
+	t := &Trace{}
+	for i, tm := range times {
+		t.Requests = append(t.Requests, Request{
+			Time:   tm,
+			Client: clientOffset + ClientID(i%3),
+			Object: ObjectID(i % 5),
+			Size:   1,
+		})
+	}
+	t.Recount()
+	return t
+}
+
+func TestMergeInterleavesByTime(t *testing.T) {
+	a := timedTrace([]uint32{0, 10, 20}, 0)
+	b := timedTrace([]uint32{5, 15, 25}, 0)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 6 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	want := []uint32{0, 5, 10, 15, 20, 25}
+	for i, r := range m.Requests {
+		if r.Time != want[i] {
+			t.Fatalf("times = %v at %d, want %v", r.Time, i, want[i])
+		}
+	}
+}
+
+func TestMergeDisjointIDs(t *testing.T) {
+	a := timedTrace([]uint32{0, 1, 2, 3, 4}, 0)
+	b := timedTrace([]uint32{0, 1, 2, 3, 4}, 0)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a's clients are [0,3), b's are remapped to [3,6); objects [0,5)
+	// and [5,10).
+	if m.NumClients != a.NumClients+b.NumClients {
+		t.Errorf("clients = %d", m.NumClients)
+	}
+	if m.NumObjects != a.NumObjects+b.NumObjects {
+		t.Errorf("objects = %d", m.NumObjects)
+	}
+	seenHigh := false
+	for _, r := range m.Requests {
+		if r.Object >= ObjectID(a.NumObjects) {
+			seenHigh = true
+		}
+	}
+	if !seenHigh {
+		t.Error("no remapped ids from the second trace")
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, err := Merge(timedTrace([]uint32{1}, 0), &Trace{}); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestConcatShiftsTime(t *testing.T) {
+	a := timedTrace([]uint32{100, 110}, 0)
+	b := timedTrace([]uint32{7, 9}, 0)
+	c, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0, 10, 11, 13}
+	for i, r := range c.Requests {
+		if r.Time != want[i] {
+			t.Fatalf("times[%d] = %d, want %d", i, r.Time, want[i])
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Concat(); err == nil {
+		t.Error("empty concat accepted")
+	}
+}
+
+func TestTimeSlice(t *testing.T) {
+	tr := timedTrace([]uint32{0, 5, 10, 15, 20}, 0)
+	s, err := TimeSlice(tr, 5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Requests[0].Time != 0 || s.Requests[2].Time != 10 {
+		t.Errorf("rebased times wrong: %v", s.Requests)
+	}
+	if _, err := TimeSlice(tr, 16, 16); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := TimeSlice(tr, 21, 30); err == nil {
+		t.Error("out-of-range window accepted")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		{Client: 100, Object: 5000, Size: 1},
+		{Client: 7, Object: 5000, Size: 1},
+		{Client: 100, Object: 9, Size: 1},
+	}}
+	tr.Recount()
+	c := Compact(tr)
+	if c.NumClients != 2 || c.NumObjects != 2 {
+		t.Fatalf("universe = %d/%d", c.NumClients, c.NumObjects)
+	}
+	if c.Requests[0].Client != 0 || c.Requests[1].Client != 1 || c.Requests[2].Client != 0 {
+		t.Errorf("client mapping wrong: %+v", c.Requests)
+	}
+	if c.Requests[0].Object != 0 || c.Requests[2].Object != 1 {
+		t.Errorf("object mapping wrong: %+v", c.Requests)
+	}
+}
+
+// Property: merging preserves per-input request multisets (modulo the
+// id remapping) and yields a valid, time-ordered trace.
+func TestPropMergePreservesCounts(t *testing.T) {
+	f := func(seed int64, n1, n2 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(n int) *Trace {
+			var tm uint32
+			tr := &Trace{}
+			for i := 0; i < n; i++ {
+				tm += uint32(rng.Intn(5))
+				tr.Requests = append(tr.Requests, Request{
+					Time: tm, Client: ClientID(rng.Intn(4)), Object: ObjectID(rng.Intn(9)), Size: 1,
+				})
+			}
+			tr.Recount()
+			return tr
+		}
+		a := mk(int(n1)%50 + 1)
+		b := mk(int(n2)%50 + 1)
+		m, err := Merge(a, b)
+		if err != nil {
+			return false
+		}
+		if m.Len() != a.Len()+b.Len() {
+			return false
+		}
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compact preserves the reference structure (same hit/miss
+// pattern under any cache) — verified via identical reuse distances.
+func TestPropCompactPreservesLocality(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{}
+		for i := 0; i < int(n)+5; i++ {
+			tr.Requests = append(tr.Requests, Request{
+				Client: ClientID(rng.Intn(500) * 3),
+				Object: ObjectID(rng.Intn(40) * 17),
+				Size:   1,
+			})
+		}
+		tr.Recount()
+		a := AnalyzeLocality(tr)
+		b := AnalyzeLocality(Compact(tr))
+		if a.ColdMisses != b.ColdMisses || len(a.Distances) != len(b.Distances) {
+			return false
+		}
+		for i := range a.Distances {
+			if a.Distances[i] != b.Distances[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

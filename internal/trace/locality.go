@@ -1,0 +1,134 @@
+package trace
+
+import "sort"
+
+// Temporal-locality profiling.  The LRU stack distance (reuse
+// distance) of a reference is the number of *distinct* objects touched
+// since the previous reference to the same object; the distribution of
+// stack distances fully determines the hit ratio of an LRU cache of
+// any size, and is the standard way to characterize the temporal
+// locality that ProWGen's stack model injects (Figure 4's knob).
+//
+// The computation is the classical Bennett–Kruskal algorithm: a
+// Fenwick (binary indexed) tree over reference positions counts, in
+// O(log n), how many distinct objects were touched since the last
+// reference.
+
+// fenwick is a binary indexed tree over positions 1..n.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+// add increments position i (1-based) by delta.
+func (f *fenwick) add(i, delta int) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the sum of positions 1..i.
+func (f *fenwick) prefix(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// total returns the sum over all positions.
+func (f *fenwick) total() int { return f.prefix(len(f.tree) - 1) }
+
+// LocalityProfile summarizes a trace's reuse-distance distribution.
+type LocalityProfile struct {
+	// Rereferences is the number of non-first references.
+	Rereferences int
+	// ColdMisses counts first references (infinite distance).
+	ColdMisses int
+	// Distances holds one reuse distance per re-reference, sorted
+	// ascending (for percentile queries and CDF export).
+	Distances []int
+	// MeanDistance and MedianDistance summarize the distribution.
+	MeanDistance   float64
+	MedianDistance int
+}
+
+// Percentile returns the p-th percentile (0..100) of reuse distances.
+func (lp *LocalityProfile) Percentile(p float64) int {
+	if len(lp.Distances) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(lp.Distances)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lp.Distances) {
+		idx = len(lp.Distances) - 1
+	}
+	return lp.Distances[idx]
+}
+
+// LRUHitRatio predicts the hit ratio of a single LRU cache holding
+// `capacity` objects directly from the profile (Mattson's stack
+// analysis): a reference hits iff its reuse distance is < capacity.
+func (lp *LocalityProfile) LRUHitRatio(capacity int) float64 {
+	total := lp.Rereferences + lp.ColdMisses
+	if total == 0 {
+		return 0
+	}
+	// Distances sorted ascending: count entries < capacity.
+	hits := sort.SearchInts(lp.Distances, capacity)
+	return float64(hits) / float64(total)
+}
+
+// AnalyzeLocality computes the reuse-distance profile of a trace.
+func AnalyzeLocality(t *Trace) *LocalityProfile {
+	n := len(t.Requests)
+	bit := newFenwick(n)
+	lastPos := make(map[ObjectID]int, t.NumObjects) // 1-based position of last reference
+	lp := &LocalityProfile{}
+	for i, r := range t.Requests {
+		pos := i + 1
+		if p, seen := lastPos[r.Object]; seen {
+			// Distinct objects referenced after position p.
+			dist := bit.total() - bit.prefix(p)
+			lp.Distances = append(lp.Distances, dist)
+			lp.Rereferences++
+			bit.add(p, -1)
+		} else {
+			lp.ColdMisses++
+		}
+		bit.add(pos, 1)
+		lastPos[r.Object] = pos
+	}
+	sort.Ints(lp.Distances)
+	if len(lp.Distances) > 0 {
+		sum := 0
+		for _, d := range lp.Distances {
+			sum += d
+		}
+		lp.MeanDistance = float64(sum) / float64(len(lp.Distances))
+		lp.MedianDistance = lp.Distances[len(lp.Distances)/2]
+	}
+	return lp
+}
+
+// PopularityCurve returns per-rank reference counts (rank 0 = most
+// popular), truncated to maxRanks (0 = all), for popularity plots and
+// Zipf fitting externally.
+func PopularityCurve(t *Trace, maxRanks int) []int {
+	freq := make(map[ObjectID]int, t.NumObjects)
+	for _, r := range t.Requests {
+		freq[r.Object]++
+	}
+	counts := make([]int, 0, len(freq))
+	for _, f := range freq {
+		counts = append(counts, f)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	if maxRanks > 0 && len(counts) > maxRanks {
+		counts = counts[:maxRanks]
+	}
+	return counts
+}

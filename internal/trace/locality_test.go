@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func reqSeq(objs ...ObjectID) *Trace {
+	t := &Trace{}
+	for _, o := range objs {
+		t.Requests = append(t.Requests, Request{Object: o, Size: 1})
+	}
+	t.Recount()
+	return t
+}
+
+func TestAnalyzeLocalityHandComputed(t *testing.T) {
+	// Sequence: A B C A B B
+	// A@3: distinct since A@0 = {B, C}          -> 2
+	// B@4: distinct since B@1 = {C, A}          -> 2
+	// B@5: distinct since B@4 = {}              -> 0
+	lp := AnalyzeLocality(reqSeq(1, 2, 3, 1, 2, 2))
+	if lp.ColdMisses != 3 || lp.Rereferences != 3 {
+		t.Fatalf("cold=%d reref=%d", lp.ColdMisses, lp.Rereferences)
+	}
+	want := []int{0, 2, 2}
+	if len(lp.Distances) != 3 {
+		t.Fatalf("distances = %v", lp.Distances)
+	}
+	for i, w := range want {
+		if lp.Distances[i] != w {
+			t.Fatalf("distances = %v, want %v", lp.Distances, want)
+		}
+	}
+	if lp.MedianDistance != 2 {
+		t.Errorf("median = %d", lp.MedianDistance)
+	}
+}
+
+func TestAnalyzeLocalityRepeatsAreZero(t *testing.T) {
+	lp := AnalyzeLocality(reqSeq(5, 5, 5, 5))
+	for _, d := range lp.Distances {
+		if d != 0 {
+			t.Fatalf("consecutive repeats must have distance 0: %v", lp.Distances)
+		}
+	}
+}
+
+// Mattson correspondence: the profile's predicted LRU hit ratio equals
+// an actual LRU simulation at every capacity.
+func TestLRUHitRatioMatchesSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var objs []ObjectID
+	for i := 0; i < 5000; i++ {
+		objs = append(objs, ObjectID(rng.Intn(150)))
+	}
+	tr := reqSeq(objs...)
+	lp := AnalyzeLocality(tr)
+	for _, capacity := range []int{1, 5, 20, 80, 200} {
+		predicted := lp.LRUHitRatio(capacity)
+		simulated := simulateLRU(objs, capacity)
+		if diff := predicted - simulated; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("capacity %d: predicted %.4f != simulated %.4f", capacity, predicted, simulated)
+		}
+	}
+}
+
+// simulateLRU is a direct LRU simulation used as ground truth.
+func simulateLRU(objs []ObjectID, capacity int) float64 {
+	pos := map[ObjectID]int{} // object -> index in list
+	var list []ObjectID       // front = MRU
+	hits := 0
+	for _, o := range objs {
+		if i, ok := pos[o]; ok {
+			hits++
+			list = append(list[:i], list[i+1:]...)
+		} else if len(list) >= capacity {
+			victim := list[len(list)-1]
+			list = list[:len(list)-1]
+			delete(pos, victim)
+		}
+		list = append([]ObjectID{o}, list...)
+		for j, v := range list {
+			pos[v] = j
+		}
+	}
+	return float64(hits) / float64(len(objs))
+}
+
+func TestPercentile(t *testing.T) {
+	lp := &LocalityProfile{Distances: []int{1, 2, 3, 4, 5}}
+	if lp.Percentile(0) != 1 || lp.Percentile(100) != 5 || lp.Percentile(50) != 3 {
+		t.Errorf("percentiles wrong: %d %d %d", lp.Percentile(0), lp.Percentile(50), lp.Percentile(100))
+	}
+	empty := &LocalityProfile{}
+	if empty.Percentile(50) != 0 {
+		t.Error("empty percentile nonzero")
+	}
+}
+
+func TestPopularityCurve(t *testing.T) {
+	tr := reqSeq(1, 1, 1, 2, 2, 3)
+	got := PopularityCurve(tr, 0)
+	want := []int{3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("curve = %v, want %v", got, want)
+		}
+	}
+	if top := PopularityCurve(tr, 2); len(top) != 2 || top[0] != 3 {
+		t.Errorf("truncated curve = %v", top)
+	}
+}
+
+// Property: distances are bounded by the number of distinct objects,
+// and cold misses equal the distinct-object count.
+func TestPropLocalityBounds(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var objs []ObjectID
+		for i := 0; i < int(n)+5; i++ {
+			objs = append(objs, ObjectID(rng.Intn(12)))
+		}
+		tr := reqSeq(objs...)
+		lp := AnalyzeLocality(tr)
+		distinct := map[ObjectID]bool{}
+		for _, o := range objs {
+			distinct[o] = true
+		}
+		if lp.ColdMisses != len(distinct) {
+			return false
+		}
+		for _, d := range lp.Distances {
+			if d < 0 || d >= len(distinct) {
+				return false
+			}
+		}
+		return lp.ColdMisses+lp.Rereferences == len(objs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The ProWGen stack knob shows up in the profile: a larger stack gives
+// smaller reuse distances is covered in prowgen tests; here verify the
+// fenwick internals directly.
+func TestFenwick(t *testing.T) {
+	f := newFenwick(10)
+	f.add(3, 1)
+	f.add(7, 2)
+	if f.prefix(2) != 0 || f.prefix(3) != 1 || f.prefix(10) != 3 {
+		t.Fatalf("prefix sums wrong: %d %d %d", f.prefix(2), f.prefix(3), f.prefix(10))
+	}
+	if f.total() != 3 {
+		t.Fatalf("total = %d", f.total())
+	}
+	f.add(3, -1)
+	if f.total() != 2 {
+		t.Fatalf("total after removal = %d", f.total())
+	}
+}

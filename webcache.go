@@ -1,0 +1,261 @@
+// Package webcache is a from-scratch reproduction of "Exploiting
+// Client Caches: An Approach to Building Large Web Caches" (Zhu & Hu,
+// ICPP 2003): a trace-driven simulator for cooperative proxy caching
+// that federates client browser caches into a large peer-to-peer cache
+// over a Pastry overlay.
+//
+// The package is a facade over the implementation packages:
+//
+//	internal/pastry     the Pastry structured overlay
+//	internal/p2p        the P2P client cache (diversion, push, piggyback,
+//	                    hot-object replication)
+//	internal/directory  Exact and Bloom lookup directories
+//	internal/cache      LRU / LFU / greedy-dual / GDSF / Belady /
+//	                    cost-benefit placement
+//	internal/prowgen    the ProWGen synthetic workload generator + presets
+//	internal/trace      trace model, codecs, statistics, Squid ingestion
+//	internal/netmodel   the Ts/Tc/Tl/Tp2p latency model
+//	internal/sim        the seven caching schemes + Squirrel baseline
+//	internal/core       experiment sweeps for every paper figure
+//	internal/stats      replication statistics (means, CIs)
+//	internal/httpcache  the real HTTP deployment (see cmd/hiergdd)
+//
+// # Quick start
+//
+//	tr, _ := webcache.GenerateWorkload(webcache.WorkloadConfig{
+//		NumRequests: 200_000, NumObjects: 5_000, Seed: 1,
+//	})
+//	nc, _ := webcache.Run(tr, webcache.Config{Scheme: webcache.NC, ProxyCacheFrac: 0.2})
+//	hg, _ := webcache.Run(tr, webcache.Config{Scheme: webcache.HierGD, ProxyCacheFrac: 0.2})
+//	fmt.Printf("Hier-GD latency gain: %.1f%%\n", 100*webcache.Gain(hg.AvgLatency, nc.AvgLatency))
+//
+// To regenerate a paper figure:
+//
+//	fig, _ := webcache.RunFigure("2a", webcache.FigureOptions{Scale: 0.2})
+//	fmt.Print(webcache.FormatTable(fig))
+package webcache
+
+import (
+	"io"
+
+	"webcache/internal/core"
+	"webcache/internal/netmodel"
+	"webcache/internal/prowgen"
+	"webcache/internal/sim"
+	"webcache/internal/trace"
+)
+
+// Core simulation types.
+type (
+	// Scheme is a caching scheme (NC .. HierGD).
+	Scheme = sim.Scheme
+	// Config parameterizes one simulation run.
+	Config = sim.Config
+	// Result is the outcome of one run.
+	Result = sim.Result
+	// DirectoryKind selects Hier-GD's lookup directory.
+	DirectoryKind = sim.DirectoryKind
+)
+
+// Workload types.
+type (
+	// Trace is a replayable request trace.
+	Trace = trace.Trace
+	// Request is one trace record.
+	Request = trace.Request
+	// ObjectID identifies a Web object.
+	ObjectID = trace.ObjectID
+	// ClientID identifies a client machine.
+	ClientID = trace.ClientID
+	// TraceStats summarizes a trace.
+	TraceStats = trace.Stats
+	// WorkloadConfig parameterizes the ProWGen generator.
+	WorkloadConfig = prowgen.Config
+	// UCBConfig parameterizes the UCB-like trace reconstruction.
+	UCBConfig = prowgen.UCBConfig
+	// SquidOptions controls Squid access-log ingestion.
+	SquidOptions = trace.SquidOptions
+	// SquidResult reports what a Squid ingestion produced.
+	SquidResult = trace.SquidResult
+)
+
+// Network and experiment types.
+type (
+	// NetworkModel holds resolved Ts/Tc/Tl/Tp2p latencies.
+	NetworkModel = netmodel.Model
+	// NetworkParams selects a model through the paper's ratios.
+	NetworkParams = netmodel.Params
+	// Source is a serving tier (local proxy, P2P, remote, server).
+	Source = netmodel.Source
+	// Figure is a regenerated paper figure.
+	Figure = core.Figure
+	// FigureSeries is one curve of a figure.
+	FigureSeries = core.Series
+	// FigurePoint is one sample of a curve.
+	FigurePoint = core.Point
+	// FigureOptions scales and seeds a figure run.
+	FigureOptions = core.Options
+)
+
+// The seven caching schemes (paper §2–3) plus the Squirrel
+// related-work baseline (§6).
+const (
+	NC       = sim.NC
+	SC       = sim.SC
+	FC       = sim.FC
+	NCEC     = sim.NCEC
+	SCEC     = sim.SCEC
+	FCEC     = sim.FCEC
+	HierGD   = sim.HierGD
+	Squirrel = sim.Squirrel
+)
+
+// Lookup directory kinds (paper §4.2).
+const (
+	DirExact = sim.DirExact
+	DirBloom = sim.DirBloom
+)
+
+// Serving tiers.
+const (
+	SrcLocalProxy  = netmodel.SrcLocalProxy
+	SrcP2P         = netmodel.SrcP2P
+	SrcRemoteProxy = netmodel.SrcRemoteProxy
+	SrcServer      = netmodel.SrcServer
+)
+
+// Run replays a trace under a scheme configuration.
+func Run(tr *Trace, cfg Config) (*Result, error) { return sim.Run(tr, cfg) }
+
+// AllSchemes lists every scheme in presentation order.
+func AllSchemes() []Scheme { return sim.AllSchemes() }
+
+// ParseScheme resolves a scheme name ("hier-gd", "SCEC", ...).
+func ParseScheme(name string) (Scheme, error) { return sim.ParseScheme(name) }
+
+// GenerateWorkload produces a ProWGen synthetic trace (paper §5.1).
+func GenerateWorkload(cfg WorkloadConfig) (*Trace, error) { return prowgen.Generate(cfg) }
+
+// DefaultWorkload returns the paper's default workload configuration
+// (one million requests, 10,000 objects, 50% one-timers, alpha 0.7).
+func DefaultWorkload() WorkloadConfig { return prowgen.Default() }
+
+// GenerateUCBWorkload reconstructs the UCB Home-IP trace workload.
+func GenerateUCBWorkload(cfg UCBConfig) (*Trace, error) { return prowgen.GenerateUCB(cfg) }
+
+// WorkloadPreset describes a published proxy-trace family.
+type WorkloadPreset = prowgen.Preset
+
+// WorkloadPresets lists the built-in trace families (paper default,
+// UCB Home-IP, DEC, campus, backbone).
+func WorkloadPresets() []WorkloadPreset { return prowgen.Presets() }
+
+// GeneratePresetWorkload generates a trace from a named family at the
+// given request count.
+func GeneratePresetWorkload(name string, numRequests int, seed int64) (*Trace, error) {
+	_, cfg, err := prowgen.GeneratePreset(name, numRequests, seed)
+	if err != nil {
+		return nil, err
+	}
+	return prowgen.Generate(cfg)
+}
+
+// AnalyzeTrace computes first-order trace statistics.
+func AnalyzeTrace(tr *Trace) TraceStats { return trace.Analyze(tr) }
+
+// LocalityProfile is a trace's LRU reuse-distance distribution.
+type LocalityProfile = trace.LocalityProfile
+
+// AnalyzeLocality computes the reuse-distance profile (Mattson stack
+// analysis), which predicts LRU hit ratios at every cache size.
+func AnalyzeLocality(tr *Trace) *LocalityProfile { return trace.AnalyzeLocality(tr) }
+
+// PopularityCurve returns per-rank reference counts (rank 0 = most
+// popular), truncated to maxRanks (0 = all).
+func PopularityCurve(tr *Trace, maxRanks int) []int { return trace.PopularityCurve(tr, maxRanks) }
+
+// ReadTraceText / WriteTraceText exchange traces in the line format.
+func ReadTraceText(r io.Reader) (*Trace, error)   { return trace.ReadText(r) }
+func WriteTraceText(w io.Writer, tr *Trace) error { return trace.WriteText(w, tr) }
+
+// ReadSquidLog ingests a Squid native-format access.log into a trace,
+// interning clients and URLs to dense ids.
+func ReadSquidLog(r io.Reader, opts SquidOptions) (*SquidResult, error) {
+	return trace.ReadSquid(r, opts)
+}
+
+// ReadTraceBinary / WriteTraceBinary exchange traces in the compact
+// binary format.
+func ReadTraceBinary(r io.Reader) (*Trace, error)   { return trace.ReadBinary(r) }
+func WriteTraceBinary(w io.Writer, tr *Trace) error { return trace.WriteBinary(w, tr) }
+
+// NewNetworkModel resolves latency ratios into a model; DefaultNetwork
+// is the paper's default (Ts/Tc=10, Ts/Tl=20, Tp2p/Tl=1.4).
+func NewNetworkModel(p NetworkParams) (NetworkModel, error) { return netmodel.New(p) }
+
+// DefaultNetwork returns the paper's default latency model.
+func DefaultNetwork() NetworkModel { return netmodel.Default() }
+
+// Gain computes the paper's latency-gain metric 1 - Lx/Lnc.
+func Gain(lx, lnc float64) float64 { return netmodel.Gain(lx, lnc) }
+
+// RunFigure regenerates a paper figure ("2a".."5d").
+func RunFigure(id string, opts FigureOptions) (*Figure, error) { return core.RunFigure(id, opts) }
+
+// RunFigureReplicated regenerates a figure across several seeds and
+// reports mean gains with 95% confidence intervals.
+func RunFigureReplicated(id string, opts FigureOptions, replicates int) (*Figure, error) {
+	return core.RunFigureReplicated(id, opts, replicates)
+}
+
+// WriteFigureJSON / ReadFigureJSON exchange figures as JSON.
+func WriteFigureJSON(w io.Writer, f *Figure) error { return core.WriteJSON(w, f) }
+func ReadFigureJSON(r io.Reader) (*Figure, error)  { return core.ReadJSON(r) }
+
+// WriteFigureDAT writes gnuplot-ready columns; ExportGnuplot writes a
+// .dat plus a .gp script that renders the figure.
+func WriteFigureDAT(w io.Writer, f *Figure) error { return core.WriteDAT(w, f) }
+func ExportGnuplot(dir string, f *Figure) error   { return core.ExportGnuplot(dir, f) }
+
+// FigureIDs lists the reproducible figures.
+func FigureIDs() []string { return core.FigureIDs() }
+
+// FormatTable renders a figure as an aligned text table; FormatMarkdown
+// as a markdown table.
+func FormatTable(f *Figure) string    { return core.FormatTable(f) }
+func FormatMarkdown(f *Figure) string { return core.FormatMarkdown(f) }
+
+// SweepSchemes runs a custom latency-gain sweep of the given schemes
+// over the given cache fractions against any trace; the NC baseline is
+// computed automatically.
+func SweepSchemes(tr *Trace, base Config, schemes []Scheme, fracs []float64, workers int) (*Figure, error) {
+	return core.SweepSchemes(tr, base, schemes, fracs, workers)
+}
+
+// BasePolicy selects the replacement policy of the LFU-family schemes
+// (the paper fixes LFU; the alternatives ablate that choice).
+type BasePolicy = sim.BasePolicy
+
+// Baseline replacement policies for NC/SC/NC-EC/SC-EC.
+const (
+	BasePerfectLFU = sim.BasePerfectLFU
+	BaseLFUInCache = sim.BaseLFUInCache
+	BaseLRU        = sim.BaseLRU
+	BaseGreedyDual = sim.BaseGreedyDual
+)
+
+// MergeTraces interleaves traces by timestamp with ids remapped into
+// disjoint ranges (two organizations' logs into one cluster workload).
+func MergeTraces(traces ...*Trace) (*Trace, error) { return trace.Merge(traces...) }
+
+// ConcatTraces appends traces end to end in time over one shared id
+// universe (phased workloads).
+func ConcatTraces(traces ...*Trace) (*Trace, error) { return trace.Concat(traces...) }
+
+// TimeSliceTrace cuts the sub-trace with Time in [from, to), rebased.
+func TimeSliceTrace(tr *Trace, from, to uint32) (*Trace, error) {
+	return trace.TimeSlice(tr, from, to)
+}
+
+// CompactTrace renumbers clients and objects densely after filtering.
+func CompactTrace(tr *Trace) *Trace { return trace.Compact(tr) }
