@@ -1,0 +1,31 @@
+# Build/test entry points.  `make check` is the observability-layer
+# gate: vet everything and race-test the packages with concurrent
+# metric traffic.
+
+GO ?= go
+
+.PHONY: all build test check race bench vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The instrumentation gate: full vet plus race-enabled tests of the
+# metric registry and the simulator that feeds it.
+check: vet
+	$(GO) test -race ./internal/obs ./internal/sim
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every figure bench; set WEBCACHE_BENCH_SCALE and/or
+# WEBCACHE_BENCH_MANIFEST=bench.json to scale up or record a manifest.
+bench:
+	$(GO) test -bench=Fig -benchtime=1x .

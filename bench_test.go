@@ -50,7 +50,7 @@ func benchFigure(b *testing.B, id string) {
 	}
 	for _, s := range fig.Series {
 		if len(s.Points) > 0 {
-			b.ReportMetric(100*s.Points[0].Gain, "gain10%_"+sanitize(s.Label))
+			reportMetric(b, 100*s.Points[0].Gain, "gain10%_"+sanitize(s.Label))
 		}
 	}
 }
@@ -129,9 +129,9 @@ func BenchmarkDirectoryExactVsBloom(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(res.DirectoryMemoryBytes), "dir-bytes")
-			b.ReportMetric(float64(res.DirectoryFalsePositives), "false-lookups")
-			b.ReportMetric(res.AvgLatency*1000, "mlat")
+			reportMetric(b, float64(res.DirectoryMemoryBytes), "dir-bytes")
+			reportMetric(b, float64(res.DirectoryFalsePositives), "false-lookups")
+			reportMetric(b, res.AvgLatency*1000, "mlat")
 		})
 	}
 }
@@ -158,9 +158,9 @@ func BenchmarkObjectDiversion(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(100*res.HitRatio(webcache.SrcP2P), "p2p-hit%")
-			b.ReportMetric(float64(res.P2P.Evictions), "evictions")
-			b.ReportMetric(float64(res.P2P.Diversions), "diversions")
+			reportMetric(b, 100*res.HitRatio(webcache.SrcP2P), "p2p-hit%")
+			reportMetric(b, float64(res.P2P.Evictions), "evictions")
+			reportMetric(b, float64(res.P2P.Diversions), "diversions")
 		})
 	}
 }
@@ -186,8 +186,8 @@ func BenchmarkPiggyback(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(res.P2P.Messages), "messages")
-			b.ReportMetric(float64(res.P2P.PiggybackSave), "saved")
+			reportMetric(b, float64(res.P2P.Messages), "messages")
+			reportMetric(b, float64(res.P2P.PiggybackSave), "saved")
 		})
 	}
 }
@@ -211,7 +211,7 @@ func BenchmarkPastryRouting(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
-				b.ReportMetric(ov.Stats().MeanHops, "hops")
+				reportMetric(b, ov.Stats().MeanHops, "hops")
 			})
 		}
 	}
@@ -293,9 +293,9 @@ func BenchmarkInterProxyDigests(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(100*res.HitRatio(webcache.SrcRemoteProxy), "remote-hit%")
-			b.ReportMetric(float64(res.DigestStaleProbes), "stale-probes")
-			b.ReportMetric(res.AvgLatency*1000, "mlat")
+			reportMetric(b, 100*res.HitRatio(webcache.SrcRemoteProxy), "remote-hit%")
+			reportMetric(b, float64(res.DigestStaleProbes), "stale-probes")
+			reportMetric(b, res.AvgLatency*1000, "mlat")
 		})
 	}
 }
@@ -321,8 +321,8 @@ func BenchmarkProxyGDSF(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(100*res.HitRatio(webcache.SrcLocalProxy), "proxy-hit%")
-			b.ReportMetric(res.AvgLatency*1000, "mlat")
+			reportMetric(b, 100*res.HitRatio(webcache.SrcLocalProxy), "proxy-hit%")
+			reportMetric(b, res.AvgLatency*1000, "mlat")
 		})
 	}
 }
@@ -348,7 +348,7 @@ func BenchmarkVariableSizes(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(res.AvgLatency*1000, "mlat")
+			reportMetric(b, res.AvgLatency*1000, "mlat")
 			b.SetBytes(int64(tr.Len()))
 		})
 	}
@@ -377,8 +377,8 @@ func BenchmarkProximityRouting(b *testing.B) {
 				}
 			}
 			st := ov.Stats()
-			b.ReportMetric(st.MeanStretch, "stretch")
-			b.ReportMetric(st.MeanHops, "hops")
+			reportMetric(b, st.MeanStretch, "stretch")
+			reportMetric(b, st.MeanHops, "hops")
 		})
 	}
 }
@@ -404,8 +404,8 @@ func BenchmarkDiversionBalance(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(res.P2P.Diversions), "diversions")
-			b.ReportMetric(100*res.HitRatio(webcache.SrcP2P), "p2p-hit%")
+			reportMetric(b, float64(res.P2P.Diversions), "diversions")
+			reportMetric(b, 100*res.HitRatio(webcache.SrcP2P), "p2p-hit%")
 		})
 	}
 }
@@ -427,8 +427,8 @@ func BenchmarkSquirrelVsHierGD(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(res.AvgLatency*1000, "mlat")
-			b.ReportMetric(100*res.HitRatio(webcache.SrcP2P), "p2p-hit%")
+			reportMetric(b, res.AvgLatency*1000, "mlat")
+			reportMetric(b, 100*res.HitRatio(webcache.SrcP2P), "p2p-hit%")
 		})
 	}
 }
@@ -457,7 +457,7 @@ func BenchmarkBelady(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				misses = cache.ReplaySingleCache(ctor(), seq)
 			}
-			b.ReportMetric(float64(misses)/float64(opt), "x-optimal")
+			reportMetric(b, float64(misses)/float64(opt), "x-optimal")
 			b.SetBytes(int64(len(seq)))
 		})
 	}
@@ -491,8 +491,8 @@ func BenchmarkClusterAffinity(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				b.ReportMetric(100*webcache.Gain(sc.AvgLatency, nc.AvgLatency), "sc-gain%")
-				b.ReportMetric(100*webcache.Gain(hg.AvgLatency, nc.AvgLatency), "hiergd-gain%")
+				reportMetric(b, 100*webcache.Gain(sc.AvgLatency, nc.AvgLatency), "sc-gain%")
+				reportMetric(b, 100*webcache.Gain(hg.AvgLatency, nc.AvgLatency), "hiergd-gain%")
 			}
 		})
 	}
@@ -519,9 +519,9 @@ func BenchmarkHotReplication(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(res.P2PMaxNodeServes), "max-node-serves")
-			b.ReportMetric(float64(res.P2P.Replications), "replicas")
-			b.ReportMetric(100*res.HitRatio(webcache.SrcP2P), "p2p-hit%")
+			reportMetric(b, float64(res.P2PMaxNodeServes), "max-node-serves")
+			reportMetric(b, float64(res.P2P.Replications), "replicas")
+			reportMetric(b, 100*res.HitRatio(webcache.SrcP2P), "p2p-hit%")
 		})
 	}
 }
@@ -545,8 +545,8 @@ func BenchmarkBasePolicy(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(res.AvgLatency*1000, "mlat")
-			b.ReportMetric(100*res.LocalHitRatio(), "local-hit%")
+			reportMetric(b, res.AvgLatency*1000, "mlat")
+			reportMetric(b, 100*res.LocalHitRatio(), "local-hit%")
 		})
 	}
 }

@@ -9,6 +9,10 @@
 //	hiergdd cache -listen :9001 -capacity 16777216 -proxy http://localhost:8080
 //	hiergdd demo                     # whole topology in-process on localhost
 //
+// Both daemons accept -pprof addr to expose net/http/pprof on a side
+// listener (e.g. -pprof localhost:6060, then `go tool pprof
+// http://localhost:6060/debug/pprof/profile`).
+//
 // The demo starts an origin, two cooperating proxies with three client
 // caches each, drives a request script through them, and prints which
 // tier served every request — the paper's architecture observable
@@ -27,7 +31,24 @@ import (
 	"strings"
 
 	"webcache/internal/httpcache"
+	"webcache/internal/obs"
 )
+
+// startPprof exposes net/http/pprof on addr ("" disables).  Serve
+// errors surface asynchronously so a taken port doesn't kill the
+// daemon silently.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	errc := obs.ServePprof(addr)
+	go func() {
+		if err := <-errc; err != nil {
+			fmt.Fprintln(os.Stderr, "hiergdd: pprof listener:", err)
+		}
+	}()
+	fmt.Printf("hiergdd: pprof on http://%s/debug/pprof/\n", addr)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -61,7 +82,9 @@ func runProxy(args []string) error {
 	capacity := fs.Uint64("capacity", 64<<20, "proxy cache capacity in bytes")
 	self := fs.String("self", "", "externally reachable base URL (default http://<listen>)")
 	peers := fs.String("peers", "", "comma-separated cooperating proxy base URLs")
+	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
 	fs.Parse(args)
+	startPprof(*pprofAddr)
 
 	p := httpcache.NewProxy(*capacity)
 	base := *self
@@ -84,7 +107,9 @@ func runCache(args []string) error {
 	listen := fs.String("listen", ":9001", "listen address")
 	capacity := fs.Uint64("capacity", 16<<20, "cooperative cache capacity in bytes")
 	proxy := fs.String("proxy", "http://localhost:8080", "local proxy base URL")
+	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
 	fs.Parse(args)
+	startPprof(*pprofAddr)
 
 	cc := httpcache.NewClientCache(*capacity)
 	ln, err := net.Listen("tcp", *listen)

@@ -7,7 +7,15 @@
 //
 //	overlay -nodes 1024 -routes 10000          # hop statistics
 //	overlay -nodes 256 -fail 0.3 -routes 5000  # with 30% crashed nodes
+//	overlay -nodes 256 -fail 0.3 -stabilize    # ... plus a repair round
 //	overlay -nodes 64 -b 2 -verify             # verify routing vs ground truth
+//	overlay -nodes 512 -diagnose               # table/leaf-set health report
+//	overlay -nodes 512 -proximity              # proximity-aware tables (stretch)
+//
+// -l sets the leaf-set size and -seed the RNG seed.  Observability:
+// -progress paints a live routing progress line, -metrics dumps the
+// metric registry, -manifest writes a run-manifest JSON document, and
+// -cpuprofile/-memprofile capture pprof profiles (see METRICS.md).
 package main
 
 import (
@@ -17,35 +25,69 @@ import (
 	"math/rand"
 	"os"
 
+	"webcache/internal/obs"
 	"webcache/internal/pastry"
 )
 
 func main() {
 	var (
-		nodes     = flag.Int("nodes", 1024, "overlay size (the paper's client cluster size)")
-		b         = flag.Int("b", 4, "Pastry digit width in bits (1, 2, 4, 8)")
-		leafs     = flag.Int("l", 16, "leaf set size")
-		routes    = flag.Int("routes", 10_000, "number of random routes to measure")
-		fail      = flag.Float64("fail", 0, "fraction of nodes to crash before routing")
-		seed      = flag.Int64("seed", 1, "random seed")
-		verify    = flag.Bool("verify", false, "check every route against the ground-truth owner")
-		stabilize = flag.Bool("stabilize", false, "run a maintenance round after failures")
-		diagnose  = flag.Bool("diagnose", false, "print overlay health diagnostics")
-		proximity = flag.Bool("proximity", false, "proximity-aware routing tables (report stretch)")
+		nodes      = flag.Int("nodes", 1024, "overlay size (the paper's client cluster size)")
+		b          = flag.Int("b", 4, "Pastry digit width in bits (1, 2, 4, 8)")
+		leafs      = flag.Int("l", 16, "leaf set size")
+		routes     = flag.Int("routes", 10_000, "number of random routes to measure")
+		fail       = flag.Float64("fail", 0, "fraction of nodes to crash before routing")
+		seed       = flag.Int64("seed", 1, "random seed")
+		verify     = flag.Bool("verify", false, "check every route against the ground-truth owner")
+		stabilize  = flag.Bool("stabilize", false, "run a maintenance round after failures")
+		diagnose   = flag.Bool("diagnose", false, "print overlay health diagnostics")
+		proximity  = flag.Bool("proximity", false, "proximity-aware routing tables (report stretch)")
+		progress   = flag.Bool("progress", false, "print live routing progress with ETA to stderr")
+		metrics    = flag.Bool("metrics", false, "dump the run's metric registry to stderr on exit")
+		manifest   = flag.String("manifest", "", "write a run-manifest JSON document to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	var man *obs.Manifest
+	if *metrics || *manifest != "" {
+		reg = obs.NewRegistry("overlay")
+		man = obs.NewManifest("overlay")
+		for k, v := range map[string]any{
+			"nodes": *nodes, "b": *b, "l": *leafs, "routes": *routes,
+			"fail": *fail, "seed": *seed, "stabilize": *stabilize,
+			"proximity": *proximity,
+		} {
+			man.SetConfig(k, v)
+		}
+	}
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
 
 	ov, err := pastry.New(pastry.Config{B: *b, LeafSetSize: *leafs, Seed: *seed, ProximityAware: *proximity})
 	if err != nil {
 		fatal(err)
 	}
+	buildStop := reg.Timer("overlay.build").Start()
 	ids, err := ov.JoinN(*nodes, "overlay-cli")
+	buildStop()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("built overlay: %d nodes, b=%d (%d-ary digits), leaf set %d\n",
 		ov.Len(), *b, 1<<*b, *leafs)
 
+	if *fail >= 1 {
+		// A fraction of 1+ would crash the whole ring and the kill loop
+		// below could never finish; at least one node must survive.
+		fatal(fmt.Errorf("-fail %v: must be a fraction in [0, 1)", *fail))
+	}
 	if *fail > 0 {
 		rng := rand.New(rand.NewSource(*seed + 1))
 		toKill := int(*fail * float64(len(ids)))
@@ -55,13 +97,20 @@ func main() {
 				killed++
 			}
 		}
+		reg.Counter("overlay.failed_nodes").Add(int64(killed))
 		fmt.Printf("crashed %d nodes abruptly; %d remain\n", killed, ov.Len())
 		if *stabilize {
 			repairs := ov.Stabilize()
+			reg.Counter("overlay.stabilize_repairs").Add(int64(repairs))
 			fmt.Printf("stabilization round repaired %d state entries\n", repairs)
 		}
 	}
 
+	var pp *obs.ProgressPrinter
+	if *progress {
+		pp = obs.NewProgressPrinter(os.Stderr, "routing", *routes)
+	}
+	routeStop := reg.Timer("overlay.routing").Start()
 	hist := map[int]int{}
 	mismatches := 0
 	for i := 0; i < *routes; i++ {
@@ -76,9 +125,27 @@ func main() {
 				mismatches++
 			}
 		}
+		if pp != nil {
+			pp.Step(1)
+		}
+	}
+	routeStop()
+	if pp != nil {
+		pp.Finish()
 	}
 
 	st := ov.Stats()
+	if reg.Enabled() {
+		reg.Counter("overlay.nodes").Add(int64(ov.Len()))
+		reg.Counter("overlay.routes").Add(int64(st.Routes))
+		reg.Gauge("overlay.mean_hops").Set(st.MeanHops)
+		reg.Gauge("overlay.max_hops").SetMax(float64(st.MaxHops))
+		reg.Counter("overlay.repairs").Add(int64(st.Repairs))
+		reg.Counter("overlay.route_mismatches").Add(int64(mismatches))
+		if *proximity {
+			reg.Gauge("overlay.mean_stretch").Set(st.MeanStretch)
+		}
+	}
 	bound := math.Ceil(math.Log(float64(ov.Len())) / math.Log(float64(int(1)<<*b)))
 	fmt.Printf("\nroutes: %d   mean hops: %.2f   max: %d   log_%d(N) bound: %.0f\n",
 		st.Routes, st.MeanHops, st.MaxHops, 1<<*b, bound)
@@ -108,6 +175,22 @@ func main() {
 		}
 		fmt.Printf("  %2d hops  %6d  %s\n", h, n, bar)
 	}
+
+	if *memprofile != "" {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			fatal(err)
+		}
+	}
+	if *metrics {
+		fmt.Fprint(os.Stderr, reg.String())
+	}
+	if *manifest != "" {
+		man.Finish(reg)
+		if err := man.WriteFile(*manifest); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *verify {
 		if mismatches == 0 {
 			fmt.Println("\nverification: every route reached the ground-truth owner")

@@ -9,6 +9,10 @@
 //	tracegen -squid access.log -o corp.bin                       # Squid ingestion
 //	tracegen -analyze trace.bin -v                               # stats + locality
 //	tracegen -convert trace.bin -o trace.txt -format text        # convert
+//
+// Observability: -manifest writes a run-manifest JSON document (with
+// the generated trace's content fingerprint), and -cpuprofile /
+// -memprofile capture pprof profiles (see METRICS.md).
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"strings"
 
 	"webcache"
+	"webcache/internal/obs"
 )
 
 func main() {
@@ -41,8 +46,60 @@ func main() {
 		squid     = flag.String("squid", "", "ingest a Squid access.log into -o")
 		unitSizes = flag.Bool("unit-sizes", false, "with -squid: force unit object sizes")
 		verbose   = flag.Bool("v", false, "with -analyze: temporal-locality and popularity profiles")
+
+		manifest   = flag.String("manifest", "", "write a run-manifest JSON document to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+	var man *obs.Manifest
+	reg := (*obs.Registry)(nil)
+	if *manifest != "" {
+		reg = obs.NewRegistry("tracegen")
+		man = obs.NewManifest("tracegen")
+		for k, v := range map[string]any{
+			"requests": *requests, "objects": *objects, "clients": *clients,
+			"one-timers": *oneTimers, "alpha": *alpha, "stack": *stack,
+			"sizes": *sizes, "seed": *seed, "ucb": *ucb, "preset": *preset,
+			"scale": *scale, "o": *out,
+		} {
+			man.SetConfig(k, v)
+		}
+	}
+	// finish seals the manifest (and heap profile) after the produced
+	// or analyzed trace is known.
+	finish := func(tr *webcache.Trace) {
+		if tr != nil && reg.Enabled() {
+			reg.Counter("tracegen.requests").Add(int64(tr.Len()))
+			reg.Counter("tracegen.objects").Add(int64(tr.NumObjects))
+			reg.Counter("tracegen.clients").Add(int64(tr.NumClients))
+		}
+		if *memprofile != "" {
+			if err := obs.WriteHeapProfile(*memprofile); err != nil {
+				fatal(err)
+			}
+		}
+		if man != nil {
+			if tr != nil {
+				man.Trace = map[string]any{
+					"fingerprint": webcache.TraceFingerprint(tr),
+					"requests":    tr.Len(),
+				}
+			}
+			man.Finish(reg)
+			if err := man.WriteFile(*manifest); err != nil {
+				fatal(err)
+			}
+		}
+	}
 
 	switch {
 	case *squid != "":
@@ -63,6 +120,7 @@ func main() {
 		}
 		fmt.Printf("ingested %d/%d log lines (%d skipped): %s\n",
 			res.Trace.Len(), res.Lines, res.Skipped, webcache.AnalyzeTrace(res.Trace))
+		finish(res.Trace)
 	case *analyze != "":
 		tr, err := readTrace(*analyze)
 		if err != nil {
@@ -88,6 +146,7 @@ func main() {
 			}
 			fmt.Println()
 		}
+		finish(tr)
 
 	case *convert != "":
 		if *out == "" {
@@ -101,6 +160,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d requests to %s\n", tr.Len(), *out)
+		finish(tr)
 
 	case *out != "":
 		var tr *webcache.Trace
@@ -129,6 +189,7 @@ func main() {
 		}
 		st := webcache.AnalyzeTrace(tr)
 		fmt.Printf("wrote %s: %s\n", *out, st)
+		finish(tr)
 
 	default:
 		flag.Usage()

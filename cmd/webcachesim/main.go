@@ -8,11 +8,25 @@
 //	webcachesim -fig 2a -markdown        # markdown tables for EXPERIMENTS.md
 //	webcachesim -fig 5a -replicates 5    # multi-seed with 95% CIs
 //	webcachesim -fig 2a -plot plots/     # gnuplot .dat/.gp export
+//	webcachesim -fig 2a -json            # figures as JSON
 //	webcachesim -run hier-gd -frac 0.2   # a single scheme run with details
 //	webcachesim -compare -frac 0.2       # every scheme (and Squirrel) side by side
 //	webcachesim -compare -preset dec-isp # ... on a preset trace family
 //	webcachesim -compare -trace corp.bin # ... on an external trace file
 //	webcachesim -presets                 # list the workload families
+//
+// Observability (see METRICS.md for every metric and the manifest
+// schema):
+//
+//	webcachesim -fig 2a -progress            # live per-job progress with ETA
+//	webcachesim -fig 2a -metrics             # dump the metric registry to stderr
+//	webcachesim -fig 2a -manifest run.json   # write a run-manifest JSON document
+//	webcachesim -fig 2a -cpuprofile cpu.out  # CPU profile for go tool pprof
+//	webcachesim -fig 2a -memprofile mem.out  # heap profile on exit
+//
+// Reproducibility flags: -seed picks the workload/simulation seed,
+// -workers bounds sweep parallelism (0 = NumCPU), -ucb swaps in the
+// UCB-like trace for -run/-compare, and -v prints per-figure timing.
 //
 // Scale 1.0 replays the paper's full one-million-request workloads;
 // smaller scales preserve the shapes at a fraction of the cost.
@@ -26,6 +40,7 @@ import (
 	"time"
 
 	"webcache"
+	"webcache/internal/obs"
 )
 
 func main() {
@@ -47,67 +62,125 @@ func main() {
 		compare    = flag.Bool("compare", false, "run every scheme (plus the Squirrel baseline) at -frac and tabulate")
 		verbose    = flag.Bool("v", false, "print timing")
 	)
+	var of obsFlags
+	of.register()
 	flag.Parse()
 
-	src := traceSource{scale: *scale, seed: *seed, ucb: *ucb, file: *traceFile, preset: *preset}
-	switch {
-	case *listPre:
+	if *listPre {
 		for _, p := range webcache.WorkloadPresets() {
 			fmt.Printf("%-16s %s\n", p.Name, p.Description)
 		}
+		return
+	}
+	if !*compare && *runOne == "" && *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sess, err := of.start("webcachesim")
+	if err != nil {
+		fatal(err)
+	}
+	for k, v := range map[string]any{
+		"fig": *fig, "run": *runOne, "compare": *compare,
+		"scale": *scale, "frac": *frac, "seed": *seed,
+		"workers": *workers, "replicates": *replicates,
+		"ucb": *ucb, "trace": *traceFile, "preset": *preset,
+	} {
+		sess.setConfig(k, v)
+	}
+
+	src := traceSource{scale: *scale, seed: *seed, ucb: *ucb, file: *traceFile, preset: *preset}
+	switch {
 	case *compare:
-		if err := compareSchemes(src, *frac); err != nil {
-			fatal(err)
-		}
+		err = compareSchemes(src, *frac, sess)
 	case *runOne != "":
-		if err := runScheme(*runOne, src, *frac); err != nil {
-			fatal(err)
+		err = runScheme(*runOne, src, *frac, sess)
+	default:
+		// Timing goes through the obs timer API; when no registry was
+		// requested a private one backs the -v output.
+		treg := sess.reg
+		if treg == nil {
+			treg = obs.NewRegistry("webcachesim-timing")
 		}
-	case *fig != "":
 		ids := []string{*fig}
 		if *fig == "all" {
 			ids = webcache.FigureIDs()
 		}
+		sess.setNote("figures", ids)
 		for _, id := range ids {
-			start := time.Now()
-			opts := webcache.FigureOptions{Scale: *scale, Seed: *seed, Workers: *workers}
-			var f *webcache.Figure
-			var err error
-			if *replicates > 1 {
-				f, err = webcache.RunFigureReplicated(id, opts, *replicates)
-			} else {
-				f, err = webcache.RunFigure(id, opts)
-			}
-			if err != nil {
-				fatal(err)
-			}
-			switch {
-			case *jsonOut:
-				if err := webcache.WriteFigureJSON(os.Stdout, f); err != nil {
-					fatal(err)
-				}
-			case *markdown:
-				fmt.Printf("### Figure %s — %s\n\n", f.ID, f.Title)
-				fmt.Println(webcache.FormatMarkdown(f))
-			default:
-				fmt.Println(webcache.FormatTable(f))
-			}
-			if *plotDir != "" {
-				if err := webcache.ExportGnuplot(*plotDir, f); err != nil {
-					fatal(err)
-				}
-			}
-			if *verbose {
-				fmt.Fprintf(os.Stderr, "figure %s took %v\n", id, time.Since(start).Round(time.Millisecond))
+			if err = runFigure(id, sess, treg, *verbose, figureParams{
+				scale: *scale, seed: *seed, workers: *workers,
+				replicates: *replicates, markdown: *markdown,
+				jsonOut: *jsonOut, plotDir: *plotDir,
+			}); err != nil {
+				break
 			}
 		}
-	default:
-		flag.Usage()
-		os.Exit(2)
+	}
+	if cerr := sess.close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
 	}
 }
 
-func runScheme(name string, src traceSource, frac float64) error {
+// figureParams carries the rendering options for one figure run.
+type figureParams struct {
+	scale      float64
+	seed       int64
+	workers    int
+	replicates int
+	markdown   bool
+	jsonOut    bool
+	plotDir    string
+}
+
+// runFigure regenerates and renders one figure, timing it under
+// "figure.<id>" in treg and reporting sweep progress when enabled.
+func runFigure(id string, sess *obsSession, treg *obs.Registry, verbose bool, p figureParams) error {
+	timer := treg.Timer("figure." + id)
+	stop := timer.Start()
+	opts := webcache.FigureOptions{Scale: p.scale, Seed: p.seed, Workers: p.workers, Obs: sess.reg}
+	progress, finishProgress := sess.progressFunc("fig " + id)
+	opts.Progress = progress
+
+	var f *webcache.Figure
+	var err error
+	if p.replicates > 1 {
+		f, err = webcache.RunFigureReplicated(id, opts, p.replicates)
+	} else {
+		f, err = webcache.RunFigure(id, opts)
+	}
+	finishProgress()
+	stop()
+	if err != nil {
+		return err
+	}
+	switch {
+	case p.jsonOut:
+		if err := webcache.WriteFigureJSON(os.Stdout, f); err != nil {
+			return err
+		}
+	case p.markdown:
+		fmt.Printf("### Figure %s — %s\n\n", f.ID, f.Title)
+		fmt.Println(webcache.FormatMarkdown(f))
+	default:
+		fmt.Println(webcache.FormatTable(f))
+	}
+	if p.plotDir != "" {
+		if err := webcache.ExportGnuplot(p.plotDir, f); err != nil {
+			return err
+		}
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "figure %s took %v\n", id, timer.Total().Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runScheme(name string, src traceSource, frac float64, sess *obsSession) error {
 	scheme, err := webcache.ParseScheme(name)
 	if err != nil {
 		return err
@@ -116,19 +189,19 @@ func runScheme(name string, src traceSource, frac float64) error {
 	if err != nil {
 		return err
 	}
+	sess.setTrace(tr)
 	st := webcache.AnalyzeTrace(tr)
 	fmt.Printf("workload: %s\n", st)
 
-	nc, err := webcache.Run(tr, webcache.Config{Scheme: webcache.NC, ProxyCacheFrac: frac, Seed: src.seed})
+	nc, err := webcache.Run(tr, webcache.Config{Scheme: webcache.NC, ProxyCacheFrac: frac, Seed: src.seed, Obs: sess.reg})
 	if err != nil {
 		return err
 	}
-	res, err := webcache.Run(tr, webcache.Config{Scheme: scheme, ProxyCacheFrac: frac, Seed: src.seed})
+	res, err := webcache.Run(tr, webcache.Config{Scheme: scheme, ProxyCacheFrac: frac, Seed: src.seed, Obs: sess.reg})
 	if err != nil {
 		return err
 	}
-	seed := src.seed
-	_ = seed
+	sess.setNote("latency_gain", webcache.Gain(res.AvgLatency, nc.AvgLatency))
 	fmt.Printf("\n%s at %.0f%% proxy cache:\n", scheme, frac*100)
 	fmt.Printf("  avg latency      %.4f (NC: %.4f)\n", res.AvgLatency, nc.AvgLatency)
 	fmt.Printf("  latency gain     %.1f%%\n", 100*webcache.Gain(res.AvgLatency, nc.AvgLatency))
@@ -185,13 +258,14 @@ func (src traceSource) load() (*webcache.Trace, error) {
 	}
 }
 
-func compareSchemes(src traceSource, frac float64) error {
+func compareSchemes(src traceSource, frac float64, sess *obsSession) error {
 	tr, err := src.load()
 	if err != nil {
 		return err
 	}
+	sess.setTrace(tr)
 	fmt.Printf("workload: %s\nproxy cache: %.0f%% of infinite\n\n", webcache.AnalyzeTrace(tr), frac*100)
-	nc, err := webcache.Run(tr, webcache.Config{Scheme: webcache.NC, ProxyCacheFrac: frac, Seed: src.seed})
+	nc, err := webcache.Run(tr, webcache.Config{Scheme: webcache.NC, ProxyCacheFrac: frac, Seed: src.seed, Obs: sess.reg})
 	if err != nil {
 		return err
 	}
@@ -199,7 +273,7 @@ func compareSchemes(src traceSource, frac float64) error {
 		"scheme", "latency", "gain%", "proxy%", "p2p%", "remote%", "server%", "srv-bytes%")
 	schemes := append(webcache.AllSchemes(), webcache.Squirrel)
 	for _, s := range schemes {
-		res, err := webcache.Run(tr, webcache.Config{Scheme: s, ProxyCacheFrac: frac, Seed: src.seed})
+		res, err := webcache.Run(tr, webcache.Config{Scheme: s, ProxyCacheFrac: frac, Seed: src.seed, Obs: sess.reg})
 		if err != nil {
 			return err
 		}

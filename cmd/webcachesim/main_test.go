@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"webcache/internal/obs"
+)
+
+// TestRunManifestGolden drives a small -run end to end through the
+// observability session and checks the emitted manifest is
+// schema-valid, echoes the config, fingerprints the trace, and
+// carries the full metric set.
+func TestRunManifestGolden(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	of := obsFlags{manifest: path}
+	sess, err := of.start("webcachesim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.setConfig("run", "hier-gd")
+	sess.setConfig("frac", 0.3)
+
+	src := traceSource{scale: 0.02, seed: 1}
+	if err := runScheme("hier-gd", src, 0.3, sess); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := obs.ReadManifestFile(path)
+	if err != nil {
+		t.Fatalf("manifest failed validation: %v", err)
+	}
+	if m.Tool != "webcachesim" {
+		t.Fatalf("tool = %q", m.Tool)
+	}
+	if m.Config["run"] != "hier-gd" {
+		t.Fatalf("config echo missing: %v", m.Config)
+	}
+	if len(m.Metrics) < 10 {
+		t.Fatalf("manifest has %d metrics, want >= 10: %v", len(m.Metrics), m.Metrics)
+	}
+	// One NC baseline plus the scheme under test.
+	if m.Metrics["sim.runs"] != 2 {
+		t.Fatalf("sim.runs = %g, want 2", m.Metrics["sim.runs"])
+	}
+	fp, _ := m.Trace["fingerprint"].(string)
+	if !strings.HasPrefix(fp, "fnv1a:") {
+		t.Fatalf("trace fingerprint = %q", fp)
+	}
+	if m.WallSeconds <= 0 {
+		t.Fatalf("wall_seconds = %g", m.WallSeconds)
+	}
+	if gain, ok := m.Notes["latency_gain"].(float64); !ok || gain <= 0 {
+		t.Fatalf("latency_gain note = %v", m.Notes["latency_gain"])
+	}
+}
+
+// TestCPUProfileFlag checks that -cpuprofile produces a pprof-format
+// file (gzip-framed protobuf) even for a short run.
+func TestCPUProfileFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.out")
+	of := obsFlags{cpuprofile: path}
+	sess, err := of.start("webcachesim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runScheme("sc", traceSource{scale: 0.02, seed: 1}, 0.3, sess); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+		t.Fatalf("profile is not gzip-framed pprof data (%d bytes)", len(b))
+	}
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"webcache"
+	"webcache/internal/obs"
+)
+
+// obsFlags is the observability flag surface shared by the simulator
+// commands (README "Observability"): live progress, a metrics dump, a
+// run manifest, and pprof profile capture.
+type obsFlags struct {
+	progress   bool
+	metrics    bool
+	manifest   string
+	cpuprofile string
+	memprofile string
+}
+
+// register declares the flags on the default flag set.
+func (o *obsFlags) register() {
+	flag.BoolVar(&o.progress, "progress", false, "print live per-job sweep progress with ETA to stderr")
+	flag.BoolVar(&o.metrics, "metrics", false, "dump the run's metric registry to stderr on exit")
+	flag.StringVar(&o.manifest, "manifest", "", "write a run-manifest JSON document to this file (schema in METRICS.md)")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// obsSession is one command invocation's observability state: the
+// metric registry (nil unless -metrics or -manifest asked for one, so
+// instrumentation stays off by default), the manifest under
+// construction, and the CPU profiler stop hook.
+type obsSession struct {
+	flags    obsFlags
+	reg      *obs.Registry
+	manifest *obs.Manifest
+	stopCPU  func()
+}
+
+// start opens the session: allocates the registry and manifest when
+// requested and begins CPU profiling.
+func (o *obsFlags) start(tool string) (*obsSession, error) {
+	s := &obsSession{flags: *o}
+	if o.metrics || o.manifest != "" {
+		s.reg = obs.NewRegistry(tool)
+		s.manifest = obs.NewManifest(tool)
+	}
+	if o.cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(o.cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		s.stopCPU = stop
+	}
+	return s, nil
+}
+
+// setConfig echoes a resolved option into the manifest (no-op when no
+// manifest was requested).
+func (s *obsSession) setConfig(key string, value any) {
+	if s.manifest != nil {
+		s.manifest.SetConfig(key, value)
+	}
+}
+
+// setNote attaches a tool-specific extra to the manifest.
+func (s *obsSession) setNote(key string, value any) {
+	if s.manifest != nil {
+		s.manifest.SetNote(key, value)
+	}
+}
+
+// setTrace records the replayed workload's identity — counts plus a
+// content fingerprint — so two manifests are comparable only when they
+// replayed the same trace.
+func (s *obsSession) setTrace(tr *webcache.Trace) {
+	if s.manifest == nil {
+		return
+	}
+	st := webcache.AnalyzeTrace(tr)
+	s.manifest.Trace = map[string]any{
+		"fingerprint":      webcache.TraceFingerprint(tr),
+		"requests":         st.Requests,
+		"distinct_objects": st.DistinctObjs,
+		"distinct_clients": st.DistinctClients,
+		"zipf_alpha":       st.ZipfAlpha,
+	}
+}
+
+// progressFunc returns a core.Options-shaped progress callback that
+// paints a live line (with ETA) for the labelled sweep, or nil when
+// -progress is off.  The printer is created on the first callback,
+// when the job total is known.
+func (s *obsSession) progressFunc(label string) (cb func(done, total int), finish func()) {
+	if !s.flags.progress {
+		return nil, func() {}
+	}
+	var once sync.Once
+	var pp *obs.ProgressPrinter
+	cb = func(done, total int) {
+		once.Do(func() { pp = obs.NewProgressPrinter(os.Stderr, label, total) })
+		pp.Step(1)
+	}
+	finish = func() {
+		if pp != nil {
+			pp.Finish()
+		}
+	}
+	return cb, finish
+}
+
+// close finishes the session: stops profiling, writes the heap
+// profile, dumps metrics, and emits the manifest.  Call exactly once,
+// after all work has completed.
+func (s *obsSession) close() error {
+	if s.stopCPU != nil {
+		s.stopCPU()
+	}
+	if s.flags.memprofile != "" {
+		if err := obs.WriteHeapProfile(s.flags.memprofile); err != nil {
+			return err
+		}
+	}
+	if s.flags.metrics && s.reg != nil {
+		fmt.Fprint(os.Stderr, s.reg.String())
+	}
+	if s.flags.manifest != "" {
+		s.manifest.Finish(s.reg)
+		if err := s.manifest.WriteFile(s.flags.manifest); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+	}
+	return nil
+}

@@ -14,8 +14,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"webcache/internal/netmodel"
+	"webcache/internal/obs"
 	"webcache/internal/prowgen"
 	"webcache/internal/sim"
 	"webcache/internal/trace"
@@ -60,6 +63,16 @@ type Options struct {
 	Workers int
 	// Seed drives workload generation and simulation.
 	Seed int64
+	// Progress, if non-nil, is called after every completed sweep job
+	// with the cumulative finished count and the figure's job total —
+	// the hook behind webcachesim's -progress live ETA display.
+	// Callbacks may arrive concurrently from the worker pool.
+	Progress func(done, total int)
+	// Obs, if non-nil, receives sweep instrumentation: per-job timing
+	// ("core.sweep.job"), job counts, and worker utilization, plus
+	// every run's sim.* metrics (the registry is passed down into each
+	// simulation).  See METRICS.md.
+	Obs *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -124,8 +137,15 @@ type sweepJob struct {
 
 // runSweep executes jobs on a worker pool and assembles the points.
 // The NC baseline for each distinct baseline configuration is computed
-// once and shared.
-func runSweep(labels []string, jobs []sweepJob, workers int) ([]Series, error) {
+// once and shared.  Each job is timed into opts.Obs ("core.sweep.job",
+// with the baseline computation under "core.sweep.baseline") and
+// opts.Progress is notified as jobs complete; after the pool drains,
+// worker utilization (busy time over workers x wall time) is recorded.
+func runSweep(labels []string, jobs []sweepJob, opts Options) ([]Series, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	series := make([]Series, len(labels))
 	for i, l := range labels {
 		series[i] = Series{Label: l, Points: make([]Point, 0)}
@@ -155,51 +175,133 @@ func runSweep(labels []string, jobs []sweepJob, workers int) ([]Series, error) {
 	}
 	var baseMu sync.Mutex
 	baselines := map[ncKey]float64{}
-	baseline := func(j sweepJob) (float64, error) {
-		k := ncKey{j.ncCfg.ProxyCacheFrac, j.ncCfg.NumProxies, j.ncCfg.ClientsPerCluster, j.ncCfg.Net, j.tr}
-		baseMu.Lock()
-		v, ok := baselines[k]
-		baseMu.Unlock()
-		if ok {
-			return v, nil
-		}
-		res, err := sim.Run(j.tr, j.ncCfg)
-		if err != nil {
-			return 0, err
-		}
-		baseMu.Lock()
-		baselines[k] = res.AvgLatency
-		baseMu.Unlock()
-		return res.AvgLatency, nil
-	}
 
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j sweepJob) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			nc, err := baseline(j)
-			if err != nil {
-				results[j.series][j.point] = slot{err: err}
-				return
+	// The sweep loop exists twice.  The plain path is the loop exactly
+	// as it was before the observability layer: no telemetry variables,
+	// no per-job hooks, configs passed through untouched.  Sweeps
+	// without a registry or progress callback (the default, and the
+	// benchmarked configuration) therefore execute the same
+	// instructions they always did.  The instrumented path adds per-job
+	// and baseline timing, progress callbacks, and plumbs the registry
+	// into every simulation; it runs only when something is listening.
+	if opts.Obs.Enabled() || opts.Progress != nil {
+		baseline := func(j sweepJob) (float64, error) {
+			k := ncKey{j.ncCfg.ProxyCacheFrac, j.ncCfg.NumProxies, j.ncCfg.ClientsPerCluster, j.ncCfg.Net, j.tr}
+			baseMu.Lock()
+			v, ok := baselines[k]
+			baseMu.Unlock()
+			if ok {
+				return v, nil
 			}
-			res, err := sim.Run(j.tr, j.cfg)
+			defer opts.Obs.Timer("core.sweep.baseline").Start()()
+			ncCfg := j.ncCfg
+			ncCfg.Obs = opts.Obs
+			res, err := sim.Run(j.tr, ncCfg)
 			if err != nil {
-				results[j.series][j.point] = slot{err: err}
-				return
+				return 0, err
 			}
-			results[j.series][j.point] = slot{p: Point{
-				CacheFrac:  j.cfg.ProxyCacheFrac,
-				Gain:       netmodel.Gain(res.AvgLatency, nc),
-				AvgLatency: res.AvgLatency,
-				NCLatency:  nc,
-			}}
-		}(j)
+			baseMu.Lock()
+			baselines[k] = res.AvgLatency
+			baseMu.Unlock()
+			return res.AvgLatency, nil
+		}
+
+		jobTimer := opts.Obs.Timer("core.sweep.job")
+		var done atomic.Int64
+		start := time.Now()
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j sweepJob) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				defer jobTimer.Start()()
+				if opts.Progress != nil {
+					defer func() { opts.Progress(int(done.Add(1)), len(jobs)) }()
+				}
+				nc, err := baseline(j)
+				if err != nil {
+					results[j.series][j.point] = slot{err: err}
+					return
+				}
+				cfg := j.cfg
+				cfg.Obs = opts.Obs
+				res, err := sim.Run(j.tr, cfg)
+				if err != nil {
+					results[j.series][j.point] = slot{err: err}
+					return
+				}
+				results[j.series][j.point] = slot{p: Point{
+					CacheFrac:  j.cfg.ProxyCacheFrac,
+					Gain:       netmodel.Gain(res.AvgLatency, nc),
+					AvgLatency: res.AvgLatency,
+					NCLatency:  nc,
+				}}
+			}(j)
+		}
+		wg.Wait()
+
+		if opts.Obs.Enabled() {
+			opts.Obs.Counter("core.sweep.jobs").Add(int64(len(jobs)))
+			opts.Obs.Gauge("core.sweep.workers").Set(float64(workers))
+			// Busy time over the pool's total capacity: 1.0 means every
+			// worker computed the whole time (jobs may outnumber
+			// workers, so utilization is also capped by job
+			// granularity).
+			if wall := time.Since(start).Seconds(); wall > 0 {
+				util := jobTimer.Total().Seconds() / (wall * float64(workers))
+				opts.Obs.Gauge("core.sweep.worker_utilization").Set(util)
+			}
+		}
+	} else {
+		baseline := func(j sweepJob) (float64, error) {
+			k := ncKey{j.ncCfg.ProxyCacheFrac, j.ncCfg.NumProxies, j.ncCfg.ClientsPerCluster, j.ncCfg.Net, j.tr}
+			baseMu.Lock()
+			v, ok := baselines[k]
+			baseMu.Unlock()
+			if ok {
+				return v, nil
+			}
+			res, err := sim.Run(j.tr, j.ncCfg)
+			if err != nil {
+				return 0, err
+			}
+			baseMu.Lock()
+			baselines[k] = res.AvgLatency
+			baseMu.Unlock()
+			return res.AvgLatency, nil
+		}
+
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j sweepJob) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				nc, err := baseline(j)
+				if err != nil {
+					results[j.series][j.point] = slot{err: err}
+					return
+				}
+				res, err := sim.Run(j.tr, j.cfg)
+				if err != nil {
+					results[j.series][j.point] = slot{err: err}
+					return
+				}
+				results[j.series][j.point] = slot{p: Point{
+					CacheFrac:  j.cfg.ProxyCacheFrac,
+					Gain:       netmodel.Gain(res.AvgLatency, nc),
+					AvgLatency: res.AvgLatency,
+					NCLatency:  nc,
+				}}
+			}(j)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	for si := range results {
 		for _, s := range results[si] {

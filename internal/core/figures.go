@@ -49,7 +49,7 @@ func schemesFigure(id, title string, tr *trace.Trace, opts Options) (*Figure, er
 			})
 		}
 	}
-	series, err := runSweep(labels, jobs, opts.Workers)
+	series, err := runSweep(labels, jobs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +82,7 @@ func Fig3(opts Options) (*Figure, error) {
 			si++
 		}
 	}
-	series, err := runSweep(labels, jobs, opts.Workers)
+	series, err := runSweep(labels, jobs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +115,7 @@ func Fig4(opts Options) (*Figure, error) {
 			si++
 		}
 	}
-	series, err := runSweep(labels, jobs, opts.Workers)
+	series, err := runSweep(labels, jobs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +146,7 @@ func Fig5a(opts Options) (*Figure, error) {
 			})
 		}
 	}
-	series, err := runSweep(labels, jobs, opts.Workers)
+	series, err := runSweep(labels, jobs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +177,7 @@ func Fig5b(opts Options) (*Figure, error) {
 			})
 		}
 	}
-	series, err := runSweep(labels, jobs, opts.Workers)
+	series, err := runSweep(labels, jobs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +219,7 @@ func Fig5c(opts Options) (*Figure, error) {
 		}
 		si++
 	}
-	series, err := runSweep(labels, jobs, opts.Workers)
+	series, err := runSweep(labels, jobs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +247,7 @@ func Fig5d(opts Options) (*Figure, error) {
 			})
 		}
 	}
-	series, err := runSweep(labels, jobs, opts.Workers)
+	series, err := runSweep(labels, jobs, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -20,11 +20,8 @@ func SweepSchemes(tr *trace.Trace, base sim.Config, schemes []sim.Scheme, fracs 
 	if len(fracs) == 0 {
 		fracs = DefaultFracs()
 	}
-	if workers <= 0 {
-		opts := Options{}
-		opts.fill()
-		workers = opts.Workers
-	}
+	opts := Options{Workers: workers}
+	opts.fill()
 	labels := make([]string, len(schemes))
 	var jobs []sweepJob
 	for si, s := range schemes {
@@ -39,7 +36,7 @@ func SweepSchemes(tr *trace.Trace, base sim.Config, schemes []sim.Scheme, fracs 
 			jobs = append(jobs, sweepJob{series: si, point: pi, tr: tr, cfg: cfg, ncCfg: ncCfg})
 		}
 	}
-	series, err := runSweep(labels, jobs, workers)
+	series, err := runSweep(labels, jobs, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// ManifestSchema is the version of the run-manifest JSON layout.
+// Bump it whenever a field changes meaning; consumers diffing two
+// manifests should refuse mismatched schemas.
+const ManifestSchema = 1
+
+// Manifest is one run's machine-readable record: what was run (tool,
+// args, config echo, workload fingerprint), on what (version, Go,
+// host), how long it took (wall and CPU time), and everything the
+// metric registry observed.  One JSON document per simulation, sweep,
+// or bench session — suitable for diffing runs mechanically and as
+// the payload format for future BENCH_*.json entries.  METRICS.md
+// documents the schema field by field.
+type Manifest struct {
+	Schema    int       `json:"schema"`
+	Tool      string    `json:"tool"`
+	Args      []string  `json:"args,omitempty"`
+	Version   string    `json:"version,omitempty"` // VCS revision (git describe equivalent)
+	GoVersion string    `json:"go_version"`
+	Host      string    `json:"host,omitempty"`
+	NumCPU    int       `json:"num_cpu"`
+	Start     time.Time `json:"start"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	CPUSeconds  float64 `json:"cpu_seconds"`
+
+	// Config echoes the resolved flag/option values of the run.
+	Config map[string]any `json:"config,omitempty"`
+	// Trace fingerprints the replayed workload (request/object/client
+	// counts plus a content hash), so two manifests are comparable
+	// only when their Trace blocks agree.
+	Trace map[string]any `json:"trace,omitempty"`
+	// Metrics is the flattened registry (Registry.Values).
+	Metrics map[string]float64 `json:"metrics"`
+	// Notes carries tool-specific extras (figure summaries, bench
+	// results) that don't fit the flat metric namespace.
+	Notes map[string]any `json:"notes,omitempty"`
+}
+
+// NewManifest starts a manifest for the named tool, stamping the
+// start time, command line, build version, and host environment.
+func NewManifest(tool string) *Manifest {
+	host, _ := os.Hostname()
+	return &Manifest{
+		Schema:    ManifestSchema,
+		Tool:      tool,
+		Args:      append([]string(nil), os.Args...),
+		Version:   buildVersion(),
+		GoVersion: runtime.Version(),
+		Host:      host,
+		NumCPU:    runtime.NumCPU(),
+		Start:     time.Now(),
+		Config:    map[string]any{},
+		Metrics:   map[string]float64{},
+	}
+}
+
+// buildVersion extracts the VCS revision baked into the binary — the
+// closest offline equivalent of git-describe.
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return bi.Main.Version
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + modified
+}
+
+// SetConfig echoes one resolved option value.
+func (m *Manifest) SetConfig(key string, value any) {
+	if m.Config == nil {
+		m.Config = map[string]any{}
+	}
+	m.Config[key] = value
+}
+
+// SetNote attaches one tool-specific extra.
+func (m *Manifest) SetNote(key string, value any) {
+	if m.Notes == nil {
+		m.Notes = map[string]any{}
+	}
+	m.Notes[key] = value
+}
+
+// Finish stamps the wall and CPU time and folds the registry's
+// metrics in.  Call it once, immediately before writing.
+func (m *Manifest) Finish(reg *Registry) {
+	m.WallSeconds = time.Since(m.Start).Seconds()
+	m.CPUSeconds = processCPUSeconds()
+	if m.Metrics == nil {
+		m.Metrics = map[string]float64{}
+	}
+	for k, v := range reg.Values() {
+		m.Metrics[k] = v
+	}
+}
+
+// Validate checks the invariants every consumer relies on.
+func (m *Manifest) Validate() error {
+	if m == nil {
+		return fmt.Errorf("obs: nil manifest")
+	}
+	if m.Schema != ManifestSchema {
+		return fmt.Errorf("obs: manifest schema %d, want %d", m.Schema, ManifestSchema)
+	}
+	if m.Tool == "" {
+		return fmt.Errorf("obs: manifest missing tool name")
+	}
+	if m.Start.IsZero() {
+		return fmt.Errorf("obs: manifest missing start time")
+	}
+	if m.WallSeconds < 0 || m.CPUSeconds < 0 {
+		return fmt.Errorf("obs: negative time in manifest (wall=%g cpu=%g)", m.WallSeconds, m.CPUSeconds)
+	}
+	if m.Metrics == nil {
+		return fmt.Errorf("obs: manifest missing metrics block")
+	}
+	return nil
+}
+
+// Write emits the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile validates and writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadManifest parses and validates a manifest document.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("obs: reading manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// ReadManifestFile parses and validates the manifest at path.
+func ReadManifestFile(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadManifest(f)
+}

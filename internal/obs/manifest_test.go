@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestManifestRoundTrip checks that a manifest survives JSON encoding
+// intact and validates on the way back in.
+func TestManifestRoundTrip(t *testing.T) {
+	reg := NewRegistry("round-trip")
+	reg.Counter("sim.requests").Add(12345)
+	reg.Gauge("core.sweep.worker_utilization").Set(0.87)
+	reg.Timer("core.sweep.job").Observe(250 * time.Millisecond)
+
+	m := NewManifest("webcachesim")
+	m.SetConfig("fig", "2a")
+	m.SetConfig("scale", 0.05)
+	m.Trace = map[string]any{"requests": 12345.0, "fingerprint": "fnv1a:deadbeef"}
+	m.SetNote("series", []string{"SC", "Hier-GD"})
+	m.Finish(reg)
+
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ManifestSchema || got.Tool != "webcachesim" {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Config["fig"] != "2a" || got.Config["scale"] != 0.05 {
+		t.Fatalf("config echo lost: %v", got.Config)
+	}
+	if got.Metrics["sim.requests"] != 12345 {
+		t.Fatalf("counter lost: %v", got.Metrics)
+	}
+	if got.Metrics["core.sweep.job.seconds"] != 0.25 || got.Metrics["core.sweep.job.count"] != 1 {
+		t.Fatalf("timer flattening lost: %v", got.Metrics)
+	}
+	if got.Trace["fingerprint"] != "fnv1a:deadbeef" {
+		t.Fatalf("trace fingerprint lost: %v", got.Trace)
+	}
+	if got.GoVersion == "" || got.NumCPU <= 0 {
+		t.Fatalf("environment stamp missing: %+v", got)
+	}
+}
+
+func TestManifestWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	m := NewManifest("tracegen")
+	m.Finish(nil)
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "tracegen" {
+		t.Fatalf("tool = %q", got.Tool)
+	}
+	if got.WallSeconds < 0 {
+		t.Fatalf("wall = %g", got.WallSeconds)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+		want   string
+	}{
+		{"wrong schema", func(m *Manifest) { m.Schema = 99 }, "schema"},
+		{"missing tool", func(m *Manifest) { m.Tool = "" }, "tool"},
+		{"zero start", func(m *Manifest) { m.Start = time.Time{} }, "start"},
+		{"negative wall", func(m *Manifest) { m.WallSeconds = -1 }, "negative"},
+		{"nil metrics", func(m *Manifest) { m.Metrics = nil }, "metrics"},
+	}
+	for _, tc := range cases {
+		m := NewManifest("t")
+		m.Finish(nil)
+		tc.mutate(m)
+		err := m.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	var nilM *Manifest
+	if nilM.Validate() == nil {
+		t.Error("nil manifest must not validate")
+	}
+}

@@ -1,0 +1,314 @@
+// Package obs provides the simulator's run-scoped observability: cheap
+// atomic counters, gauges, and timers collected into named Registry
+// instances, plus run manifests (manifest.go), progress/ETA tracking
+// (progress.go), and pprof wiring (profile.go).
+//
+// Instrumentation is opt-in and free when disabled: every method is a
+// no-op on a nil receiver, so code holds plain *Counter / *Gauge /
+// *Timer fields obtained from a possibly-nil *Registry and calls them
+// unconditionally.  The disabled path performs no allocation and no
+// atomic operation (asserted in obs_test.go), which is what lets the
+// hot replay loop stay instrumented without a measurable tax.
+//
+// Metric naming convention: dot-separated lowercase paths, with the
+// owning layer first — "sim.serves.local_proxy", "core.sweep.job",
+// "p2p.lookups".  METRICS.md documents every name the system emits.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.  The zero
+// value is ready to use; a nil *Counter ignores all operations.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n may be any sign; counters are conventionally
+// monotonic but this is not enforced).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 value.  Set overwrites, Add accumulates,
+// SetMax keeps the maximum.  A nil *Gauge ignores all operations.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add accumulates v into the gauge.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Timer accumulates durations: an observation count and total elapsed
+// nanoseconds.  A nil *Timer ignores all operations.
+type Timer struct {
+	count atomic.Int64
+	nanos atomic.Int64
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t != nil {
+		t.count.Add(1)
+		t.nanos.Add(int64(d))
+	}
+}
+
+// noopStop avoids allocating a closure on the disabled path.
+func noopStop() {}
+
+// Start begins one timed section and returns the function that ends
+// it.  On a nil timer the returned function is a shared no-op.
+func (t *Timer) Start() (stop func()) {
+	if t == nil {
+		return noopStop
+	}
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.nanos.Load())
+}
+
+// Mean returns the average observation (0 with no observations).
+func (t *Timer) Mean() time.Duration {
+	n := t.Count()
+	if n == 0 {
+		return 0
+	}
+	return t.Total() / time.Duration(n)
+}
+
+// Registry is one run's named metric set.  Metrics are created on
+// first use and live for the run; all accessors are safe for
+// concurrent use.  A nil *Registry is the disabled registry: every
+// accessor returns nil, and the nil metric handles ignore all
+// operations, so callers never branch on enablement.
+type Registry struct {
+	name string
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewRegistry creates an enabled registry.  The name scopes the run
+// ("webcachesim", "fig-2a", ...) and is echoed in manifests.
+func NewRegistry(name string) *Registry {
+	return &Registry{
+		name:     name,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Name returns the registry's run scope ("" when disabled).
+func (r *Registry) Name() string {
+	if r == nil {
+		return ""
+	}
+	return r.name
+}
+
+// Counter returns the named counter, creating it on first use.
+// Returns nil (the no-op counter) on a disabled registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Metric is one named observation in a registry snapshot.
+type Metric struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"` // "counter", "gauge", or "timer"
+	Value float64 `json:"value"`
+	// Count is the observation count for timers (Value is then the
+	// total in seconds); zero otherwise.
+	Count int64 `json:"count,omitempty"`
+}
+
+// Snapshot returns every metric, sorted by name.  Timers report their
+// total in seconds plus the observation count.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.timers))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, t := range r.timers {
+		out = append(out, Metric{Name: name, Kind: "timer", Value: t.Total().Seconds(), Count: t.Count()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Values flattens the snapshot into a name -> value map for manifest
+// embedding.  Timers contribute two entries: "<name>.seconds" and
+// "<name>.count".
+func (r *Registry) Values() map[string]float64 {
+	snap := r.Snapshot()
+	if snap == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(snap))
+	for _, m := range snap {
+		if m.Kind == "timer" {
+			out[m.Name+".seconds"] = m.Value
+			out[m.Name+".count"] = float64(m.Count)
+			continue
+		}
+		out[m.Name] = m.Value
+	}
+	return out
+}
+
+// String renders the snapshot as one aligned line per metric, for
+// -metrics style dumps.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	if len(snap) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, m := range snap {
+		switch m.Kind {
+		case "timer":
+			fmt.Fprintf(&b, "%-40s %12.6fs n=%d\n", m.Name, m.Value, m.Count)
+		case "counter":
+			fmt.Fprintf(&b, "%-40s %12d\n", m.Name, int64(m.Value))
+		default:
+			fmt.Fprintf(&b, "%-40s %12.4f\n", m.Name, m.Value)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines;
+// run under -race (see the Makefile's race target) to prove the
+// instrumentation is race-clean.
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry("test")
+	c := reg.Counter("hits")
+	const workers, perWorker = 16, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestGaugeConcurrent exercises the CAS paths of Add and SetMax.
+func TestGaugeConcurrent(t *testing.T) {
+	reg := NewRegistry("test")
+	sum := reg.Gauge("sum")
+	max := reg.Gauge("max")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				sum.Add(1)
+				max.SetMax(float64(w*1000 + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := sum.Value(); got != 8000 {
+		t.Fatalf("gauge sum = %g, want 8000", got)
+	}
+	if got := max.Value(); got != 7999 {
+		t.Fatalf("gauge max = %g, want 7999", got)
+	}
+}
+
+// TestDisabledZeroAlloc asserts the acceptance criterion that the
+// disabled path is free: metric lookup and every operation on the
+// resulting nil handles allocate nothing.
+func TestDisabledZeroAlloc(t *testing.T) {
+	var reg *Registry // disabled
+	c := reg.Counter("x")
+	g := reg.Gauge("y")
+	tm := reg.Timer("z")
+	allocs := testing.AllocsPerRun(1000, func() {
+		reg.Counter("sim.requests").Inc()
+		c.Add(3)
+		g.Set(1.5)
+		g.Add(2)
+		g.SetMax(9)
+		tm.Observe(time.Second)
+		tm.Start()()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation allocated %.1f bytes/op, want 0", allocs)
+	}
+	if c.Value() != 0 || g.Value() != 0 || tm.Count() != 0 {
+		t.Fatal("nil handles must observe nothing")
+	}
+	if reg.Enabled() {
+		t.Fatal("nil registry must report disabled")
+	}
+	if reg.Snapshot() != nil || reg.Values() != nil {
+		t.Fatal("nil registry must snapshot to nil")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	reg := NewRegistry("test")
+	tm := reg.Timer("phase")
+	tm.Observe(2 * time.Second)
+	tm.Observe(4 * time.Second)
+	if tm.Count() != 2 {
+		t.Fatalf("count = %d, want 2", tm.Count())
+	}
+	if tm.Total() != 6*time.Second {
+		t.Fatalf("total = %v, want 6s", tm.Total())
+	}
+	if tm.Mean() != 3*time.Second {
+		t.Fatalf("mean = %v, want 3s", tm.Mean())
+	}
+	stop := tm.Start()
+	stop()
+	if tm.Count() != 3 {
+		t.Fatalf("count after Start/stop = %d, want 3", tm.Count())
+	}
+}
+
+// TestSnapshotAndValues checks the snapshot ordering and the timer
+// flattening convention manifests rely on.
+func TestSnapshotAndValues(t *testing.T) {
+	reg := NewRegistry("test")
+	reg.Counter("b.count").Add(7)
+	reg.Gauge("a.value").Set(1.25)
+	reg.Timer("c.time").Observe(1500 * time.Millisecond)
+
+	snap := reg.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(snap))
+	}
+	for i, want := range []string{"a.value", "b.count", "c.time"} {
+		if snap[i].Name != want {
+			t.Fatalf("snapshot[%d] = %q, want %q (sorted)", i, snap[i].Name, want)
+		}
+	}
+
+	vals := reg.Values()
+	if vals["b.count"] != 7 || vals["a.value"] != 1.25 {
+		t.Fatalf("values = %v", vals)
+	}
+	if vals["c.time.seconds"] != 1.5 || vals["c.time.count"] != 1 {
+		t.Fatalf("timer flattening wrong: %v", vals)
+	}
+
+	if s := reg.String(); !strings.Contains(s, "b.count") {
+		t.Fatalf("String() missing metrics: %q", s)
+	}
+}
+
+func TestProgressETA(t *testing.T) {
+	p := NewProgress(10)
+	if _, ok := p.ETA(); ok {
+		t.Fatal("ETA must be unavailable before any job completes")
+	}
+	p.start = time.Now().Add(-10 * time.Second) // 5 jobs in 10s -> 2s/job
+	if got := p.Add(5); got != 5 {
+		t.Fatalf("Add returned %d, want 5", got)
+	}
+	eta, ok := p.ETA()
+	if !ok {
+		t.Fatal("ETA must be available after progress")
+	}
+	// 5 remaining at ~2s/job ≈ 10s.
+	if eta < 8*time.Second || eta > 12*time.Second {
+		t.Fatalf("eta = %v, want ~10s", eta)
+	}
+	if s := p.String(); !strings.Contains(s, "5/10") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestProgressPrinter(t *testing.T) {
+	var sb strings.Builder
+	pp := NewProgressPrinter(&sb, "fig 2a", 4)
+	for i := 0; i < 4; i++ {
+		pp.Step(1)
+	}
+	pp.Finish()
+	out := sb.String()
+	if !strings.Contains(out, "fig 2a") || !strings.Contains(out, "4/4") {
+		t.Fatalf("printer output %q missing label or completion", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("Finish must terminate the line")
+	}
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins writing a CPU profile to path and returns
+// the function that stops profiling and closes the file.  Wire it to
+// a -cpuprofile flag:
+//
+//	stop, err := obs.StartCPUProfile(*cpuprofile)
+//	...
+//	defer stop()
+func StartCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: starting CPU profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile garbage-collects (so the profile reflects live
+// objects) and writes an allocation profile to path, for -memprofile.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+// ServePprof exposes net/http/pprof on addr in a background
+// goroutine, for the long-running daemons' -pprof flag.  The error
+// channel receives the listener failure, if any.
+func ServePprof(addr string) <-chan error {
+	errc := make(chan error, 1)
+	go func() { errc <- http.ListenAndServe(addr, nil) }()
+	return errc
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"webcache/internal/netmodel"
+	"webcache/internal/obs"
 	"webcache/internal/trace"
 )
 
@@ -154,6 +155,13 @@ type Config struct {
 	WarmupRequests int
 	// Seed drives overlay construction and failure injection.
 	Seed int64
+	// Obs, when non-nil, receives run instrumentation (the sim.*
+	// namespace: serve/byte counts per tier, evictions, maintenance
+	// ticks, directory and P2P telemetry — see METRICS.md).  All
+	// metrics are cumulative, so concurrent sweep runs may share one
+	// registry.  nil (the default) disables instrumentation at zero
+	// cost.
+	Obs *obs.Registry `json:"-"`
 }
 
 func (c *Config) fillDefaults() {

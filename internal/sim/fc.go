@@ -120,10 +120,11 @@ func (e *fcEngine) replace(at int) error {
 }
 
 // maintain re-places the caches at window boundaries.
-func (e *fcEngine) maintain(reqIdx int, _ *Result) {
+func (e *fcEngine) maintain(reqIdx int, res *Result) {
 	if reqIdx == 0 || reqIdx%e.window != 0 {
 		return
 	}
+	res.MaintenanceTicks++
 	// The frequencies are recomputed from the trace; errors cannot
 	// occur after the constructor validated the shape once.
 	if err := e.replace(reqIdx); err != nil {

@@ -6,6 +6,7 @@ import (
 	"webcache/internal/cache"
 	"webcache/internal/directory"
 	"webcache/internal/netmodel"
+	"webcache/internal/obs"
 	"webcache/internal/p2p"
 	"webcache/internal/trace"
 )
@@ -22,12 +23,16 @@ import (
 //   - cooperating proxies serve each other from proxy caches or, via
 //     the push mechanism, from their P2P client caches.
 type hierGDEngine struct {
-	cfg         Config
-	net         netmodel.Model
-	proxies     []*hierGDProxy
-	rng         *rand.Rand
-	failed      int
-	staleProbes int
+	cfg     Config
+	net     netmodel.Model
+	proxies []*hierGDProxy
+	rng     *rand.Rand
+	failed  int
+	// staleProbes counts wasted Tc probes against stale inter-proxy
+	// digests (obs.Counter rather than an ad-hoc int so the value is
+	// shareable with a live registry; folded into the Result at
+	// finish).
+	staleProbes obs.Counter
 }
 
 type hierGDProxy struct {
@@ -36,7 +41,10 @@ type hierGDProxy struct {
 	cache   cache.Policy
 	cluster *p2p.Cluster
 	dir     directory.Directory
-	dirFP   int
+	// dirFP counts lookup-directory false positives (Bloom aliasing or
+	// churn staleness); evictions counts destaged proxy evictions.
+	dirFP     obs.Counter
+	evictions obs.Counter
 	// digest advertises everything this proxy can serve to its
 	// cooperating proxies (proxy cache + P2P client cache); nil under
 	// perfect inter-proxy knowledge.
@@ -116,7 +124,7 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int)
 		// directory and fall through.  The wasted LAN lookup is charged
 		// on top of wherever the object is finally found.
 		px.dir.Remove(obj)
-		px.dirFP++
+		px.dirFP.Inc()
 	}
 
 	// 3. Cooperating proxies: their proxy caches first, then their P2P
@@ -144,10 +152,10 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int)
 				break
 			}
 			peer.dir.Remove(obj)
-			peer.dirFP++
+			peer.dirFP.Inc()
 		}
 		if peer.digest != nil {
-			e.staleProbes++
+			e.staleProbes.Inc()
 			extra += e.net.Tc
 		}
 	}
@@ -158,6 +166,7 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int)
 	//    to the requesting client (§4.4).
 	cost := e.net.FetchCost(src)
 	evicted := px.cache.Add(entryFor(obj, size, cost))
+	px.evictions.Add(int64(len(evicted)))
 	for _, ev := range evicted {
 		r, err := px.cluster.StoreEvicted(ev, member, !e.cfg.DisablePiggyback)
 		if err != nil {
@@ -177,6 +186,7 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int)
 // failures (and optional replacements) on their respective periods.
 func (e *hierGDEngine) maintain(reqIdx int, res *Result) {
 	if e.cfg.DigestInterval > 0 && reqIdx > 0 && reqIdx%e.cfg.DigestInterval == 0 {
+		res.MaintenanceTicks++
 		for _, px := range e.proxies {
 			px.digest.rebuild()
 		}
@@ -184,6 +194,7 @@ func (e *hierGDEngine) maintain(reqIdx int, res *Result) {
 	if e.cfg.FailEvery <= 0 || reqIdx == 0 || reqIdx%e.cfg.FailEvery != 0 {
 		return
 	}
+	res.MaintenanceTicks++
 	p := e.rng.Intn(len(e.proxies))
 	px := e.proxies[p]
 	if px.cluster.LiveClients() <= 1 {
@@ -212,13 +223,14 @@ func (e *hierGDEngine) maintain(reqIdx int, res *Result) {
 }
 
 func (e *hierGDEngine) finish(res *Result) {
-	res.DigestStaleProbes += e.staleProbes
+	res.DigestStaleProbes += int(e.staleProbes.Value())
 	for _, px := range e.proxies {
 		res.addP2P(px.cluster.Stats())
 		if lb := px.cluster.LoadBalance(); lb.MaxServes > res.P2PMaxNodeServes {
 			res.P2PMaxNodeServes = lb.MaxServes
 		}
-		res.DirectoryFalsePositives += px.dirFP
+		res.ProxyEvictions += int(px.evictions.Value())
+		res.DirectoryFalsePositives += int(px.dirFP.Value())
 		res.DirectoryMemoryBytes += px.dir.MemoryBytes()
 		if px.digest != nil {
 			res.DigestMemoryBytes += px.digest.memoryBytes()

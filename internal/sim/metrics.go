@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"webcache/internal/netmodel"
+	"webcache/internal/obs"
 	"webcache/internal/p2p"
 )
 
@@ -42,6 +43,14 @@ type Result struct {
 	// count across all clusters (the hotspot metric replication
 	// improves).
 	P2PMaxNodeServes int
+	// ProxyEvictions counts objects evicted from proxy-tier caches:
+	// destaged into the client tier (Hier-GD, EC schemes) or
+	// discarded outright (NC, SC).
+	ProxyEvictions int
+	// MaintenanceTicks counts background-maintenance activations that
+	// did work: digest rebuild rounds, FC window re-placements, and
+	// failure-injection rounds.
+	MaintenanceTicks int
 }
 
 // HitRatio returns the fraction of requests served by src.
@@ -82,6 +91,64 @@ func (r *Result) String() string {
 		fmt.Fprintf(&b, " dirFP=%d", r.DirectoryFalsePositives)
 	}
 	return b.String()
+}
+
+// sourceMetric maps a serving tier to its metric-name suffix.
+func sourceMetric(src netmodel.Source) string {
+	switch src {
+	case netmodel.SrcLocalProxy:
+		return "local_proxy"
+	case netmodel.SrcP2P:
+		return "p2p"
+	case netmodel.SrcRemoteProxy:
+		return "remote_proxy"
+	default:
+		return "server"
+	}
+}
+
+// PublishMetrics folds the result into a metric registry under the
+// sim.* namespace (see METRICS.md for the full glossary).  Everything
+// cumulative is a counter so concurrent sweep runs sharing one
+// registry aggregate correctly; per-run peaks use SetMax gauges.
+// A nil registry makes this a no-op.
+func (r *Result) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("sim.runs").Inc()
+	reg.Counter("sim.requests").Add(int64(r.Requests))
+	reg.Gauge("sim.latency.total").Add(r.TotalLatency)
+	for src := 0; src < netmodel.NumSources; src++ {
+		name := sourceMetric(netmodel.Source(src))
+		reg.Counter("sim.serves." + name).Add(int64(r.Sources[src]))
+		reg.Counter("sim.bytes." + name).Add(int64(r.Bytes[src]))
+	}
+	reg.Counter("sim.proxy.evictions").Add(int64(r.ProxyEvictions))
+	reg.Counter("sim.maintenance.ticks").Add(int64(r.MaintenanceTicks))
+	reg.Counter("sim.failed_clients").Add(int64(r.FailedClients))
+	reg.Counter("sim.directory.false_positives").Add(int64(r.DirectoryFalsePositives))
+	reg.Gauge("sim.directory.memory_bytes").SetMax(float64(r.DirectoryMemoryBytes))
+	reg.Counter("sim.digest.stale_probes").Add(int64(r.DigestStaleProbes))
+	reg.Counter("sim.digest.rebuilds").Add(int64(r.DigestRebuilds))
+	reg.Gauge("sim.digest.memory_bytes").SetMax(float64(r.DigestMemoryBytes))
+	reg.Gauge("sim.p2p.max_node_serves").SetMax(float64(r.P2PMaxNodeServes))
+
+	p := r.P2P
+	for _, m := range []struct {
+		name string
+		v    int
+	}{
+		{"stores", p.Stores}, {"diversions", p.Diversions},
+		{"replacements", p.Replacements}, {"evictions", p.Evictions},
+		{"lookups", p.Lookups}, {"lookup_hits", p.LookupHits},
+		{"pointer_hits", p.PointerHits}, {"pushes", p.Pushes},
+		{"messages", p.Messages}, {"piggyback_saves", p.PiggybackSave},
+		{"route_hops", p.RouteHops}, {"handoffs", p.Handoffs},
+		{"lost_on_failure", p.LostOnFailure}, {"replications", p.Replications},
+	} {
+		reg.Counter("sim.p2p." + m.name).Add(int64(m.v))
+	}
 }
 
 // addP2P folds one cluster's stats into the result.

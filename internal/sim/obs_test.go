@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"webcache/internal/obs"
+	"webcache/internal/prowgen"
+)
+
+// TestRunPublishesMetrics replays a small trace with a registry
+// attached and checks the published sim.* namespace is complete and
+// consistent with the Result — and that a registry-free run returns
+// the identical Result (instrumentation must not perturb simulation).
+func TestRunPublishesMetrics(t *testing.T) {
+	tr, err := prowgen.Generate(prowgen.Config{
+		NumRequests: 30_000, NumObjects: 1_000, NumClients: 200, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry("test-run")
+	cfg := Config{Scheme: HierGD, ProxyCacheFrac: 0.2, Seed: 1, Obs: reg}
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vals := reg.Values()
+	if len(vals) < 10 {
+		t.Fatalf("registry has %d metrics, want >= 10: %v", len(vals), vals)
+	}
+	if vals["sim.runs"] != 1 {
+		t.Fatalf("sim.runs = %g, want 1", vals["sim.runs"])
+	}
+	if got := vals["sim.requests"]; got != float64(res.Requests) {
+		t.Fatalf("sim.requests = %g, want %d", got, res.Requests)
+	}
+	var serves float64
+	for _, src := range []string{"local_proxy", "p2p", "remote_proxy", "server"} {
+		serves += vals["sim.serves."+src]
+	}
+	if serves != float64(res.Requests) {
+		t.Fatalf("serve counts sum to %g, want %d", serves, res.Requests)
+	}
+	if got := vals["sim.proxy.evictions"]; got != float64(res.ProxyEvictions) {
+		t.Fatalf("sim.proxy.evictions = %g, want %d", got, res.ProxyEvictions)
+	}
+	if res.ProxyEvictions == 0 {
+		t.Fatal("expected proxy evictions at 20% cache")
+	}
+	if got := vals["sim.p2p.stores"]; got != float64(res.P2P.Stores) {
+		t.Fatalf("sim.p2p.stores = %g, want %d", got, res.P2P.Stores)
+	}
+	if vals["sim.run.count"] != 1 || vals["sim.run.seconds"] <= 0 {
+		t.Fatal("sim.run timer missing")
+	}
+
+	// The disabled path must produce the identical result.
+	cfg.Obs = nil
+	bare, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.AvgLatency != res.AvgLatency || bare.Sources != res.Sources ||
+		bare.ProxyEvictions != res.ProxyEvictions {
+		t.Fatal("instrumented and bare runs diverged")
+	}
+}
+
+// TestProxyEvictionsLFU checks the tiered-cache eviction telemetry on
+// the LFU family, and that maintenance ticks fire with digests on.
+func TestProxyEvictionsLFU(t *testing.T) {
+	tr, err := prowgen.Generate(prowgen.Config{
+		NumRequests: 30_000, NumObjects: 1_000, NumClients: 200, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr, Config{Scheme: SC, ProxyCacheFrac: 0.1, DigestInterval: 5_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProxyEvictions == 0 {
+		t.Fatal("SC at 10% cache must evict")
+	}
+	if res.MaintenanceTicks == 0 {
+		t.Fatal("digest exchanges must count as maintenance ticks")
+	}
+	if res.DigestRebuilds == 0 {
+		t.Fatal("expected digest rebuilds")
+	}
+	if res.AvgLatency <= 0 {
+		t.Fatal("no latency recorded")
+	}
+}

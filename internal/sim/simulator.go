@@ -23,8 +23,12 @@ type maintainer interface {
 	maintain(reqIdx int, res *Result)
 }
 
-// Run replays the trace under the configured scheme.
+// Run replays the trace under the configured scheme.  With cfg.Obs
+// set, the run's telemetry is folded into the registry (sim.* metrics)
+// and the replay is timed under "sim.run"; the hot loop itself carries
+// no instrumentation, so a nil registry costs nothing.
 func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	defer cfg.Obs.Timer("sim.run").Start()()
 	cfg.fillDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -83,6 +87,7 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		res.AvgLatency = res.TotalLatency / float64(res.Requests)
 	}
 	eng.finish(res)
+	res.PublishMetrics(cfg.Obs)
 	return res, nil
 }
 
@@ -119,10 +124,11 @@ func newLFUEngine(cfg Config, sz sizing) *lfuEngine {
 }
 
 // maintain rebuilds the inter-proxy digests on their exchange period.
-func (e *lfuEngine) maintain(reqIdx int, _ *Result) {
+func (e *lfuEngine) maintain(reqIdx int, res *Result) {
 	if e.digests == nil || reqIdx == 0 || reqIdx%e.cfg.DigestInterval != 0 {
 		return
 	}
+	res.MaintenanceTicks++
 	for _, d := range e.digests {
 		d.rebuild()
 	}
@@ -166,6 +172,9 @@ func (e *lfuEngine) serve(obj trace.ObjectID, size uint32, proxy, _ int) (netmod
 
 func (e *lfuEngine) finish(res *Result) {
 	res.DigestStaleProbes += e.stale
+	for _, c := range e.caches {
+		res.ProxyEvictions += c.upperEvictions
+	}
 	for _, d := range e.digests {
 		res.DigestMemoryBytes += d.memoryBytes()
 		res.DigestRebuilds += d.rebuilds

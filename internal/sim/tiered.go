@@ -21,6 +21,9 @@ type tieredCache struct {
 	lower      cache.Policy
 	history    map[trace.ObjectID]uint64 // shared perfect-LFU history (nil for in-cache LFU)
 	singlePool bool
+	// upperEvictions counts objects the proxy tier evicted (demoted
+	// or discarded) — the Result.ProxyEvictions telemetry.
+	upperEvictions int
 }
 
 // newTieredCache builds the unified cache for one proxy.
@@ -95,6 +98,7 @@ func (t *tieredCache) insert(e cache.Entry) {
 		return
 	}
 	for _, ev := range t.upper.Add(e) {
+		t.upperEvictions++
 		if t.lower == nil {
 			continue
 		}

@@ -1,0 +1,28 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint hashes a trace's full content (every request's client,
+// object, size, and time, plus the id-universe bounds) into a short
+// stable string, so run manifests can assert that two runs replayed
+// the same workload.  FNV-1a over the canonical little-endian record
+// encoding; identical traces fingerprint identically across platforms.
+func Fingerprint(t *Trace) string {
+	h := fnv.New64a()
+	var buf [20]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(t.NumClients))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(t.NumObjects))
+	h.Write(buf[:16])
+	for _, r := range t.Requests {
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(r.Client))
+		binary.LittleEndian.PutUint64(buf[4:12], uint64(r.Object))
+		binary.LittleEndian.PutUint32(buf[12:16], r.Size)
+		binary.LittleEndian.PutUint32(buf[16:20], r.Time)
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}

@@ -40,6 +40,7 @@ import (
 
 	"webcache/internal/core"
 	"webcache/internal/netmodel"
+	"webcache/internal/obs"
 	"webcache/internal/prowgen"
 	"webcache/internal/sim"
 	"webcache/internal/trace"
@@ -243,6 +244,40 @@ const (
 	BaseLRU        = sim.BaseLRU
 	BaseGreedyDual = sim.BaseGreedyDual
 )
+
+// Observability types (see METRICS.md for the metric glossary and the
+// run-manifest schema).
+type (
+	// MetricsRegistry is a run-scoped set of named counters, gauges,
+	// and timers; attach one via Config.Obs or FigureOptions.Obs.  A
+	// nil registry disables instrumentation at zero cost.
+	MetricsRegistry = obs.Registry
+	// Metric is one named observation in a registry snapshot.
+	Metric = obs.Metric
+	// RunManifest is one run's machine-readable record (config echo,
+	// workload fingerprint, wall/CPU time, metrics).
+	RunManifest = obs.Manifest
+	// SweepProgress tracks job completion with an ETA estimate.
+	SweepProgress = obs.Progress
+)
+
+// ManifestSchema is the run-manifest JSON schema version.
+const ManifestSchema = obs.ManifestSchema
+
+// NewMetricsRegistry creates an enabled metric registry scoped to the
+// named run.
+func NewMetricsRegistry(name string) *MetricsRegistry { return obs.NewRegistry(name) }
+
+// NewRunManifest starts a manifest for the named tool, stamping the
+// start time, command line, build version, and host environment.
+func NewRunManifest(tool string) *RunManifest { return obs.NewManifest(tool) }
+
+// ReadRunManifest parses and validates a manifest document.
+func ReadRunManifest(r io.Reader) (*RunManifest, error) { return obs.ReadManifest(r) }
+
+// TraceFingerprint hashes a trace's full content into a short stable
+// string for manifest comparison.
+func TraceFingerprint(tr *Trace) string { return trace.Fingerprint(tr) }
 
 // MergeTraces interleaves traces by timestamp with ids remapped into
 // disjoint ranges (two organizations' logs into one cluster workload).
