@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench vet
+.PHONY: all build test check race bench vet fuzz-smoke
 
 all: build test
 
@@ -18,9 +18,21 @@ vet:
 	$(GO) vet ./...
 
 # The instrumentation gate: full vet plus race-enabled tests of the
-# metric registry and the simulator that feeds it.
+# metric registry, the invariant oracles, and the simulator that feeds
+# them (the ./internal/sim run includes the checked end-to-end replays).
 check: vet
-	$(GO) test -race ./internal/obs ./internal/sim
+	$(GO) test -race ./internal/obs ./internal/invariant ./internal/sim
+
+# Ten seconds of each fuzz target (beyond replaying the checked-in
+# seed corpora, which plain `make test` already does).  FUZZTIME=1m
+# for a longer soak.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzCounting -fuzztime=$(FUZZTIME) ./internal/bloom
+	$(GO) test -run='^$$' -fuzz=FuzzCheckedPolicy -fuzztime=$(FUZZTIME) ./internal/invariant
+	$(GO) test -run='^$$' -fuzz=FuzzRingChurn -fuzztime=$(FUZZTIME) ./internal/invariant
+	$(GO) test -run='^$$' -fuzz=FuzzTextCodec -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzBinaryCodec -fuzztime=$(FUZZTIME) ./internal/trace
 
 race:
 	$(GO) test -race ./...

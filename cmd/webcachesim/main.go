@@ -24,6 +24,11 @@
 //	webcachesim -fig 2a -cpuprofile cpu.out  # CPU profile for go tool pprof
 //	webcachesim -fig 2a -memprofile mem.out  # heap profile on exit
 //
+// Correctness:
+//
+//	webcachesim -compare -check              # run with cross-layer invariant checking
+//	webcachesim -run hier-gd -check          # ... on a single scheme
+//
 // Reproducibility flags: -seed picks the workload/simulation seed,
 // -workers bounds sweep parallelism (0 = NumCPU), -ucb swaps in the
 // UCB-like trace for -run/-compare, and -v prints per-figure timing.
@@ -60,6 +65,7 @@ func main() {
 		preset     = flag.String("preset", "", "use a workload preset family for -run/-compare (see -presets)")
 		listPre    = flag.Bool("presets", false, "list workload preset families and exit")
 		compare    = flag.Bool("compare", false, "run every scheme (plus the Squirrel baseline) at -frac and tabulate")
+		check      = flag.Bool("check", false, "run with cross-layer invariant checking (shadow oracles on every cache, directory, ring, and cluster; see DESIGN.md); exits non-zero on violations")
 		verbose    = flag.Bool("v", false, "print timing")
 	)
 	var of obsFlags
@@ -90,12 +96,17 @@ func main() {
 		sess.setConfig(k, v)
 	}
 
+	var chk *webcache.Checker
+	if *check {
+		chk = webcache.NewChecker(sess.reg)
+	}
+
 	src := traceSource{scale: *scale, seed: *seed, ucb: *ucb, file: *traceFile, preset: *preset}
 	switch {
 	case *compare:
-		err = compareSchemes(src, *frac, sess)
+		err = compareSchemes(src, *frac, sess, chk)
 	case *runOne != "":
-		err = runScheme(*runOne, src, *frac, sess)
+		err = runScheme(*runOne, src, *frac, sess, chk)
 	default:
 		// Timing goes through the obs timer API; when no registry was
 		// requested a private one backs the -v output.
@@ -112,11 +123,15 @@ func main() {
 			if err = runFigure(id, sess, treg, *verbose, figureParams{
 				scale: *scale, seed: *seed, workers: *workers,
 				replicates: *replicates, markdown: *markdown,
-				jsonOut: *jsonOut, plotDir: *plotDir,
+				jsonOut: *jsonOut, plotDir: *plotDir, check: chk,
 			}); err != nil {
 				break
 			}
 		}
+	}
+	if err == nil && chk != nil {
+		fmt.Printf("\ninvariants: %d checks, %d violations\n", chk.Checks(), chk.ViolationCount())
+		err = chk.Err()
 	}
 	if cerr := sess.close(); cerr != nil && err == nil {
 		err = cerr
@@ -135,6 +150,7 @@ type figureParams struct {
 	markdown   bool
 	jsonOut    bool
 	plotDir    string
+	check      *webcache.Checker
 }
 
 // runFigure regenerates and renders one figure, timing it under
@@ -142,7 +158,7 @@ type figureParams struct {
 func runFigure(id string, sess *obsSession, treg *obs.Registry, verbose bool, p figureParams) error {
 	timer := treg.Timer("figure." + id)
 	stop := timer.Start()
-	opts := webcache.FigureOptions{Scale: p.scale, Seed: p.seed, Workers: p.workers, Obs: sess.reg}
+	opts := webcache.FigureOptions{Scale: p.scale, Seed: p.seed, Workers: p.workers, Obs: sess.reg, Check: p.check}
 	progress, finishProgress := sess.progressFunc("fig " + id)
 	opts.Progress = progress
 
@@ -180,7 +196,7 @@ func runFigure(id string, sess *obsSession, treg *obs.Registry, verbose bool, p 
 	return nil
 }
 
-func runScheme(name string, src traceSource, frac float64, sess *obsSession) error {
+func runScheme(name string, src traceSource, frac float64, sess *obsSession, chk *webcache.Checker) error {
 	scheme, err := webcache.ParseScheme(name)
 	if err != nil {
 		return err
@@ -193,11 +209,11 @@ func runScheme(name string, src traceSource, frac float64, sess *obsSession) err
 	st := webcache.AnalyzeTrace(tr)
 	fmt.Printf("workload: %s\n", st)
 
-	nc, err := webcache.Run(tr, webcache.Config{Scheme: webcache.NC, ProxyCacheFrac: frac, Seed: src.seed, Obs: sess.reg})
+	nc, err := webcache.Run(tr, webcache.Config{Scheme: webcache.NC, ProxyCacheFrac: frac, Seed: src.seed, Obs: sess.reg, Check: chk})
 	if err != nil {
 		return err
 	}
-	res, err := webcache.Run(tr, webcache.Config{Scheme: scheme, ProxyCacheFrac: frac, Seed: src.seed, Obs: sess.reg})
+	res, err := webcache.Run(tr, webcache.Config{Scheme: scheme, ProxyCacheFrac: frac, Seed: src.seed, Obs: sess.reg, Check: chk})
 	if err != nil {
 		return err
 	}
@@ -258,14 +274,14 @@ func (src traceSource) load() (*webcache.Trace, error) {
 	}
 }
 
-func compareSchemes(src traceSource, frac float64, sess *obsSession) error {
+func compareSchemes(src traceSource, frac float64, sess *obsSession, chk *webcache.Checker) error {
 	tr, err := src.load()
 	if err != nil {
 		return err
 	}
 	sess.setTrace(tr)
 	fmt.Printf("workload: %s\nproxy cache: %.0f%% of infinite\n\n", webcache.AnalyzeTrace(tr), frac*100)
-	nc, err := webcache.Run(tr, webcache.Config{Scheme: webcache.NC, ProxyCacheFrac: frac, Seed: src.seed, Obs: sess.reg})
+	nc, err := webcache.Run(tr, webcache.Config{Scheme: webcache.NC, ProxyCacheFrac: frac, Seed: src.seed, Obs: sess.reg, Check: chk})
 	if err != nil {
 		return err
 	}
@@ -273,7 +289,7 @@ func compareSchemes(src traceSource, frac float64, sess *obsSession) error {
 		"scheme", "latency", "gain%", "proxy%", "p2p%", "remote%", "server%", "srv-bytes%")
 	schemes := append(webcache.AllSchemes(), webcache.Squirrel)
 	for _, s := range schemes {
-		res, err := webcache.Run(tr, webcache.Config{Scheme: s, ProxyCacheFrac: frac, Seed: src.seed, Obs: sess.reg})
+		res, err := webcache.Run(tr, webcache.Config{Scheme: s, ProxyCacheFrac: frac, Seed: src.seed, Obs: sess.reg, Check: chk})
 		if err != nil {
 			return err
 		}

@@ -24,7 +24,7 @@ func TestRunManifestGolden(t *testing.T) {
 	sess.setConfig("frac", 0.3)
 
 	src := traceSource{scale: 0.02, seed: 1}
-	if err := runScheme("hier-gd", src, 0.3, sess); err != nil {
+	if err := runScheme("hier-gd", src, 0.3, sess, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := sess.close(); err != nil {
@@ -69,7 +69,7 @@ func TestCPUProfileFlag(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := runScheme("sc", traceSource{scale: 0.02, seed: 1}, 0.3, sess); err != nil {
+	if err := runScheme("sc", traceSource{scale: 0.02, seed: 1}, 0.3, sess, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := sess.close(); err != nil {

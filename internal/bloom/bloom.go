@@ -129,8 +129,10 @@ func (f *Filter) M() uint64 { return f.m }
 // Remove.  Counters saturate at 15 and, once saturated, are never
 // decremented (the standard safe behaviour that preserves the
 // no-false-negative guarantee at the cost of rare stuck counters).
+// Counters are packed two per byte, so the directory memory the
+// simulator reports (§4.2 comparisons) is the memory actually used.
 type Counting struct {
-	counters []uint8 // one counter per nibble would halve memory; a byte keeps it simple and fast
+	counters []uint8 // 4-bit counters, two per byte: low nibble = even index
 	m        uint64
 	k        int
 	n        uint64
@@ -138,12 +140,23 @@ type Counting struct {
 
 const countingMax = 15
 
+// counter reads the 4-bit counter at idx.
+func (c *Counting) counter(idx uint64) uint8 {
+	return (c.counters[idx/2] >> (4 * (idx % 2))) & 0xf
+}
+
+// setCounter writes the 4-bit counter at idx.
+func (c *Counting) setCounter(idx uint64, v uint8) {
+	shift := 4 * (idx % 2)
+	c.counters[idx/2] = c.counters[idx/2]&^(0xf<<shift) | v<<shift
+}
+
 // NewCounting creates a counting filter with m counters and k hashes.
 func NewCounting(m uint64, k int) (*Counting, error) {
 	if m == 0 || k < 1 {
 		return nil, fmt.Errorf("bloom: invalid parameters m=%d k=%d", m, k)
 	}
-	return &Counting{counters: make([]uint8, m), m: m, k: k}, nil
+	return &Counting{counters: make([]uint8, (m+1)/2), m: m, k: k}, nil
 }
 
 // NewCountingForCapacity sizes a counting filter for n elements at
@@ -167,8 +180,8 @@ func (c *Counting) index(key uint64, i int) uint64 {
 func (c *Counting) Add(key uint64) {
 	for i := 0; i < c.k; i++ {
 		idx := c.index(key, i)
-		if c.counters[idx] < countingMax {
-			c.counters[idx]++
+		if v := c.counter(idx); v < countingMax {
+			c.setCounter(idx, v+1)
 		}
 	}
 	c.n++
@@ -180,8 +193,8 @@ func (c *Counting) Add(key uint64) {
 func (c *Counting) Remove(key uint64) {
 	for i := 0; i < c.k; i++ {
 		idx := c.index(key, i)
-		if c.counters[idx] > 0 && c.counters[idx] < countingMax {
-			c.counters[idx]--
+		if v := c.counter(idx); v > 0 && v < countingMax {
+			c.setCounter(idx, v-1)
 		}
 	}
 	if c.n > 0 {
@@ -192,7 +205,7 @@ func (c *Counting) Remove(key uint64) {
 // MayContain reports whether key may be present.
 func (c *Counting) MayContain(key uint64) bool {
 	for i := 0; i < c.k; i++ {
-		if c.counters[c.index(key, i)] == 0 {
+		if c.counter(c.index(key, i)) == 0 {
 			return false
 		}
 	}
@@ -204,9 +217,9 @@ func (c *Counting) EstimatedFPRate() float64 {
 	return math.Pow(1-math.Exp(-float64(c.k)*float64(c.n)/float64(c.m)), float64(c.k))
 }
 
-// MemoryBytes reports the counter-array footprint as deployed in the
-// paper's setting (4-bit counters packed two per byte).
-func (c *Counting) MemoryBytes() uint64 { return (c.m + 1) / 2 }
+// MemoryBytes reports the counter-array footprint (4-bit counters
+// packed two per byte — exactly what the implementation allocates).
+func (c *Counting) MemoryBytes() uint64 { return uint64(len(c.counters)) }
 
 // K returns the hash count; M the counter count.
 func (c *Counting) K() int    { return c.k }

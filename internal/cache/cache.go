@@ -34,9 +34,10 @@ type Entry struct {
 //	else { fetch...; evicted := p.Add(Entry{...}) }
 //
 // Add returns the entries evicted to make room (possibly several under
-// variable sizes, or none).  An entry larger than the whole cache is
-// rejected: Add returns only Entry{} evictions and does not cache it —
-// callers can detect this with Contains.
+// variable sizes, or none).  An entry larger than the whole cache, or
+// with zero size (which would make cost/size H-values infinite), is
+// rejected: Add returns no evictions and does not cache it — callers
+// can detect this with Contains.
 type Policy interface {
 	// Name identifies the policy in metrics and test output.
 	Name() string
@@ -80,7 +81,10 @@ func checkAddable(name string, e Entry, contains bool, capacity uint64) error {
 		panic(fmt.Sprintf("cache: %s.Add(%d): object already cached", name, e.Obj))
 	}
 	if e.Size == 0 {
-		panic(fmt.Sprintf("cache: %s.Add(%d): zero size", name, e.Obj))
+		// A zero-size entry would divide Cost/Size to +Inf in the
+		// greedy-dual H value and pin the object forever; reject it like
+		// an oversized entry instead of caching it.
+		return fmt.Errorf("cache: entry %d has zero size", e.Obj)
 	}
 	if uint64(e.Size) > capacity {
 		return fmt.Errorf("cache: entry %d (size %d) exceeds capacity %d", e.Obj, e.Size, capacity)

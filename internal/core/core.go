@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"webcache/internal/invariant"
 	"webcache/internal/netmodel"
 	"webcache/internal/obs"
 	"webcache/internal/prowgen"
@@ -73,6 +74,11 @@ type Options struct {
 	// every run's sim.* metrics (the registry is passed down into each
 	// simulation).  See METRICS.md.
 	Obs *obs.Registry
+	// Check, if non-nil, threads the invariant subsystem into every
+	// simulation of the sweep (shadow-checked policies, directory and
+	// ring oracles, P2P conservation — see DESIGN.md).  The Checker is
+	// concurrency-safe, so all sweep workers share it.
+	Check *invariant.Checker
 }
 
 func (o *Options) fill() {
@@ -184,7 +190,7 @@ func runSweep(labels []string, jobs []sweepJob, opts Options) ([]Series, error) 
 	// instructions they always did.  The instrumented path adds per-job
 	// and baseline timing, progress callbacks, and plumbs the registry
 	// into every simulation; it runs only when something is listening.
-	if opts.Obs.Enabled() || opts.Progress != nil {
+	if opts.Obs.Enabled() || opts.Progress != nil || opts.Check != nil {
 		baseline := func(j sweepJob) (float64, error) {
 			k := ncKey{j.ncCfg.ProxyCacheFrac, j.ncCfg.NumProxies, j.ncCfg.ClientsPerCluster, j.ncCfg.Net, j.tr}
 			baseMu.Lock()
@@ -196,6 +202,7 @@ func runSweep(labels []string, jobs []sweepJob, opts Options) ([]Series, error) 
 			defer opts.Obs.Timer("core.sweep.baseline").Start()()
 			ncCfg := j.ncCfg
 			ncCfg.Obs = opts.Obs
+			ncCfg.Check = opts.Check
 			res, err := sim.Run(j.tr, ncCfg)
 			if err != nil {
 				return 0, err
@@ -228,6 +235,7 @@ func runSweep(labels []string, jobs []sweepJob, opts Options) ([]Series, error) 
 				}
 				cfg := j.cfg
 				cfg.Obs = opts.Obs
+				cfg.Check = opts.Check
 				res, err := sim.Run(j.tr, cfg)
 				if err != nil {
 					results[j.series][j.point] = slot{err: err}

@@ -1,0 +1,215 @@
+package invariant
+
+import (
+	"math"
+
+	"webcache/internal/cache"
+	"webcache/internal/trace"
+)
+
+// deepCheckEvery is the mutation period of the O(n log n) full-state
+// reconciliation (Objects() against the shadow map); the O(1)
+// accounting assertions run after every operation.
+const deepCheckEvery = 64
+
+// inflationPolicy is implemented by greedy-dual-family policies that
+// expose their L value; the checker asserts it never decreases.
+type inflationPolicy interface{ Inflation() float64 }
+
+// hvaluePolicy is implemented by policies exposing per-object H values
+// (GreedyDual); the checker asserts they stay finite.
+type hvaluePolicy interface {
+	HValue(obj trace.ObjectID) (float64, bool)
+}
+
+// CheckedPolicy wraps a cache.Policy with a shadow entry map and
+// asserts the cache-accounting invariants after every operation:
+//
+//   - Used() equals the sum of resident entry sizes and never exceeds
+//     Capacity();
+//   - Len(), Contains, Access, Peek, and Objects() agree with the
+//     shadow (heap / entries-map agreement);
+//   - greedy-dual inflation (L) is monotonically non-decreasing and
+//     H values stay finite.
+//
+// It implements cache.Policy and is transparent to callers.
+type CheckedPolicy struct {
+	inner cache.Policy
+	chk   *Checker
+	// label distinguishes multiple wrapped caches in violation details.
+	label string
+
+	shadow     map[trace.ObjectID]cache.Entry
+	shadowUsed uint64
+	lastL      float64
+	mutations  int
+}
+
+// WrapPolicy wraps p with invariant checking.  With a nil Checker it
+// returns p unchanged, so the disabled path costs nothing.
+func WrapPolicy(p cache.Policy, chk *Checker, label string) cache.Policy {
+	if chk == nil {
+		return p
+	}
+	w := &CheckedPolicy{
+		inner:  p,
+		chk:    chk,
+		label:  label,
+		shadow: make(map[trace.ObjectID]cache.Entry),
+	}
+	if ip, ok := p.(inflationPolicy); ok {
+		w.lastL = ip.Inflation()
+	}
+	return w
+}
+
+// Unwrap returns the wrapped policy (tests and telemetry).
+func (w *CheckedPolicy) Unwrap() cache.Policy { return w.inner }
+
+// Name implements cache.Policy.
+func (w *CheckedPolicy) Name() string { return w.inner.Name() }
+
+// accounting runs the O(1) invariants plus, every deepCheckEvery
+// mutations, the full shadow reconciliation.
+func (w *CheckedPolicy) accounting() {
+	used, capacity := w.inner.Used(), w.inner.Capacity()
+	w.chk.assertf(used == w.shadowUsed, "cache", "used-sum",
+		"%s(%s): Used()=%d but resident entry sizes sum to %d", w.inner.Name(), w.label, used, w.shadowUsed)
+	w.chk.assertf(used <= capacity, "cache", "over-capacity",
+		"%s(%s): Used()=%d exceeds Capacity()=%d", w.inner.Name(), w.label, used, capacity)
+	w.chk.assertf(w.inner.Len() == len(w.shadow), "cache", "len-agree",
+		"%s(%s): Len()=%d but shadow holds %d entries", w.inner.Name(), w.label, w.inner.Len(), len(w.shadow))
+	if ip, ok := w.inner.(inflationPolicy); ok {
+		l := ip.Inflation()
+		w.chk.assertf(l >= w.lastL, "cache", "inflation-monotone",
+			"%s(%s): inflation fell from %g to %g", w.inner.Name(), w.label, w.lastL, l)
+		w.chk.assertf(!math.IsInf(l, 0) && !math.IsNaN(l), "cache", "inflation-finite",
+			"%s(%s): inflation is %g", w.inner.Name(), w.label, l)
+		w.lastL = l
+	}
+}
+
+// deepCheck reconciles the full object list against the shadow and,
+// when available, every H value.
+func (w *CheckedPolicy) deepCheck() {
+	objs := w.inner.Objects()
+	if !w.chk.assertf(len(objs) == len(w.shadow), "cache", "objects-agree",
+		"%s(%s): Objects() lists %d ids, shadow holds %d", w.inner.Name(), w.label, len(objs), len(w.shadow)) {
+		return
+	}
+	hv, hasH := w.inner.(hvaluePolicy)
+	for _, obj := range objs {
+		if _, ok := w.shadow[obj]; !ok {
+			w.chk.violatef("cache", "objects-agree",
+				"%s(%s): Objects() lists %d which the shadow never saw", w.inner.Name(), w.label, obj)
+			continue
+		}
+		if hasH {
+			h, ok := hv.HValue(obj)
+			w.chk.assertf(ok, "cache", "heap-agree",
+				"%s(%s): object %d cached but absent from the H heap", w.inner.Name(), w.label, obj)
+			w.chk.assertf(!math.IsInf(h, 0) && !math.IsNaN(h), "cache", "h-finite",
+				"%s(%s): object %d has non-finite H %g", w.inner.Name(), w.label, obj, h)
+		}
+	}
+}
+
+func (w *CheckedPolicy) afterMutation() {
+	w.accounting()
+	w.mutations++
+	if w.mutations%deepCheckEvery == 0 {
+		w.deepCheck()
+	}
+}
+
+// Access implements cache.Policy.
+func (w *CheckedPolicy) Access(obj trace.ObjectID) bool {
+	hit := w.inner.Access(obj)
+	_, resident := w.shadow[obj]
+	w.chk.assertf(hit == resident, "cache", "access-agree",
+		"%s(%s): Access(%d)=%v but shadow residency is %v", w.inner.Name(), w.label, obj, hit, resident)
+	w.accounting()
+	return hit
+}
+
+// Add implements cache.Policy.
+func (w *CheckedPolicy) Add(e cache.Entry) []cache.Entry {
+	evicted := w.inner.Add(e)
+	if w.inner.Contains(e.Obj) {
+		w.shadow[e.Obj] = e
+		w.shadowUsed += uint64(e.Size)
+	} else {
+		// Rejections are legitimate only for zero-size or oversized
+		// entries; anything else means the policy dropped a valid add.
+		w.chk.assertf(e.Size == 0 || uint64(e.Size) > w.inner.Capacity(), "cache", "silent-drop",
+			"%s(%s): Add(%d) size=%d rejected despite fitting capacity %d",
+			w.inner.Name(), w.label, e.Obj, e.Size, w.inner.Capacity())
+		w.chk.assertf(len(evicted) == 0, "cache", "reject-evicts",
+			"%s(%s): rejected Add(%d) still evicted %d entries", w.inner.Name(), w.label, e.Obj, len(evicted))
+	}
+	for _, ev := range evicted {
+		w.chk.assertf(ev.Obj != e.Obj, "cache", "self-evict",
+			"%s(%s): Add(%d) evicted the object being added", w.inner.Name(), w.label, e.Obj)
+		if prev, ok := w.shadow[ev.Obj]; w.chk.assertf(ok, "cache", "phantom-evict",
+			"%s(%s): evicted %d which the shadow never saw", w.inner.Name(), w.label, ev.Obj) {
+			w.chk.assertf(prev.Size == ev.Size, "cache", "evict-size",
+				"%s(%s): evicted %d with size %d, stored as %d", w.inner.Name(), w.label, ev.Obj, ev.Size, prev.Size)
+			delete(w.shadow, ev.Obj)
+			w.shadowUsed -= uint64(prev.Size)
+		}
+	}
+	w.afterMutation()
+	return evicted
+}
+
+// Remove implements cache.Policy.
+func (w *CheckedPolicy) Remove(obj trace.ObjectID) (cache.Entry, bool) {
+	e, ok := w.inner.Remove(obj)
+	prev, resident := w.shadow[obj]
+	w.chk.assertf(ok == resident, "cache", "remove-agree",
+		"%s(%s): Remove(%d)=%v but shadow residency is %v", w.inner.Name(), w.label, obj, ok, resident)
+	if ok && resident {
+		w.chk.assertf(prev.Size == e.Size, "cache", "remove-size",
+			"%s(%s): Remove(%d) returned size %d, stored as %d", w.inner.Name(), w.label, obj, e.Size, prev.Size)
+		delete(w.shadow, obj)
+		w.shadowUsed -= uint64(prev.Size)
+	}
+	w.afterMutation()
+	return e, ok
+}
+
+// Contains implements cache.Policy.
+func (w *CheckedPolicy) Contains(obj trace.ObjectID) bool {
+	got := w.inner.Contains(obj)
+	_, resident := w.shadow[obj]
+	w.chk.assertf(got == resident, "cache", "contains-agree",
+		"%s(%s): Contains(%d)=%v but shadow residency is %v", w.inner.Name(), w.label, obj, got, resident)
+	return got
+}
+
+// Peek implements cache.Policy.
+func (w *CheckedPolicy) Peek(obj trace.ObjectID) (cache.Entry, bool) {
+	e, ok := w.inner.Peek(obj)
+	prev, resident := w.shadow[obj]
+	w.chk.assertf(ok == resident, "cache", "peek-agree",
+		"%s(%s): Peek(%d)=%v but shadow residency is %v", w.inner.Name(), w.label, obj, ok, resident)
+	if ok && resident {
+		w.chk.assertf(prev == e, "cache", "peek-entry",
+			"%s(%s): Peek(%d) returned %+v, stored %+v", w.inner.Name(), w.label, obj, e, prev)
+	}
+	return e, ok
+}
+
+// Len implements cache.Policy.
+func (w *CheckedPolicy) Len() int { return w.inner.Len() }
+
+// Used implements cache.Policy.
+func (w *CheckedPolicy) Used() uint64 { return w.inner.Used() }
+
+// Capacity implements cache.Policy.
+func (w *CheckedPolicy) Capacity() uint64 { return w.inner.Capacity() }
+
+// Objects implements cache.Policy.
+func (w *CheckedPolicy) Objects() []trace.ObjectID { return w.inner.Objects() }
+
+var _ cache.Policy = (*CheckedPolicy)(nil)

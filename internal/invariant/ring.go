@@ -1,0 +1,90 @@
+package invariant
+
+import (
+	"fmt"
+
+	"webcache/internal/pastry"
+)
+
+// CheckRing verifies a stable Pastry overlay against its ground truth:
+//
+//   - structural consistency: every leaf-set and routing-table entry
+//     is live, leaf sets hold the l/2 closest ring neighbours per side,
+//     table entries sit in the right (row, column) — delegated to the
+//     overlay's own CheckConsistency and folded in under "ring";
+//   - leaf-set symmetry: when m sits in n's leaf set and m is within
+//     l/2 ring positions of n, then n must sit in m's leaf set (the
+//     keep-alive relation is mutual);
+//   - routing correctness: RouteFrom from sampled start nodes lands on
+//     the ground-truth Owner of sampled keys.
+//
+// Call it only when the ring is stable (after Stabilize, or when no
+// churn is in flight): mid-churn lazy repair legitimately leaves holes.
+// sampleKeys bounds the routed probes; routing telemetry on the
+// overlay is perturbed by them.
+func CheckRing(chk *Checker, ov *pastry.Overlay, sampleKeys int) {
+	if chk == nil || ov == nil {
+		return
+	}
+	ids := ov.IDs()
+	n := len(ids)
+	if !chk.assertf(n > 0, "ring", "non-empty", "overlay has no live nodes") {
+		return
+	}
+
+	// Structural invariants via the overlay's own checker.
+	chk.observe(int64(n))
+	for _, v := range ov.CheckConsistency() {
+		chk.violatef("ring", "consistency", "node %v: %s", v.Node, v.Detail)
+	}
+
+	// Leaf-set symmetry.
+	index := make(map[pastry.ID]int, n)
+	for i, id := range ids {
+		index[id] = i
+	}
+	half := ov.LeafSetSize() / 2
+	for i, id := range ids {
+		node, ok := ov.Node(id)
+		if !chk.assertf(ok, "ring", "node-missing", "id %v listed but Node() denies it", id) {
+			continue
+		}
+		for _, m := range node.LeafSet().Members() {
+			j, live := index[m]
+			if !chk.assertf(live, "ring", "leaf-live", "node %v leaf %v is not a live node", id, m) {
+				continue
+			}
+			if d := ringDist(i, j, n); d <= half {
+				peer, _ := ov.Node(m)
+				chk.assertf(peer != nil && peer.LeafSet().Contains(id), "ring", "leaf-symmetry",
+					"node %v holds near neighbour %v (distance %d) but not vice versa", id, m, d)
+			}
+		}
+	}
+
+	// Route == Owner on sampled keys from round-robin start nodes.
+	for k := 0; k < sampleKeys; k++ {
+		key := pastry.HashString(fmt.Sprintf("invariant/ring/%d", k))
+		start := ids[k%n]
+		dest, _, err := ov.RouteFrom(start, key)
+		if !chk.assertf(err == nil, "ring", "route-error", "RouteFrom(%v, %v): %v", start, key, err) {
+			continue
+		}
+		owner, _ := ov.Owner(key)
+		chk.assertf(dest == owner, "ring", "route-owner",
+			"key %v routed from %v to %v but the ground-truth owner is %v", key, start, dest, owner)
+	}
+}
+
+// ringDist is the distance in ring positions between sorted indices i
+// and j on a ring of n nodes.
+func ringDist(i, j, n int) int {
+	d := i - j
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}

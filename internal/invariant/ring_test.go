@@ -1,0 +1,81 @@
+package invariant
+
+import (
+	"fmt"
+	"testing"
+
+	"webcache/internal/pastry"
+)
+
+func buildOverlay(t *testing.T, n int) *pastry.Overlay {
+	t.Helper()
+	ov, err := pastry.New(pastry.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ov.JoinN(n, "invariant-test"); err != nil {
+		t.Fatal(err)
+	}
+	return ov
+}
+
+func TestCheckRingCleanOnStableOverlay(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 32} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			ov := buildOverlay(t, n)
+			ov.Stabilize()
+			chk := New(nil)
+			CheckRing(chk, ov, 20)
+			if err := chk.Err(); err != nil {
+				t.Fatalf("violations on a stable %d-node ring: %v", n, err)
+			}
+			if chk.Checks() == 0 {
+				t.Fatal("no checks ran")
+			}
+		})
+	}
+}
+
+func TestCheckRingCleanAfterChurnAndStabilize(t *testing.T) {
+	ov := buildOverlay(t, 24)
+	ids := append([]pastry.ID(nil), ov.IDs()...)
+	ov.Fail(ids[3])
+	ov.Fail(ids[11])
+	ov.Leave(ids[17])
+	if _, err := ov.JoinN(2, "invariant-test-late"); err != nil {
+		t.Fatal(err)
+	}
+	ov.Stabilize()
+	chk := New(nil)
+	CheckRing(chk, ov, 20)
+	if err := chk.Err(); err != nil {
+		t.Fatalf("violations after churn + Stabilize: %v", err)
+	}
+}
+
+func TestCheckRingEmptyOverlay(t *testing.T) {
+	ov, err := pastry.New(pastry.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := New(nil)
+	CheckRing(chk, ov, 4)
+	if chk.ViolationCount() != 1 {
+		t.Fatalf("empty overlay should record exactly the non-empty violation, got %v", chk.Violations())
+	}
+}
+
+func TestRingDist(t *testing.T) {
+	cases := []struct{ i, j, n, want int }{
+		{0, 0, 8, 0},
+		{0, 1, 8, 1},
+		{0, 7, 8, 1},
+		{2, 6, 8, 4},
+		{1, 6, 8, 3},
+	}
+	for _, c := range cases {
+		if got := ringDist(c.i, c.j, c.n); got != c.want {
+			t.Errorf("ringDist(%d,%d,%d) = %d, want %d", c.i, c.j, c.n, got, c.want)
+		}
+	}
+}

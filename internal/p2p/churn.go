@@ -69,7 +69,7 @@ func (c *Cluster) JoinClient() (int, error) {
 			return 0, err
 		}
 	}
-	n := newClientNode(id, c.cfg.PerClientCapacity)
+	n := newClientNode(id, c.cfg.PerClientCapacity, c.cfg.WrapCache)
 	c.nodes[id] = n
 	c.clientIDs = append(c.clientIDs, id)
 	c.dead = append(c.dead, false)

@@ -26,6 +26,7 @@ package p2p
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"webcache/internal/cache"
 	"webcache/internal/pastry"
@@ -54,6 +55,11 @@ type Config struct {
 	ReplicateHotAfter int
 	// Seed drives overlay construction.
 	Seed int64
+	// WrapCache, when non-nil, wraps every client cache as it is
+	// created (initial join and churn joins alike).  The invariant
+	// subsystem uses it to put shadow-checked policies under the whole
+	// cluster; label identifies the client in violation reports.
+	WrapCache func(p cache.Policy, label string) cache.Policy
 }
 
 // Stats aggregates the cluster's mechanism-level telemetry.
@@ -76,8 +82,10 @@ type Stats struct {
 
 // clientNode is one client's cooperative cache partition.
 type clientNode struct {
-	id    pastry.ID
-	cache *cache.GreedyDual
+	id pastry.ID
+	// cache is greedy-dual per the paper (§3), possibly wrapped by
+	// Config.WrapCache for invariant checking.
+	cache cache.Policy
 	// pointerTo maps objects this node owns (by DHT) but diverted to a
 	// leaf-set neighbour: object -> holder.
 	pointerTo map[trace.ObjectID]pastry.ID
@@ -90,10 +98,14 @@ type clientNode struct {
 	repl *replicaState
 }
 
-func newClientNode(id pastry.ID, capacity uint64) *clientNode {
+func newClientNode(id pastry.ID, capacity uint64, wrap func(cache.Policy, string) cache.Policy) *clientNode {
+	var p cache.Policy = cache.NewGreedyDual(capacity)
+	if wrap != nil {
+		p = wrap(p, fmt.Sprintf("client-%v", id))
+	}
 	return &clientNode{
 		id:        id,
-		cache:     cache.NewGreedyDual(capacity),
+		cache:     p,
 		pointerTo: make(map[trace.ObjectID]pastry.ID),
 		heldFor:   make(map[trace.ObjectID]pastry.ID),
 	}
@@ -115,6 +127,10 @@ type Cluster struct {
 	dead      []bool
 	live      int
 	stats     Stats
+	// rng drives the fallback start-node choice in startNode so routing
+	// load spreads across live clients instead of piling onto the
+	// lowest-index one.
+	rng *rand.Rand
 }
 
 // ErrNoLiveClients reports an operation on a fully failed cluster.
@@ -143,9 +159,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		clientIDs: ids,
 		dead:      make([]bool, cfg.NumClients),
 		live:      cfg.NumClients,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x70737472)), // "pstr"
 	}
 	for _, id := range ids {
-		c.nodes[id] = newClientNode(id, cfg.PerClientCapacity)
+		c.nodes[id] = newClientNode(id, cfg.PerClientCapacity, cfg.WrapCache)
 	}
 	return c, nil
 }
@@ -172,16 +189,25 @@ func (c *Cluster) Stats() Stats { return c.stats }
 func (c *Cluster) Overlay() *pastry.Overlay { return c.overlay }
 
 // startNode picks the overlay node to route from: the requesting
-// client if it is alive, otherwise any live client (the proxy can ask
-// any of its clients to route on its behalf).
+// client if it is alive, otherwise a seeded-random live client (the
+// proxy can ask any of its clients to route on its behalf; always
+// picking the lowest-index one would make it a routing hotspot).
 func (c *Cluster) startNode(fromClient int) (pastry.ID, error) {
 	if fromClient >= 0 && fromClient < len(c.clientIDs) && !c.dead[fromClient] {
 		return c.clientIDs[fromClient], nil
 	}
+	if c.live <= 0 {
+		return pastry.ID{}, ErrNoLiveClients
+	}
+	skip := c.rng.Intn(c.live)
 	for i, id := range c.clientIDs {
-		if !c.dead[i] {
+		if c.dead[i] {
+			continue
+		}
+		if skip == 0 {
 			return id, nil
 		}
+		skip--
 	}
 	return pastry.ID{}, ErrNoLiveClients
 }

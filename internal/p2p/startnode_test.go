@@ -1,0 +1,63 @@
+package p2p
+
+import (
+	"testing"
+
+	"webcache/internal/pastry"
+)
+
+// The dead-client fallback in startNode used to return the
+// lowest-index live client deterministically, making it a routing
+// hotspot for every PushFetch; it now spreads across live clients.
+func TestStartNodeFallbackSpread(t *testing.T) {
+	c, err := NewCluster(Config{NumClients: 32, PerClientCapacity: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := make(map[pastry.ID]int)
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		id, err := c.startNode(-1) // the PushFetch path: no requesting client
+		if err != nil {
+			t.Fatal(err)
+		}
+		starts[id]++
+	}
+	if len(starts) < 8 {
+		t.Errorf("fallback used only %d distinct start nodes over %d trials; want spread", len(starts), trials)
+	}
+	for id, n := range starts {
+		if n > trials/2 {
+			t.Errorf("start node %v took %d/%d fallback routes: hotspot", id, n, trials)
+		}
+	}
+}
+
+// The fallback must still skip dead clients and fail cleanly when the
+// cluster is fully failed.
+func TestStartNodeFallbackSkipsDead(t *testing.T) {
+	c, err := NewCluster(Config{NumClients: 4, PerClientCapacity: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.FailClient(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		id, err := c.startNode(-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != c.clientIDs[3] {
+			t.Fatalf("fallback picked dead client node %v", id)
+		}
+	}
+	if _, err := c.FailClient(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.startNode(-1); err != ErrNoLiveClients {
+		t.Errorf("fully failed cluster: err = %v, want ErrNoLiveClients", err)
+	}
+}

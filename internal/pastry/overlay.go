@@ -78,6 +78,9 @@ func New(cfg Config) (*Overlay, error) {
 // B returns the overlay digit width.
 func (o *Overlay) B() int { return o.b }
 
+// LeafSetSize returns the configured leaf-set size l.
+func (o *Overlay) LeafSetSize() int { return o.l }
+
 // Len returns the number of live nodes.
 func (o *Overlay) Len() int { return len(o.ids) }
 

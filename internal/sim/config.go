@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"webcache/internal/invariant"
 	"webcache/internal/netmodel"
 	"webcache/internal/obs"
 	"webcache/internal/trace"
@@ -162,6 +163,14 @@ type Config struct {
 	// registry.  nil (the default) disables instrumentation at zero
 	// cost.
 	Obs *obs.Registry `json:"-"`
+	// Check, when non-nil, threads the invariant subsystem through
+	// every stateful layer of the run: replacement policies and lookup
+	// directories are replaced by shadow-checked wrappers, P2P receipt
+	// streams feed a conservation ledger, and the Pastry rings are
+	// verified against their ground truth at the end of the run.
+	// Violations accumulate in the Checker (and in Result.Invariant*);
+	// nil (the default) disables checking at zero cost (see DESIGN.md).
+	Check *invariant.Checker `json:"-"`
 }
 
 func (c *Config) fillDefaults() {

@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 
 	"webcache/internal/cache"
 	"webcache/internal/directory"
+	"webcache/internal/invariant"
 	"webcache/internal/netmodel"
 	"webcache/internal/obs"
 	"webcache/internal/p2p"
@@ -49,6 +51,9 @@ type hierGDProxy struct {
 	// cooperating proxies (proxy cache + P2P client cache); nil under
 	// perfect inter-proxy knowledge.
 	digest *digest
+	// acct is the P2P conservation oracle fed from this proxy's receipt
+	// stream; nil when invariant checking is off.
+	acct *invariant.ClusterAccountant
 }
 
 // serveable snapshots everything the proxy can serve a peer: its own
@@ -64,13 +69,20 @@ func newHierGDEngine(cfg Config, sz sizing) (*hierGDEngine, error) {
 		rng: rand.New(rand.NewSource(cfg.Seed + 0x5ee1)),
 	}
 	for p := 0; p < cfg.NumProxies; p++ {
-		cluster, err := p2p.NewCluster(p2p.Config{
+		label := fmt.Sprintf("proxy%d", p)
+		pcfg := p2p.Config{
 			NumClients:        cfg.P2PClientCaches,
 			PerClientCapacity: sz.clientCap[p],
 			DisableDiversion:  cfg.DisableDiversion,
 			ReplicateHotAfter: cfg.ReplicateHotAfter,
 			Seed:              cfg.Seed + int64(p)*7919,
-		})
+		}
+		if cfg.Check != nil {
+			pcfg.WrapCache = func(cp cache.Policy, clabel string) cache.Policy {
+				return invariant.WrapPolicy(cp, cfg.Check, label+"."+clabel)
+			}
+		}
+		cluster, err := p2p.NewCluster(pcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -80,14 +92,23 @@ func newHierGDEngine(cfg Config, sz sizing) (*hierGDEngine, error) {
 		} else {
 			dir = directory.NewExact()
 		}
+		dir = invariant.WrapDirectory(dir, cfg.Check, label)
 		var proxyCache cache.Policy = cache.NewGreedyDual(sz.proxyCap[p])
 		if cfg.ProxyGDSF {
 			proxyCache = cache.NewGDSF(sz.proxyCap[p])
 		}
 		px := &hierGDProxy{
-			cache:   proxyCache,
+			cache:   invariant.WrapPolicy(proxyCache, cfg.Check, label+".cache"),
 			cluster: cluster,
 			dir:     dir,
+			acct:    invariant.NewClusterAccountant(cfg.Check, label),
+		}
+		if cfg.ReplaceFailed || cfg.ReplicateHotAfter > 0 {
+			// Churn joins hand objects off without receipts and hot-object
+			// replication copies without them: ground-truth reconciliation
+			// would report false positives, so only the ledger identity
+			// stays on.
+			px.acct.Lenient()
 		}
 		if cfg.DigestInterval > 0 {
 			px.digest = newDigest(int(sz.proxyCap[p]+sz.p2pCap[p]), cfg.DigestFPRate, px.serveable)
@@ -108,12 +129,20 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int)
 		return netmodel.SrcLocalProxy, e.net.Latency(netmodel.SrcLocalProxy)
 	}
 
+	// extra accumulates the latency of wasted probes (stale digests,
+	// directory false positives) charged on top of wherever the object
+	// is finally found.
+	extra := 0.0
+
 	// 2. Own P2P client cache, if the lookup directory says so (§4.2).
 	//    The object is served from the client cache and stays there —
 	//    the proxy redirects the request, the response does not flow
 	//    through the proxy cache.
 	if px.dir.MayContain(obj) {
 		lr, err := px.cluster.Lookup(obj, member)
+		if err == nil {
+			px.acct.RecordLookup(obj, lr)
+		}
 		if err == nil && lr.Found {
 			for _, gone := range lr.Displaced {
 				px.dir.Remove(gone) // hot-object replica displaced these
@@ -125,6 +154,7 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int)
 		// on top of wherever the object is finally found.
 		px.dir.Remove(obj)
 		px.dirFP.Inc()
+		extra += e.net.Tp2p
 	}
 
 	// 3. Cooperating proxies: their proxy caches first, then their P2P
@@ -132,7 +162,6 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int)
 	//    is only probed when its (possibly stale) digest endorses the
 	//    object; a wasted probe costs an extra Tc round trip.
 	src := netmodel.SrcServer
-	extra := 0.0
 	for q := 1; q < len(e.proxies); q++ {
 		peer := e.proxies[(proxy+q)%len(e.proxies)]
 		if peer.digest != nil && !peer.digest.mayContain(obj) {
@@ -144,6 +173,9 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int)
 		}
 		if peer.dir.MayContain(obj) {
 			lr, err := peer.cluster.PushFetch(obj)
+			if err == nil {
+				peer.acct.RecordLookup(obj, lr)
+			}
 			if err == nil && lr.Found {
 				for _, gone := range lr.Displaced {
 					peer.dir.Remove(gone) // replica displacement receipts
@@ -151,8 +183,11 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int)
 				src = netmodel.SrcRemoteProxy
 				break
 			}
+			// Wasted probe into the peer's P2P client cache: the peer
+			// proxy paid a Tp2p round trip before reporting the miss.
 			peer.dir.Remove(obj)
 			peer.dirFP.Inc()
+			extra += e.net.Tp2p
 		}
 		if peer.digest != nil {
 			e.staleProbes.Inc()
@@ -172,6 +207,7 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int)
 		if err != nil {
 			continue // cluster fully failed: the object is dropped
 		}
+		px.acct.RecordStore(r)
 		if r.StoredOK {
 			px.dir.Add(r.Stored)
 		}
@@ -210,6 +246,7 @@ func (e *hierGDEngine) maintain(reqIdx int, res *Result) {
 		if err != nil {
 			continue
 		}
+		px.acct.RecordFailure(lost)
 		for _, obj := range lost {
 			px.dir.Remove(obj)
 		}
@@ -224,6 +261,20 @@ func (e *hierGDEngine) maintain(reqIdx int, res *Result) {
 
 func (e *hierGDEngine) finish(res *Result) {
 	res.DigestStaleProbes += int(e.staleProbes.Value())
+	if chk := e.cfg.Check; chk != nil {
+		for p, px := range e.proxies {
+			// The ring may carry lazily-unrepaired state after churn;
+			// one maintenance round puts it in the stable state the ring
+			// oracle is specified against.
+			px.cluster.Overlay().Stabilize()
+			invariant.CheckRing(chk, px.cluster.Overlay(), 32)
+			px.acct.Reconcile(px.cluster)
+			if px.acct.Strict() {
+				invariant.ReconcileDirectory(chk, fmt.Sprintf("proxy%d", p), px.dir,
+					px.cluster.Contains, px.acct.Resident())
+			}
+		}
+	}
 	for _, px := range e.proxies {
 		res.addP2P(px.cluster.Stats())
 		if lb := px.cluster.LoadBalance(); lb.MaxServes > res.P2PMaxNodeServes {

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"webcache/internal/netmodel"
+)
+
+// hierGDTestEngine builds a small two-proxy Hier-GD engine with exact
+// directories whose contents the test can falsify by hand.
+func hierGDTestEngine(t *testing.T) (*hierGDEngine, Config) {
+	t.Helper()
+	cfg := Config{Scheme: HierGD, NumProxies: 2, ClientsPerCluster: 8, Seed: 1}
+	cfg.fillDefaults()
+	cfg.P2PClientCaches = 8
+	sz := sizing{
+		infinite:  []int{64, 64},
+		proxyCap:  []uint64{8, 8},
+		clientCap: []uint64{4, 4},
+		p2pCap:    []uint64{32, 32},
+	}
+	e, err := newHierGDEngine(cfg, sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, cfg
+}
+
+// A local-directory false positive (step 2) must charge the wasted
+// Tp2p lookup on top of wherever the object is finally found — the
+// behaviour hiergd.go documents.  Before the fix the wasted lookup was
+// silently free and every Hier-GD latency figure was optimistic.
+func TestHierGDLocalFalsePositiveLatency(t *testing.T) {
+	e, cfg := hierGDTestEngine(t)
+	net := cfg.Net
+
+	const obj = 9999 // never stored anywhere
+	px := e.proxies[0]
+	px.dir.Add(obj) // falsified directory: claims the P2P cache has it
+
+	src, lat := e.serve(obj, 1, 0, 0)
+	if src != netmodel.SrcServer {
+		t.Fatalf("served from %v, want server", src)
+	}
+	want := net.Latency(netmodel.SrcServer) + net.Tp2p
+	if math.Abs(lat-want) > 1e-12 {
+		t.Errorf("latency = %g, want %g (server latency %g + wasted Tp2p %g)",
+			lat, want, net.Latency(netmodel.SrcServer), net.Tp2p)
+	}
+	if got := px.dirFP.Value(); got != 1 {
+		t.Errorf("dirFP = %d, want 1", got)
+	}
+	if px.dir.MayContain(obj) {
+		t.Error("directory not repaired after false positive")
+	}
+}
+
+// A cooperating proxy's directory false positive in the PushFetch path
+// (step 3) wastes the same Tp2p probe and must be charged too.
+func TestHierGDPeerFalsePositiveLatency(t *testing.T) {
+	e, cfg := hierGDTestEngine(t)
+	net := cfg.Net
+
+	const obj = 8888
+	peer := e.proxies[1]
+	peer.dir.Add(obj) // the peer's directory lies; its cluster is empty
+
+	src, lat := e.serve(obj, 1, 0, 0)
+	if src != netmodel.SrcServer {
+		t.Fatalf("served from %v, want server", src)
+	}
+	want := net.Latency(netmodel.SrcServer) + net.Tp2p
+	if math.Abs(lat-want) > 1e-12 {
+		t.Errorf("latency = %g, want %g (server latency + wasted peer Tp2p probe)", lat, want)
+	}
+	if got := peer.dirFP.Value(); got != 1 {
+		t.Errorf("peer dirFP = %d, want 1", got)
+	}
+}
+
+// Both directories lying stacks both wasted probes.
+func TestHierGDStackedFalsePositiveLatency(t *testing.T) {
+	e, cfg := hierGDTestEngine(t)
+	net := cfg.Net
+
+	const obj = 7777
+	e.proxies[0].dir.Add(obj)
+	e.proxies[1].dir.Add(obj)
+
+	_, lat := e.serve(obj, 1, 0, 0)
+	want := net.Latency(netmodel.SrcServer) + 2*net.Tp2p
+	if math.Abs(lat-want) > 1e-12 {
+		t.Errorf("latency = %g, want %g (server + two wasted probes)", lat, want)
+	}
+}

@@ -51,6 +51,11 @@ type Result struct {
 	// did work: digest rebuild rounds, FC window re-placements, and
 	// failure-injection rounds.
 	MaintenanceTicks int
+	// InvariantChecks / InvariantViolations snapshot the Config.Check
+	// checker after the run (cumulative when runs share a Checker;
+	// zero when checking is disabled).
+	InvariantChecks     int64
+	InvariantViolations int64
 }
 
 // HitRatio returns the fraction of requests served by src.

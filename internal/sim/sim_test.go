@@ -353,7 +353,7 @@ func TestResultString(t *testing.T) {
 }
 
 func TestTieredCachePromoteDemote(t *testing.T) {
-	tc := newTieredCache(2, 3, BasePerfectLFU, false)
+	tc := newTieredCache(2, 3, BasePerfectLFU, false, nil, "t")
 	ins := func(obj trace.ObjectID) { tc.insert(entryFor(obj, 1, 1)) }
 	ins(1)
 	ins(2)
@@ -380,7 +380,7 @@ func TestTieredCachePromoteDemote(t *testing.T) {
 }
 
 func TestTieredCacheClientHitPromotes(t *testing.T) {
-	tc := newTieredCache(1, 2, BasePerfectLFU, false)
+	tc := newTieredCache(1, 2, BasePerfectLFU, false, nil, "t")
 	tc.insert(entryFor(1, 1, 1))
 	tc.insert(entryFor(2, 1, 1)) // 1 demotes
 	if !tc.lower.Contains(1) {
@@ -398,7 +398,7 @@ func TestTieredCacheClientHitPromotes(t *testing.T) {
 }
 
 func TestTieredCacheSinglePool(t *testing.T) {
-	tc := newTieredCache(2, 3, BasePerfectLFU, true)
+	tc := newTieredCache(2, 3, BasePerfectLFU, true, nil, "t")
 	for obj := trace.ObjectID(0); obj < 5; obj++ {
 		tc.insert(entryFor(obj, 1, 1))
 	}

@@ -87,6 +87,12 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		res.AvgLatency = res.TotalLatency / float64(res.Requests)
 	}
 	eng.finish(res)
+	if cfg.Check != nil {
+		// Cumulative across runs sharing one Checker, like the obs
+		// registry; per-run deltas are the caller's job.
+		res.InvariantChecks = cfg.Check.Checks()
+		res.InvariantViolations = cfg.Check.ViolationCount()
+	}
 	res.PublishMetrics(cfg.Obs)
 	return res, nil
 }
@@ -111,7 +117,8 @@ func newLFUEngine(cfg Config, sz sizing) *lfuEngine {
 		}
 		// Non-EC schemes have no client tier: pool with zero extra.
 		single := !ec || cfg.SinglePoolEC
-		e.caches[p] = newTieredCache(sz.proxyCap[p], p2pCap, cfg.BasePolicy, single)
+		e.caches[p] = newTieredCache(sz.proxyCap[p], p2pCap, cfg.BasePolicy, single,
+			cfg.Check, fmt.Sprintf("proxy%d", p))
 	}
 	if cfg.DigestInterval > 0 && cfg.Scheme.Cooperative() {
 		for p := range e.caches {

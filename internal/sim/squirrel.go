@@ -1,6 +1,10 @@
 package sim
 
 import (
+	"fmt"
+
+	"webcache/internal/cache"
+	"webcache/internal/invariant"
 	"webcache/internal/netmodel"
 	"webcache/internal/p2p"
 	"webcache/internal/trace"
@@ -35,24 +39,35 @@ type squirrelEngine struct {
 	cfg      Config
 	net      netmodel.Model
 	clusters []*p2p.Cluster
+	// accts are the per-cluster conservation oracles; nil entries when
+	// invariant checking is off.
+	accts []*invariant.ClusterAccountant
 }
 
 func newSquirrelEngine(cfg Config, sz sizing) (*squirrelEngine, error) {
 	e := &squirrelEngine{cfg: cfg, net: cfg.Net}
 	for p := 0; p < cfg.NumProxies; p++ {
+		label := fmt.Sprintf("squirrel%d", p)
 		// Squirrel pools the whole client cache budget: the proxy-tier
 		// budget does not exist, so each client contributes only its
 		// cooperative partition, as in Hier-GD.
-		cluster, err := p2p.NewCluster(p2p.Config{
+		pcfg := p2p.Config{
 			NumClients:        cfg.P2PClientCaches,
 			PerClientCapacity: sz.clientCap[p],
 			DisableDiversion:  cfg.DisableDiversion,
 			Seed:              cfg.Seed + int64(p)*104729,
-		})
+		}
+		if cfg.Check != nil {
+			pcfg.WrapCache = func(cp cache.Policy, clabel string) cache.Policy {
+				return invariant.WrapPolicy(cp, cfg.Check, label+"."+clabel)
+			}
+		}
+		cluster, err := p2p.NewCluster(pcfg)
 		if err != nil {
 			return nil, err
 		}
 		e.clusters = append(e.clusters, cluster)
+		e.accts = append(e.accts, invariant.NewClusterAccountant(cfg.Check, label))
 	}
 	return e, nil
 }
@@ -61,6 +76,9 @@ func (e *squirrelEngine) serve(obj trace.ObjectID, size uint32, proxy, member in
 	cl := e.clusters[proxy]
 	member %= e.cfg.P2PClientCaches
 	lr, err := cl.Lookup(obj, member)
+	if err == nil {
+		e.accts[proxy].RecordLookup(obj, lr)
+	}
 	if err == nil && lr.Found {
 		// Home-node hit: the request goes client -> home node directly
 		// over the LAN; there is no proxy leg (Tl) at all.
@@ -73,16 +91,21 @@ func (e *squirrelEngine) serve(obj trace.ObjectID, size uint32, proxy, member in
 	// Miss: the requesting client fetches from the origin server and
 	// hands the object to its home node for storage.
 	r, err := cl.StoreEvicted(entryFor(obj, size, e.net.Ts), member, true)
-	_ = r
 	if err != nil {
 		return netmodel.SrcServer, e.net.Ts
 	}
+	e.accts[proxy].RecordStore(r)
 	// No proxy: the client pays the server latency without the Tl leg.
 	return netmodel.SrcServer, e.net.Ts
 }
 
 func (e *squirrelEngine) finish(res *Result) {
-	for _, cl := range e.clusters {
+	for p, cl := range e.clusters {
+		if chk := e.cfg.Check; chk != nil {
+			cl.Overlay().Stabilize()
+			invariant.CheckRing(chk, cl.Overlay(), 32)
+			e.accts[p].Reconcile(cl)
+		}
 		res.addP2P(cl.Stats())
 	}
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"webcache/internal/cache"
+	"webcache/internal/invariant"
 	"webcache/internal/trace"
 )
 
@@ -26,30 +27,34 @@ type tieredCache struct {
 	upperEvictions int
 }
 
-// newTieredCache builds the unified cache for one proxy.
-func newTieredCache(proxyCap, p2pCap uint64, kind BasePolicy, singlePool bool) *tieredCache {
+// newTieredCache builds the unified cache for one proxy.  chk wires
+// invariant checking around both tiers (nil disables it); label
+// distinguishes proxies in violation reports.
+func newTieredCache(proxyCap, p2pCap uint64, kind BasePolicy, singlePool bool, chk *invariant.Checker, label string) *tieredCache {
 	t := &tieredCache{singlePool: singlePool}
-	mk := func(capacity uint64) cache.Policy {
+	mk := func(capacity uint64, tier string) cache.Policy {
+		var p cache.Policy
 		switch kind {
 		case BaseLFUInCache:
-			return cache.NewLFU(capacity)
+			p = cache.NewLFU(capacity)
 		case BaseLRU:
-			return cache.NewLRU(capacity)
+			p = cache.NewLRU(capacity)
 		case BaseGreedyDual:
-			return cache.NewGreedyDual(capacity)
+			p = cache.NewGreedyDual(capacity)
 		default: // BasePerfectLFU
 			if t.history == nil {
 				t.history = make(map[trace.ObjectID]uint64)
 			}
-			return cache.NewPerfectLFUShared(capacity, t.history)
+			p = cache.NewPerfectLFUShared(capacity, t.history)
 		}
+		return invariant.WrapPolicy(p, chk, label+tier)
 	}
 	if singlePool {
-		t.upper = mk(proxyCap + p2pCap)
+		t.upper = mk(proxyCap+p2pCap, ".pool")
 		return t
 	}
-	t.upper = mk(proxyCap)
-	t.lower = mk(p2pCap)
+	t.upper = mk(proxyCap, ".proxy")
+	t.lower = mk(p2pCap, ".client")
 	return t
 }
 
@@ -85,7 +90,11 @@ func (t *tieredCache) access(obj trace.ObjectID) tier {
 
 // recordMiss updates perfect-LFU history for an uncached object.
 func (t *tieredCache) recordMiss(obj trace.ObjectID) {
-	if lfu, ok := t.upper.(*cache.LFU); ok {
+	p := t.upper
+	if u, ok := p.(interface{ Unwrap() cache.Policy }); ok {
+		p = u.Unwrap() // reach through the invariant wrapper
+	}
+	if lfu, ok := p.(*cache.LFU); ok {
 		lfu.RecordMiss(obj)
 	}
 }

@@ -168,8 +168,15 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if n > maxRequests {
 		return nil, fmt.Errorf("trace: implausible request count %d", n)
 	}
+	// The count is untrusted until the stream actually delivers n
+	// requests, so clamp the pre-allocation: a short stream claiming a
+	// huge count must fail with a read error, not a giant allocation.
+	pre := n
+	if pre > 1<<16 {
+		pre = 1 << 16
+	}
 	t := &Trace{
-		Requests:   make([]Request, 0, n),
+		Requests:   make([]Request, 0, pre),
 		NumClients: int(nc),
 		NumObjects: int(no),
 	}

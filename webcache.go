@@ -39,6 +39,7 @@ import (
 	"io"
 
 	"webcache/internal/core"
+	"webcache/internal/invariant"
 	"webcache/internal/netmodel"
 	"webcache/internal/obs"
 	"webcache/internal/prowgen"
@@ -267,6 +268,20 @@ const ManifestSchema = obs.ManifestSchema
 // NewMetricsRegistry creates an enabled metric registry scoped to the
 // named run.
 func NewMetricsRegistry(name string) *MetricsRegistry { return obs.NewRegistry(name) }
+
+// Invariant-checking types (see DESIGN.md for the oracle catalog).
+type (
+	// Checker collects cross-layer invariant checks and violations;
+	// attach one via Config.Check or FigureOptions.Check.  A nil
+	// Checker disables checking at zero cost.
+	Checker = invariant.Checker
+	// InvariantViolation is one observed invariant breach.
+	InvariantViolation = invariant.Violation
+)
+
+// NewChecker creates an enabled invariant checker.  reg may be nil;
+// when set, check.* counters are published into it.
+func NewChecker(reg *MetricsRegistry) *Checker { return invariant.New(reg) }
 
 // NewRunManifest starts a manifest for the named tool, stamping the
 // start time, command line, build version, and host environment.
