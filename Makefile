@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench vet fuzz-smoke
+.PHONY: all build test check race bench vet fuzz-smoke bench-smoke
 
 all: build test
 
@@ -36,6 +36,18 @@ fuzz-smoke:
 
 race:
 	$(GO) test -race ./...
+
+# ~10s live loopback bench: 2 proxies x 3 client caches over real
+# sockets driven open-loop from a small ProWGen trace, then the same
+# prefix replayed through the simulator with identical capacities.
+# Exits non-zero if live and simulated aggregate hit ratios drift more
+# than 20pp apart (a loose bound — smoke traces are small) or if the
+# BENCH_live.json manifest fails to round-trip the validating reader.
+bench-smoke:
+	$(GO) run ./cmd/hiergdd bench -requests 4000 -objects 400 -clients 40 \
+		-proxies 2 -caches 3 -mode open -arrival poisson -rate 600 \
+		-duration 10s -object-bytes 512 -warmup 400 -tolerance 0.2 \
+		-manifest BENCH_live.json
 
 # One iteration of every figure bench; set WEBCACHE_BENCH_SCALE and/or
 # WEBCACHE_BENCH_MANIFEST=bench.json to scale up or record a manifest.

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"webcache/internal/loadgen"
+	"webcache/internal/obs"
+	"webcache/internal/prowgen"
+	"webcache/internal/sim"
+	"webcache/internal/trace"
+)
+
+// runBench is the live-benchmark role: stand up a loopback
+// proxy/client-cache topology sized from the simulator's capacity
+// plan, replay a trace over real HTTP (open- or closed-loop), report
+// per-tier hit ratios and latency quantiles, and calibrate the run
+// against a simulator replay of the same request prefix with
+// identical capacities (EXPERIMENTS.md "Live benchmarking &
+// calibration").
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	// Workload: an existing trace file, or a generated ProWGen one.
+	tracePath := fs.String("trace", "", "trace file to replay (binary or text; empty = generate with ProWGen)")
+	requests := fs.Int("requests", 20000, "generated trace length (ignored with -trace)")
+	objects := fs.Int("objects", 2000, "generated distinct objects (ignored with -trace)")
+	clients := fs.Int("clients", 200, "generated client population (ignored with -trace)")
+	seed := fs.Int64("seed", 1, "workload and arrival-process seed")
+	// Topology.
+	proxies := fs.Int("proxies", 2, "cooperating proxies")
+	caches := fs.Int("caches", 3, "client-cache daemons per proxy")
+	proxyFrac := fs.Float64("proxy-frac", 0.05, "proxy cache size as a fraction of the infinite cache size")
+	clientFrac := fs.Float64("client-frac", 0.005, "per-client cache size as a fraction of the infinite cache size")
+	objectBytes := fs.Int("object-bytes", 1024, "origin body size per object (1 trace cache unit)")
+	// Driving discipline.
+	mode := fs.String("mode", "open", `driving discipline: "open" or "closed"`)
+	arrivalKind := fs.String("arrival", "poisson", `open-loop arrival process: "poisson" or "bursty"`)
+	rate := fs.Float64("rate", 500, "open-loop arrival rate in req/s (bursty: peak rate)")
+	onPeriod := fs.Duration("on", 2*time.Second, "bursty mean ON window")
+	offPeriod := fs.Duration("off", 6*time.Second, "bursty mean OFF window")
+	maxInflight := fs.Int("max-inflight", 512, "open-loop in-flight bound")
+	workers := fs.Int("workers", 8, "closed-loop concurrency")
+	think := fs.Duration("think", 0, "closed-loop per-worker think time")
+	duration := fs.Duration("duration", 0, "stop issuing after this long (0 = whole trace)")
+	warmup := fs.Int("warmup", -1, "requests discarded from accounting (-1 = trace length / 10)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	// Reporting.
+	tolerance := fs.Float64("tolerance", 0, "fail if |live - sim| aggregate hit ratio exceeds this (0 = report only)")
+	manifestPath := fs.String("manifest", "", "write a run-manifest JSON document to this file")
+	drain := fs.Duration("drain", 5*time.Second, "topology shutdown drain deadline")
+	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
+	fs.Parse(args)
+	startPprof(*pprofAddr)
+
+	tr, err := benchTrace(*tracePath, *requests, *objects, *clients, *seed)
+	if err != nil {
+		return err
+	}
+	if *warmup < 0 {
+		*warmup = tr.Len() / 10
+	}
+
+	simCfg := sim.Config{
+		Scheme:            sim.HierGD,
+		NumProxies:        *proxies,
+		ClientsPerCluster: (traceClients(tr) + *proxies - 1) / *proxies,
+		P2PClientCaches:   *caches,
+		Directory:         sim.DirExact,
+		ProxyCacheFrac:    *proxyFrac,
+		ClientCacheFrac:   *clientFrac,
+		WarmupRequests:    *warmup,
+		Seed:              *seed,
+	}
+	proxyCap, clientCap := simCfg.CapacityPlan(tr)
+	toBytes := func(units []uint64) []uint64 {
+		out := make([]uint64, len(units))
+		for i, u := range units {
+			out[i] = u * uint64(*objectBytes)
+		}
+		return out
+	}
+	topo, err := loadgen.StartLoopback(loadgen.TopologyConfig{
+		Proxies:            *proxies,
+		CachesPerProxy:     *caches,
+		ProxyCapacityBytes: toBytes(proxyCap),
+		CacheCapacityBytes: toBytes(clientCap),
+		ObjectBytes:        *objectBytes,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		topo.Close(ctx)
+	}()
+	fmt.Printf("hiergdd bench: %d proxies x %d client caches on loopback, origin %s\n",
+		*proxies, *caches, topo.OriginURL)
+	fmt.Printf("  capacities (units x %dB objects): proxy %v, per-client %v\n",
+		*objectBytes, proxyCap, clientCap)
+
+	sched, err := loadgen.BuildSchedule(tr, topo.ProxyURLs, topo.OriginURL, simCfg.ProxyFor)
+	if err != nil {
+		return err
+	}
+
+	opts := loadgen.Options{
+		MaxInflight: *maxInflight,
+		Workers:     *workers,
+		Think:       *think,
+		Duration:    *duration,
+		Warmup:      *warmup,
+	}
+	switch *mode {
+	case "open":
+		opts.Mode = loadgen.OpenLoop
+		switch *arrivalKind {
+		case "poisson":
+			opts.Arrival, err = loadgen.NewPoisson(*rate, *seed)
+		case "bursty":
+			opts.Arrival, err = loadgen.NewBursty(*rate, *onPeriod, *offPeriod, *seed)
+		default:
+			err = fmt.Errorf("unknown arrival process %q", *arrivalKind)
+		}
+		if err != nil {
+			return err
+		}
+	case "closed":
+		opts.Mode = loadgen.ClosedLoop
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	var man *obs.Manifest
+	var reg *obs.Registry
+	if *manifestPath != "" {
+		reg = obs.NewRegistry("hiergdd-bench")
+		man = obs.NewManifest("hiergdd-bench")
+		opts.Obs = reg
+	}
+
+	res, err := loadgen.Run(context.Background(), sched, loadgen.NewHTTPTarget(*timeout), opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(res.Table())
+
+	// Replay exactly what was issued through the simulator with the
+	// live topology's capacities pinned.
+	simCfg.ProxyCapacityOverride = proxyCap
+	simCfg.ClientCapacityOverride = clientCap
+	rep, err := loadgen.Calibrate(tr, res, simCfg, *tolerance)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(rep.Table())
+
+	if man != nil {
+		man.SetConfig("mode", *mode)
+		man.SetConfig("arrival", *arrivalKind)
+		man.SetConfig("rate", *rate)
+		man.SetConfig("proxies", *proxies)
+		man.SetConfig("caches_per_proxy", *caches)
+		man.SetConfig("object_bytes", *objectBytes)
+		man.SetConfig("proxy_capacity_units", proxyCap)
+		man.SetConfig("client_capacity_units", clientCap)
+		man.SetConfig("warmup", *warmup)
+		man.SetConfig("tolerance", *tolerance)
+		man.SetConfig("seed", *seed)
+		man.Trace = map[string]any{
+			"fingerprint":      trace.Fingerprint(tr),
+			"requests":         tr.Len(),
+			"distinct_clients": traceClients(tr),
+		}
+		man.SetNote("live", res.SummaryNote())
+		man.SetNote("calibration", rep)
+		man.Finish(reg)
+		if err := man.WriteFile(*manifestPath); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+		// Self-check: the file on disk must round-trip through the
+		// validating reader, so downstream tooling can rely on it.
+		if _, err := obs.ReadManifestFile(*manifestPath); err != nil {
+			return fmt.Errorf("manifest self-check: %w", err)
+		}
+		fmt.Printf("\nmanifest: %s\n", *manifestPath)
+	}
+
+	if *tolerance > 0 && !rep.WithinTolerance {
+		return fmt.Errorf("calibration outside tolerance: |%.3f| > %.3f aggregate hit-ratio delta",
+			math.Abs(rep.AggregateDelta), *tolerance)
+	}
+	return nil
+}
+
+// benchTrace loads the trace at path, or generates a ProWGen workload.
+func benchTrace(path string, requests, objects, clients int, seed int64) (*trace.Trace, error) {
+	if path == "" {
+		return prowgen.Generate(prowgen.Config{
+			NumRequests: requests,
+			NumObjects:  objects,
+			NumClients:  clients,
+			Seed:        seed,
+		})
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := trace.ReadBinary(f)
+	if err != nil {
+		if _, serr := f.Seek(0, 0); serr == nil {
+			if ttr, terr := trace.ReadText(f); terr == nil {
+				return ttr, nil
+			}
+		}
+		return nil, fmt.Errorf("reading trace %s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// traceClients is the client population (max id + 1, ids are dense).
+func traceClients(tr *trace.Trace) int {
+	var max trace.ClientID
+	for _, r := range tr.Requests {
+		if r.Client > max {
+			max = r.Client
+		}
+	}
+	return int(max) + 1
+}

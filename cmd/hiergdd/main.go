@@ -8,10 +8,13 @@
 //	hiergdd proxy -listen :8080 -capacity 67108864 -peers http://other:8080
 //	hiergdd cache -listen :9001 -capacity 16777216 -proxy http://localhost:8080
 //	hiergdd demo                     # whole topology in-process on localhost
+//	hiergdd bench -trace t.bin -rate 500 -duration 10s   # live load + calibration
 //
 // Both daemons accept -pprof addr to expose net/http/pprof on a side
 // listener (e.g. -pprof localhost:6060, then `go tool pprof
-// http://localhost:6060/debug/pprof/profile`).
+// http://localhost:6060/debug/pprof/profile`), and shut down gracefully
+// on SIGINT/SIGTERM: the listener closes, in-flight requests get -drain
+// to finish, then the process exits.
 //
 // The demo starts an origin, two cooperating proxies with three client
 // caches each, drives a request script through them, and prints which
@@ -20,7 +23,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,7 +33,10 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"webcache/internal/httpcache"
 	"webcache/internal/obs"
@@ -62,6 +70,8 @@ func main() {
 		err = runCache(os.Args[2:])
 	case "demo":
 		err = runDemo(os.Args[2:])
+	case "bench":
+		err = runBench(os.Args[2:])
 	default:
 		usage()
 	}
@@ -72,34 +82,82 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hiergdd proxy|cache|demo [flags]")
+	fmt.Fprintln(os.Stderr, "usage: hiergdd proxy|cache|demo|bench [flags]")
 	os.Exit(2)
+}
+
+// serveDaemon serves h on ln until SIGINT/SIGTERM, then drains
+// in-flight requests through http.Server.Shutdown for up to drain
+// before closing hard.  It returns nil on a clean signal-driven exit.
+func serveDaemon(ln net.Listener, h http.Handler, drain time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Println("hiergdd: signal received, draining...")
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain deadline exceeded: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// bindBase listens on addr and derives the externally reachable base
+// URL from the bound address — with ":0" the kernel-assigned port, not
+// the requested one, which is what scripts that parse the startup line
+// need.
+func bindBase(addr string) (net.Listener, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	bound := ln.Addr().(*net.TCPAddr)
+	host := bound.IP.String()
+	if bound.IP.IsUnspecified() {
+		host = "localhost"
+	}
+	return ln, fmt.Sprintf("http://%s:%d", host, bound.Port), nil
 }
 
 func runProxy(args []string) error {
 	fs := flag.NewFlagSet("proxy", flag.ExitOnError)
 	listen := fs.String("listen", ":8080", "listen address")
 	capacity := fs.Uint64("capacity", 64<<20, "proxy cache capacity in bytes")
-	self := fs.String("self", "", "externally reachable base URL (default http://<listen>)")
+	self := fs.String("self", "", "externally reachable base URL (default derived from the bound address)")
 	peers := fs.String("peers", "", "comma-separated cooperating proxy base URLs")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	fs.Parse(args)
 	startPprof(*pprofAddr)
 
-	p := httpcache.NewProxy(*capacity)
-	base := *self
-	if base == "" {
-		base = "http://" + strings.TrimPrefix(*listen, ":")
-		if strings.HasPrefix(*listen, ":") {
-			base = "http://localhost" + *listen
-		}
+	ln, base, err := bindBase(*listen)
+	if err != nil {
+		return err
 	}
+	if *self != "" {
+		base = *self
+	}
+	p := httpcache.NewProxy(*capacity)
 	p.SetSelf(base)
 	if *peers != "" {
 		p.SetPeers(strings.Split(*peers, ","))
 	}
-	fmt.Printf("hiergdd proxy: listening on %s (self=%s, %d-byte cache)\n", *listen, base, *capacity)
-	return http.ListenAndServe(*listen, p.Handler())
+	fmt.Printf("hiergdd proxy: listening on %s (self=%s, %d-byte cache)\n", ln.Addr(), base, *capacity)
+	return serveDaemon(ln, p.Handler(), *drain)
 }
 
 func runCache(args []string) error {
@@ -108,6 +166,7 @@ func runCache(args []string) error {
 	capacity := fs.Uint64("capacity", 16<<20, "cooperative cache capacity in bytes")
 	proxy := fs.String("proxy", "http://localhost:8080", "local proxy base URL")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	fs.Parse(args)
 	startPprof(*pprofAddr)
 
@@ -118,12 +177,13 @@ func runCache(args []string) error {
 	}
 	addr := ln.Addr().String()
 	if resp, err := http.Post(fmt.Sprintf("%s/register?addr=%s", *proxy, addr), "text/plain", nil); err != nil {
+		ln.Close()
 		return fmt.Errorf("registering with proxy: %w", err)
 	} else {
 		resp.Body.Close()
 	}
 	fmt.Printf("hiergdd cache: %s registered with %s (%d-byte partition)\n", addr, *proxy, *capacity)
-	return http.Serve(ln, cc.Handler())
+	return serveDaemon(ln, cc.Handler(), *drain)
 }
 
 func runDemo(args []string) error {
@@ -186,7 +246,7 @@ func runDemo(args []string) error {
 		}
 		defer resp.Body.Close()
 		io.Copy(io.Discard, resp.Body)
-		return resp.Header.Get("X-Served-By"), nil
+		return resp.Header.Get(httpcache.ServedByHeader), nil
 	}
 
 	script := []struct {

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"webcache/internal/obs"
+)
+
+// serveDaemon must serve requests, then drain and return nil when the
+// process receives SIGTERM (the daemons' graceful-shutdown path).
+func TestServeDaemonGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- serveDaemon(ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("ok"))
+		}), 2*time.Second)
+	}()
+
+	url := fmt.Sprintf("http://%s/", ln.Addr())
+	var resp *http.Response
+	for i := 0; ; i++ {
+		resp, err = http.Get(url)
+		if err == nil {
+			break
+		}
+		if i > 50 {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp.Body.Close()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveDaemon returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveDaemon did not return within 5s of SIGTERM")
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// bindBase must report the kernel-assigned port for ":0" listens, not
+// the requested one.
+func TestBindBasePortZero(t *testing.T) {
+	ln, base, err := bindBase("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	want := "http://" + ln.Addr().String()
+	if base != want {
+		t.Fatalf("base %q, want %q", base, want)
+	}
+}
+
+// The bench role end to end: tiny generated workload, loopback
+// topology, calibration within a loose tolerance, and a manifest that
+// round-trips through the validating reader.
+func TestBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live bench in -short mode")
+	}
+	manifest := filepath.Join(t.TempDir(), "BENCH_live.json")
+	err := runBench([]string{
+		"-requests", "1500", "-objects", "150", "-clients", "20",
+		"-proxies", "2", "-caches", "2",
+		"-mode", "closed", "-workers", "8",
+		"-object-bytes", "128", "-warmup", "150",
+		"-tolerance", "0.25", "-manifest", manifest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.ReadManifestFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "hiergdd-bench" {
+		t.Fatalf("manifest tool %q", m.Tool)
+	}
+	if m.Metrics["loadgen.issued"] == 0 {
+		t.Fatalf("manifest carries no loadgen counters: %v", m.Metrics)
+	}
+	if _, ok := m.Notes["calibration"]; !ok {
+		t.Fatal("manifest missing calibration note")
+	}
+}

@@ -185,8 +185,7 @@ func (c *ClientCache) handleObject(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.bump(func(s *ClientCacheStats) { s.Hits++ })
-	w.Header().Set("X-Served-By", "client-cache")
-	w.Write(obj.body)
+	serve(w, obj.body, TierClientCache)
 }
 
 func (c *ClientCache) handleStore(w http.ResponseWriter, r *http.Request) {

@@ -36,6 +36,25 @@ import (
 	"webcache/internal/pastry"
 )
 
+// ServedByHeader is the response header naming the tier that served an
+// object body.  Every object-serving response path sets it — it is the
+// attribution signal the live load generator (internal/loadgen) keys
+// its per-tier accounting on, so a path that forgets it shows up as an
+// "unknown" tier in bench reports (and fails the audit test).
+const ServedByHeader = "X-Served-By"
+
+// Tier labels carried in ServedByHeader.  The first four are the §5.1
+// serving tiers a /fetch client can observe (Tl, Tp2p, Tc, Ts); the
+// peer-* pair appears only on the inter-proxy /peer-lookup channel.
+const (
+	TierProxy       = "proxy"        // local proxy cache hit
+	TierClientCache = "client-cache" // own P2P client cache, via the directory
+	TierRemoteProxy = "remote-proxy" // served through a cooperating proxy
+	TierOrigin      = "origin"       // fetched from the origin server
+	TierPeerProxy   = "peer-proxy"   // peer-lookup: from this proxy's cache
+	TierPeerP2P     = "peer-p2p"     // peer-lookup: pushed up from a client cache
+)
+
 // keyOf derives the 128-bit objectId of a URL (§4.1: SHA-1 of the
 // URL).
 func keyOf(url string) pastry.ID { return pastry.HashString(url) }

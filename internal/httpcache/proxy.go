@@ -28,9 +28,13 @@ type ProxyStats struct {
 	OriginFetch int `json:"origin_fetches"`
 	PassDowns   int `json:"pass_downs"`
 	Diversions  int `json:"diversions"`
-	PushesIn    int `json:"pushes_in"`
-	DirEntries  int `json:"directory_entries"`
-	ClientPool  int `json:"client_caches"`
+	// DivertedHits counts client-cache hits served through the
+	// diversion passthrough: the owner missed but a ring neighbour
+	// (where an ifFree store diverted the object) had it.
+	DivertedHits int `json:"diverted_hits"`
+	PushesIn     int `json:"pushes_in"`
+	DirEntries   int `json:"directory_entries"`
+	ClientPool   int `json:"client_caches"`
 }
 
 // Proxy is the caching forward proxy of the paper's architecture: a
@@ -109,7 +113,7 @@ func (p *Proxy) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 // serve writes an object body with its serving-tier header.
 func serve(w http.ResponseWriter, body []byte, tier string) {
-	w.Header().Set("X-Served-By", tier)
+	w.Header().Set(ServedByHeader, tier)
 	w.Write(body)
 }
 
@@ -126,7 +130,7 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 	// 1. Proxy cache.
 	if obj, ok := p.store.get(folded); ok {
 		p.bump(func(s *ProxyStats) { s.ProxyHits++ })
-		serve(w, obj.body, "proxy")
+		serve(w, obj.body, TierProxy)
 		return
 	}
 
@@ -138,8 +142,18 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 		if addr, ok := p.ring.owner(id); ok {
 			if body, ok := p.lanFetch(addr, id); ok {
 				p.bump(func(s *ProxyStats) { s.ClientHits++ })
-				serve(w, body, "client-cache")
+				serve(w, body, TierClientCache)
 				return
+			}
+			// Diversion passthrough: an ifFree store may have landed
+			// the object on a ring neighbour instead of its owner
+			// (§4.3); probe them before declaring the entry stale.
+			for _, alt := range p.ringNeighbours(addr) {
+				if body, ok := p.lanFetch(alt, id); ok {
+					p.bump(func(s *ProxyStats) { s.ClientHits++; s.DivertedHits++ })
+					serve(w, body, TierClientCache)
+					return
+				}
 			}
 		}
 		// Stale entry (crashed daemon or raced eviction): repair.
@@ -162,7 +176,7 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 		if rerr == nil && resp.StatusCode == http.StatusOK {
 			p.bump(func(s *ProxyStats) { s.RemoteHits++ })
 			p.insertAndDestage(url, body, remoteCost)
-			serve(w, body, "remote-proxy")
+			serve(w, body, TierRemoteProxy)
 			return
 		}
 	}
@@ -181,7 +195,7 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 	}
 	p.bump(func(s *ProxyStats) { s.OriginFetch++ })
 	p.insertAndDestage(url, body, originCost)
-	serve(w, body, "origin")
+	serve(w, body, TierOrigin)
 }
 
 // Greedy-dual costs mirror the latency model: origin fetches are the
@@ -310,7 +324,7 @@ func (p *Proxy) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
 	}
 	folded := fold(id)
 	if obj, ok := p.store.get(folded); ok {
-		serve(w, obj.body, "peer-proxy")
+		serve(w, obj.body, TierPeerProxy)
 		return
 	}
 	p.mu.Lock()
@@ -325,22 +339,37 @@ func (p *Proxy) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	// Ask the client cache to push the object up to us.
+	// Ask the client cache to push the object up to us.  The owner is
+	// probed first; on a miss the ring neighbours follow — the push
+	// channel's diversion passthrough, since an ifFree store may have
+	// diverted the object off its owner (§4.3).  A push is awaited
+	// only after a daemon accepts it (204): waiting on a 404 would
+	// stall the cooperating proxy for the full push timeout.
 	pushID := strconv.FormatUint(p.pushSeq.Add(1), 10)
 	ch := make(chan []byte, 1)
 	p.pushWaiters.Store(pushID, ch)
 	defer p.pushWaiters.Delete(pushID)
-	pushURL := fmt.Sprintf("http://%s/push?key=%s&to=%s/accept-push?id=%s", addr, id, p.self, pushID)
-	resp, err := p.client.Post(pushURL, "text/plain", nil)
-	if err != nil {
+	accepted := false
+	for _, cand := range append([]string{addr}, p.ringNeighbours(addr)...) {
+		pushURL := fmt.Sprintf("http://%s/push?key=%s&to=%s/accept-push?id=%s", cand, id, p.self, pushID)
+		resp, err := p.client.Post(pushURL, "text/plain", nil)
+		if err != nil {
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNoContent {
+			accepted = true
+			break
+		}
+	}
+	if !accepted {
 		http.NotFound(w, r)
 		return
 	}
-	resp.Body.Close()
 	select {
 	case body := <-ch:
 		p.bump(func(s *ProxyStats) { s.PushesIn++ })
-		serve(w, body, "peer-p2p")
+		serve(w, body, TierPeerP2P)
 	case <-time.After(3 * time.Second):
 		http.Error(w, "push timed out", http.StatusGatewayTimeout)
 	}
@@ -365,11 +394,17 @@ func (p *Proxy) handleAcceptPush(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (p *Proxy) handleStats(w http.ResponseWriter, _ *http.Request) {
+// snapshotStats copies the counters under the lock.
+func (p *Proxy) snapshotStats() ProxyStats {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	st := p.stats
 	st.DirEntries = p.dir.Len()
-	p.mu.Unlock()
+	return st
+}
+
+func (p *Proxy) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := p.snapshotStats()
 	st.ClientPool = p.ring.size()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)

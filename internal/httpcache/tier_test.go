@@ -1,0 +1,141 @@
+package httpcache
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// get issues a GET and returns (status, tier header).
+func get(t *testing.T, u string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get(ServedByHeader)
+}
+
+// TestServedByHeaderPerPath audits every object-serving response path
+// in the package: each must stamp ServedByHeader with its tier, since
+// the live load generator's per-tier accounting keys on it.
+func TestServedByHeaderPerPath(t *testing.T) {
+	roomy := deploy(t, 2, 2, 1<<20, 1<<20) // nothing evicts
+	tiny := deploy(t, 1, 3, 52, 1<<20)     // proxy holds ~3 objects: destaging
+
+	// Warm the fixtures.  roomy: /warm cached at proxy 0; tiny: twelve
+	// objects fetched, so the earliest are long since destaged into the
+	// client caches.
+	roomy.fetch(0, "/warm")
+	for i := 0; i < 12; i++ {
+		tiny.fetch(0, fmt.Sprintf("/obj%02d", i))
+	}
+	peerKey := func(d *deployment, path string) string {
+		return keyOf(d.origin.srv.URL + path).String()
+	}
+
+	// One client cache holding a known object, for the /object path.
+	cc := NewClientCache(1 << 20)
+	ccSrv := httptest.NewServer(cc.Handler())
+	t.Cleanup(ccSrv.Close)
+	storedKey := keyOf("http://origin.test/direct").String()
+	resp, err := http.Post(ccSrv.URL+"/store?key="+storedKey+"&cost=1", "application/octet-stream",
+		strings.NewReader("direct-body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	tests := []struct {
+		name string
+		url  string
+		tier string
+	}{
+		{"fetch origin (cold miss)",
+			fmt.Sprintf("%s/fetch?url=%s", roomy.proxyS[0].URL, url.QueryEscape(roomy.origin.srv.URL+"/cold")),
+			TierOrigin},
+		{"fetch proxy cache hit",
+			fmt.Sprintf("%s/fetch?url=%s", roomy.proxyS[0].URL, url.QueryEscape(roomy.origin.srv.URL+"/warm")),
+			TierProxy},
+		{"fetch cooperating proxy",
+			fmt.Sprintf("%s/fetch?url=%s", roomy.proxyS[1].URL, url.QueryEscape(roomy.origin.srv.URL+"/warm")),
+			TierRemoteProxy},
+		{"fetch destaged object from client cache",
+			fmt.Sprintf("%s/fetch?url=%s", tiny.proxyS[0].URL, url.QueryEscape(tiny.origin.srv.URL+"/obj00")),
+			TierClientCache},
+		{"peer-lookup served from proxy cache",
+			fmt.Sprintf("%s/peer-lookup?key=%s", roomy.proxyS[0].URL, peerKey(roomy, "/warm")),
+			TierPeerProxy},
+		{"peer-lookup push-served from client cache",
+			fmt.Sprintf("%s/peer-lookup?key=%s", tiny.proxyS[0].URL, peerKey(tiny, "/obj01")),
+			TierPeerP2P},
+		{"client-cache /object",
+			ccSrv.URL + "/object?key=" + storedKey,
+			TierClientCache},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			status, tier := get(t, tc.url)
+			if status != http.StatusOK {
+				t.Fatalf("status %d", status)
+			}
+			if tier != tc.tier {
+				t.Fatalf("%s = %q, want %q", ServedByHeader, tier, tc.tier)
+			}
+		})
+	}
+}
+
+// TestDiversionPassthrough pins the read side of §4.3's diversion: an
+// ifFree store that landed on a ring neighbour instead of its full
+// owner must still be servable through /fetch (probing the neighbours
+// on an owner miss), attributed to the client-cache tier.
+func TestDiversionPassthrough(t *testing.T) {
+	px := NewProxy(1 << 20)
+	pxSrv := httptest.NewServer(px.Handler())
+	t.Cleanup(pxSrv.Close)
+	px.SetSelf(pxSrv.URL)
+
+	// Two client caches, each with room for exactly one 10-byte body.
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		cc := NewClientCache(15)
+		srv := httptest.NewServer(cc.Handler())
+		t.Cleanup(srv.Close)
+		addr := strings.TrimPrefix(srv.URL, "http://")
+		px.ring.add(addr)
+		addrs = append(addrs, addr)
+	}
+
+	const objURL = "http://origin.test/diverted"
+	id := keyOf(objURL)
+	owner, ok := px.ring.owner(id)
+	if !ok {
+		t.Fatal("no ring owner")
+	}
+	// Fill the owner so the ifFree probe refuses and the store diverts.
+	fillKey := keyOf("filler").String()
+	resp, err := http.Post(fmt.Sprintf("http://%s/store?key=%s&cost=1", owner, fillKey),
+		"application/octet-stream", strings.NewReader("0123456789"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	px.passDown(storedObject{hexKey: id.String(), body: []byte("abcdefghij"), cost: 1})
+	if st := px.snapshotStats(); st.Diversions != 1 {
+		t.Fatalf("diversions = %d, want 1 (owner %s of %v)", st.Diversions, owner, addrs)
+	}
+
+	status, tier := get(t, fmt.Sprintf("%s/fetch?url=%s", pxSrv.URL, url.QueryEscape(objURL)))
+	if status != http.StatusOK || tier != TierClientCache {
+		t.Fatalf("diverted fetch: status %d tier %q", status, tier)
+	}
+	if st := px.snapshotStats(); st.DivertedHits != 1 {
+		t.Fatalf("diverted hits = %d, want 1", st.DivertedHits)
+	}
+}

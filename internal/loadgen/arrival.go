@@ -1,0 +1,89 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Arrival is an open-loop arrival process: Next returns the gap until
+// the next request is released, independent of how the target is
+// keeping up (that independence is what makes the loop "open" — the
+// driver releases work on schedule and lets queueing delay surface in
+// the latency histogram instead of silently throttling the workload).
+//
+// All processes draw from a caller-seeded source, so a (seed, rate)
+// pair always yields the same schedule.
+type Arrival interface {
+	Next() time.Duration
+}
+
+// Poisson releases requests as a Poisson process: exponentially
+// distributed interarrival gaps with mean 1/rate.
+type Poisson struct {
+	rate float64 // requests per second
+	rng  *rand.Rand
+}
+
+// NewPoisson creates a Poisson arrival process at rate requests/second.
+func NewPoisson(rate float64, seed int64) (*Poisson, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("loadgen: poisson rate %g must be positive", rate)
+	}
+	return &Poisson{rate: rate, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next returns the next exponential interarrival gap.
+func (p *Poisson) Next() time.Duration {
+	return time.Duration(p.rng.ExpFloat64() / p.rate * float64(time.Second))
+}
+
+// Bursty is an interrupted Poisson process (on/off bursts): during ON
+// periods requests arrive as a Poisson process at the peak rate;
+// during OFF periods the source is silent.  ON and OFF durations are
+// themselves exponential with the configured means, so the effective
+// average rate is peak * meanOn / (meanOn + meanOff).
+type Bursty struct {
+	peak            float64
+	meanOn, meanOff time.Duration
+	rng             *rand.Rand
+	remainingOn     time.Duration
+}
+
+// NewBursty creates an on/off arrival process: Poisson at peakRate
+// during ON windows of mean length meanOn, silent for OFF windows of
+// mean length meanOff.
+func NewBursty(peakRate float64, meanOn, meanOff time.Duration, seed int64) (*Bursty, error) {
+	if peakRate <= 0 {
+		return nil, fmt.Errorf("loadgen: bursty peak rate %g must be positive", peakRate)
+	}
+	if meanOn <= 0 || meanOff < 0 {
+		return nil, fmt.Errorf("loadgen: bursty periods on=%v off=%v invalid", meanOn, meanOff)
+	}
+	b := &Bursty{peak: peakRate, meanOn: meanOn, meanOff: meanOff,
+		rng: rand.New(rand.NewSource(seed))}
+	b.remainingOn = b.expDur(b.meanOn)
+	return b, nil
+}
+
+// expDur draws an exponential duration with the given mean.
+func (b *Bursty) expDur(mean time.Duration) time.Duration {
+	return time.Duration(b.rng.ExpFloat64() * float64(mean))
+}
+
+// Next returns the gap to the next arrival.  A Poisson gap at the peak
+// rate is drawn; whenever it overruns the current ON window, the
+// remainder of the window elapses, an OFF pause is inserted, and the
+// residual gap carries into a fresh ON window — so gaps spanning
+// silence come out burst-shaped rather than averaged.
+func (b *Bursty) Next() time.Duration {
+	gap := time.Duration(b.rng.ExpFloat64() / b.peak * float64(time.Second))
+	var total time.Duration
+	for gap > b.remainingOn {
+		gap -= b.remainingOn
+		total += b.remainingOn + b.expDur(b.meanOff)
+		b.remainingOn = b.expDur(b.meanOn)
+	}
+	b.remainingOn -= gap
+	return total + gap
+}

@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Generators are pure functions of (params, seed): they return gaps and
+// never sleep, so none of these tests touch the wall clock.
+
+func TestPoissonDeterministic(t *testing.T) {
+	a, _ := NewPoisson(100, 42)
+	b, _ := NewPoisson(100, 42)
+	for i := 0; i < 1000; i++ {
+		if ga, gb := a.Next(), b.Next(); ga != gb {
+			t.Fatalf("draw %d: %v != %v for identical seeds", i, ga, gb)
+		}
+	}
+	c, _ := NewPoisson(100, 43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds produced %d/1000 identical gaps", same)
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	const rate = 250.0
+	p, err := NewPoisson(rate, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += p.Next()
+	}
+	mean := total.Seconds() / n
+	want := 1 / rate
+	if rel := math.Abs(mean-want) / want; rel > 0.05 {
+		t.Fatalf("mean gap %.6fs, want %.6fs (rel err %.3f)", mean, want, rel)
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	for _, rate := range []float64{0, -5} {
+		if _, err := NewPoisson(rate, 1); err == nil {
+			t.Fatalf("rate %g accepted", rate)
+		}
+	}
+}
+
+func TestBurstyDeterministic(t *testing.T) {
+	a, _ := NewBursty(500, 100*time.Millisecond, 300*time.Millisecond, 9)
+	b, _ := NewBursty(500, 100*time.Millisecond, 300*time.Millisecond, 9)
+	for i := 0; i < 1000; i++ {
+		if ga, gb := a.Next(), b.Next(); ga != gb {
+			t.Fatalf("draw %d: %v != %v for identical seeds", i, ga, gb)
+		}
+	}
+}
+
+// The IPP's effective rate is peak * meanOn / (meanOn + meanOff); the
+// gap sequence must both average out to that and contain the long
+// OFF-window pauses that make it bursty rather than thinned Poisson.
+func TestBurstyEffectiveRateAndPauses(t *testing.T) {
+	const peak = 1000.0
+	meanOn, meanOff := 50*time.Millisecond, 150*time.Millisecond
+	g, err := NewBursty(peak, meanOn, meanOff, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	longPauses := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		gap := g.Next()
+		total += gap
+		// A gap of >=10x the peak-rate mean can only come from an OFF
+		// window being crossed.
+		if gap >= 10*time.Millisecond {
+			longPauses++
+		}
+	}
+	effective := n / total.Seconds()
+	duty := meanOn.Seconds() / (meanOn + meanOff).Seconds()
+	want := peak * duty
+	if rel := math.Abs(effective-want) / want; rel > 0.10 {
+		t.Fatalf("effective rate %.1f req/s, want %.1f (rel err %.3f)", effective, want, rel)
+	}
+	if longPauses == 0 {
+		t.Fatal("no OFF-window pauses in 50k gaps; process is not bursty")
+	}
+}
+
+// meanOff=0 degenerates to plain Poisson at the peak rate.
+func TestBurstyZeroOffIsPoisson(t *testing.T) {
+	const peak = 400.0
+	g, err := NewBursty(peak, 20*time.Millisecond, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += g.Next()
+	}
+	effective := n / total.Seconds()
+	if rel := math.Abs(effective-peak) / peak; rel > 0.05 {
+		t.Fatalf("effective rate %.1f, want %.1f", effective, peak)
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	if _, err := NewBursty(0, time.Second, time.Second, 1); err == nil {
+		t.Fatal("zero peak accepted")
+	}
+	if _, err := NewBursty(100, 0, time.Second, 1); err == nil {
+		t.Fatal("zero meanOn accepted")
+	}
+	if _, err := NewBursty(100, time.Second, -time.Second, 1); err == nil {
+		t.Fatal("negative meanOff accepted")
+	}
+}

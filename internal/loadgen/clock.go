@@ -1,0 +1,50 @@
+package loadgen
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the driver so pacing is testable without
+// real sleeping: the open-loop scheduler sleeps interarrival gaps and
+// checks the duration budget exclusively through a Clock.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// realClock is the wall clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// FakeClock is a deterministic Clock whose Sleep advances virtual time
+// instantly.  Tests inject it to verify pacing and duration cut-off
+// without wall-clock delays.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock starts a fake clock at the given instant.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances virtual time by d without blocking.
+func (c *FakeClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

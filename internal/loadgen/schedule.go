@@ -1,0 +1,59 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/url"
+
+	"webcache/internal/trace"
+)
+
+// ScheduledRequest is one trace reference resolved onto the live
+// topology: which proxy front-end to hit and the full fetch URL.
+type ScheduledRequest struct {
+	Index  int
+	Client trace.ClientID
+	Object trace.ObjectID
+	Proxy  int
+	URL    string
+}
+
+// Schedule is a trace rendered into issuable requests, in trace order.
+type Schedule struct {
+	Requests   []ScheduledRequest
+	NumProxies int
+}
+
+// BuildSchedule resolves every trace request onto the topology:
+// objects become origin URLs ("<origin>/obj/<id>"), and each client is
+// routed to proxyFor(client) — pass sim.Config.ProxyFor so live
+// requests land on the same front-end the simulator's replay would
+// use, which is what makes the calibration comparison meaningful.
+func BuildSchedule(tr *trace.Trace, proxyURLs []string, originURL string,
+	proxyFor func(trace.ClientID) int) (*Schedule, error) {
+	if len(proxyURLs) == 0 {
+		return nil, fmt.Errorf("loadgen: no proxy URLs")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Schedule{
+		Requests:   make([]ScheduledRequest, 0, len(tr.Requests)),
+		NumProxies: len(proxyURLs),
+	}
+	for i, r := range tr.Requests {
+		p := proxyFor(r.Client)
+		if p < 0 || p >= len(proxyURLs) {
+			return nil, fmt.Errorf("loadgen: request %d: client %d mapped to proxy %d of %d",
+				i, r.Client, p, len(proxyURLs))
+		}
+		objURL := fmt.Sprintf("%s/obj/%d", originURL, r.Object)
+		s.Requests = append(s.Requests, ScheduledRequest{
+			Index:  i,
+			Client: r.Client,
+			Object: r.Object,
+			Proxy:  p,
+			URL:    fmt.Sprintf("%s/fetch?url=%s", proxyURLs[p], url.QueryEscape(objURL)),
+		})
+	}
+	return s, nil
+}

@@ -1,0 +1,174 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"webcache/internal/httpcache"
+)
+
+// TopologyConfig sizes a loopback deployment: an origin, Proxies
+// cooperating proxies (full mesh), and CachesPerProxy client-cache
+// daemons registered with each.
+type TopologyConfig struct {
+	Proxies        int
+	CachesPerProxy int
+	// ProxyCapacityBytes is per-proxy (one element applies to all);
+	// CacheCapacityBytes likewise per client-cache daemon.
+	ProxyCapacityBytes []uint64
+	CacheCapacityBytes []uint64
+	// ObjectBytes is the origin's body size for every object: with the
+	// simulator's unit-size traces, capacity_units * ObjectBytes byte
+	// caches hold exactly capacity_units objects, keeping the live
+	// topology unit-for-unit comparable with a sim capacity plan.
+	ObjectBytes int
+}
+
+// Topology is a running loopback deployment.  Everything listens on
+// 127.0.0.1 ephemeral ports; Close shuts the servers down gracefully.
+type Topology struct {
+	OriginURL string
+	ProxyURLs []string
+	Proxies   []*httpcache.Proxy
+
+	servers []*http.Server
+}
+
+// pick resolves a per-index capacity from a one-or-per-index slice.
+func pick(caps []uint64, i int) (uint64, error) {
+	switch {
+	case len(caps) == 0:
+		return 0, fmt.Errorf("loadgen: empty capacity list")
+	case i < len(caps):
+		return caps[i], nil
+	default:
+		return caps[len(caps)-1], nil
+	}
+}
+
+// StartLoopback stands the topology up.  On error, anything already
+// started is shut down.
+func StartLoopback(cfg TopologyConfig) (*Topology, error) {
+	if cfg.Proxies < 1 || cfg.CachesPerProxy < 0 {
+		return nil, fmt.Errorf("loadgen: bad topology %d proxies x %d caches", cfg.Proxies, cfg.CachesPerProxy)
+	}
+	if cfg.ObjectBytes < 1 {
+		return nil, fmt.Errorf("loadgen: object size %d bytes", cfg.ObjectBytes)
+	}
+	t := &Topology{}
+	ok := false
+	defer func() {
+		if !ok {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			t.Close(ctx)
+		}
+	}()
+
+	// Origin: a deterministic body per object path, padded to
+	// ObjectBytes so live cache occupancy matches trace cache units.
+	pad := strings.Repeat("x", cfg.ObjectBytes)
+	originLn, err := listen()
+	if err != nil {
+		return nil, err
+	}
+	t.serve(originLn, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := "origin:" + r.URL.Path + ":" + pad
+		w.Write([]byte(body[:cfg.ObjectBytes]))
+	}))
+	t.OriginURL = "http://" + originLn.Addr().String()
+
+	for p := 0; p < cfg.Proxies; p++ {
+		capBytes, err := pick(cfg.ProxyCapacityBytes, p)
+		if err != nil {
+			return nil, err
+		}
+		px := httpcache.NewProxy(capBytes)
+		ln, err := listen()
+		if err != nil {
+			return nil, err
+		}
+		t.serve(ln, px.Handler())
+		u := "http://" + ln.Addr().String()
+		px.SetSelf(u)
+		t.Proxies = append(t.Proxies, px)
+		t.ProxyURLs = append(t.ProxyURLs, u)
+
+		cacheBytes, err := pick(cfg.CacheCapacityBytes, p)
+		if err != nil {
+			return nil, err
+		}
+		for c := 0; c < cfg.CachesPerProxy; c++ {
+			cc := httpcache.NewClientCache(cacheBytes)
+			cln, err := listen()
+			if err != nil {
+				return nil, err
+			}
+			t.serve(cln, cc.Handler())
+			resp, err := http.Post(fmt.Sprintf("%s/register?addr=%s", u, cln.Addr().String()),
+				"text/plain", nil)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: registering cache with %s: %w", u, err)
+			}
+			resp.Body.Close()
+		}
+	}
+	// Cooperating full mesh.
+	for p, px := range t.Proxies {
+		var peers []string
+		for q, u := range t.ProxyURLs {
+			if q != p {
+				peers = append(peers, u)
+			}
+		}
+		px.SetPeers(peers)
+	}
+	ok = true
+	return t, nil
+}
+
+func listen() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+// serve runs an http.Server on ln and tracks it for shutdown.
+func (t *Topology) serve(ln net.Listener, h http.Handler) {
+	srv := &http.Server{Handler: h}
+	t.servers = append(t.servers, srv)
+	go srv.Serve(ln)
+}
+
+// Close drains every server through http.Server.Shutdown under ctx's
+// deadline (the graceful path bench runs rely on to stop topologies
+// cleanly); servers still busy past the deadline are closed hard.
+func (t *Topology) Close(ctx context.Context) error {
+	var firstErr error
+	for i := len(t.servers) - 1; i >= 0; i-- {
+		if err := t.servers[i].Shutdown(ctx); err != nil {
+			t.servers[i].Close()
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// ProxyStats fetches proxy p's /stats counters over HTTP.
+func (t *Topology) ProxyStats(p int) (httpcache.ProxyStats, error) {
+	var st httpcache.ProxyStats
+	if p < 0 || p >= len(t.ProxyURLs) {
+		return st, fmt.Errorf("loadgen: proxy %d of %d", p, len(t.ProxyURLs))
+	}
+	resp, err := http.Get(t.ProxyURLs[p] + "/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}

@@ -154,6 +154,17 @@ type Config struct {
 	// steady-state behaviour from cold-start compulsory misses.  The
 	// paper measures whole traces (warmup 0, the default).
 	WarmupRequests int
+	// ProxyCapacityOverride / ClientCapacityOverride pin the
+	// per-cluster cache capacities (in cache units) instead of
+	// deriving them from the trace through the Frac fields.  This is
+	// how a calibration replay matches a live topology whose
+	// capacities were sized from a different (usually longer) trace:
+	// internal/loadgen sizes the deployment with CapacityPlan, then
+	// replays the actually-issued prefix with the plan pinned here.
+	// A single element applies to every cluster; empty (the default)
+	// keeps the paper's fractional sizing.
+	ProxyCapacityOverride  []uint64
+	ClientCapacityOverride []uint64
 	// Seed drives overlay construction and failure injection.
 	Seed int64
 	// Obs, when non-nil, receives run instrumentation (the sim.*
@@ -270,10 +281,16 @@ func computeSizing(tr *trace.Trace, cfg Config) sizing {
 	}
 	for p, n := range inf {
 		pc := uint64(cfg.ProxyCacheFrac * float64(n))
+		if v, ok := override(cfg.ProxyCapacityOverride, p); ok {
+			pc = v
+		}
 		if pc < 1 {
 			pc = 1
 		}
 		cc := uint64(cfg.ClientCacheFrac * float64(n))
+		if v, ok := override(cfg.ClientCapacityOverride, p); ok {
+			cc = v
+		}
 		if cc < 1 {
 			cc = 1
 		}
@@ -282,6 +299,40 @@ func computeSizing(tr *trace.Trace, cfg Config) sizing {
 		s.p2pCap[p] = cc * uint64(cfg.P2PClientCaches)
 	}
 	return s
+}
+
+// override resolves a per-cluster capacity override: one element
+// applies everywhere, more select by cluster index.
+func override(o []uint64, p int) (uint64, bool) {
+	switch {
+	case len(o) == 0:
+		return 0, false
+	case p < len(o):
+		return o[p], true
+	default:
+		return o[len(o)-1], true
+	}
+}
+
+// CapacityPlan reports the per-cluster proxy and per-client cache
+// capacities (in cache units) this configuration resolves to for the
+// trace — exactly what Run will simulate.  Exported so a live bench
+// (internal/loadgen) can size a real topology identically and the
+// calibration replay compares like with like.
+func (c Config) CapacityPlan(tr *trace.Trace) (proxyCap, clientCap []uint64) {
+	c.fillDefaults()
+	sz := computeSizing(tr, c)
+	return sz.proxyCap, sz.clientCap
+}
+
+// ProxyFor returns the proxy cluster that serves the given trace
+// client — the exported form of the replay loop's client mapping, so
+// live load generation routes each request to the same front-end the
+// simulator would.
+func (c Config) ProxyFor(client trace.ClientID) int {
+	c.fillDefaults()
+	p, _ := clientMapping(c, client)
+	return p
 }
 
 // clientMapping resolves a trace client onto (proxy, member index).

@@ -37,10 +37,15 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	sz := computeSizing(tr, cfg)
-	for p, n := range sz.infinite {
-		if n == 0 {
-			return nil, fmt.Errorf("sim: cluster %d has an empty infinite cache (trace too small for %d proxies x %d clients)",
-				p, cfg.NumProxies, cfg.ClientsPerCluster)
+	// With pinned capacities (calibration replays) an empty infinite
+	// cache is harmless — the fractional sizing it would break is
+	// bypassed.
+	if len(cfg.ProxyCapacityOverride) == 0 || len(cfg.ClientCapacityOverride) == 0 {
+		for p, n := range sz.infinite {
+			if n == 0 {
+				return nil, fmt.Errorf("sim: cluster %d has an empty infinite cache (trace too small for %d proxies x %d clients)",
+					p, cfg.NumProxies, cfg.ClientsPerCluster)
+			}
 		}
 	}
 

@@ -40,6 +40,7 @@ import (
 
 	"webcache/internal/core"
 	"webcache/internal/invariant"
+	"webcache/internal/loadgen"
 	"webcache/internal/netmodel"
 	"webcache/internal/obs"
 	"webcache/internal/prowgen"
@@ -309,3 +310,28 @@ func TimeSliceTrace(tr *Trace, from, to uint32) (*Trace, error) {
 
 // CompactTrace renumbers clients and objects densely after filtering.
 func CompactTrace(tr *Trace) *Trace { return trace.Compact(tr) }
+
+// Live load-generation types (internal/loadgen, `hiergdd bench`): the
+// subsystem that replays a trace over real HTTP against the deployed
+// topology and calibrates the measurements against the simulator.
+type (
+	// LoadResult is one live driving run's measurements: issue counts,
+	// per-tier attribution, and latency histograms.
+	LoadResult = loadgen.Result
+	// LatencyHistogram is the fixed-bucket log-scale histogram behind
+	// the bench's quantile reports (≤ ~4.4% relative error).
+	LatencyHistogram = loadgen.Histogram
+	// LatencySummary is a histogram flattened to count/mean/quantiles.
+	LatencySummary = loadgen.QuantileSummary
+	// CalibrationReport is the live-vs-simulated hit-ratio comparison.
+	CalibrationReport = loadgen.CalibrationReport
+	// TierComparison is one serving tier's live-vs-sim pair.
+	TierComparison = loadgen.TierComparison
+)
+
+// Calibrate replays the prefix of tr that the live run issued through
+// the simulator under cfg (carrying the capacity overrides the live
+// topology was sized from) and compares hit ratios per serving tier.
+func Calibrate(tr *Trace, live *LoadResult, cfg Config, tolerance float64) (*CalibrationReport, error) {
+	return loadgen.Calibrate(tr, live, cfg, tolerance)
+}
