@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench vet fuzz-smoke bench-smoke
+.PHONY: all build test check race bench vet fuzz-smoke bench-smoke bench-diff trace-alloc
 
 all: build test
 
@@ -48,6 +48,24 @@ bench-smoke:
 		-proxies 2 -caches 3 -mode open -arrival poisson -rate 600 \
 		-duration 10s -object-bytes 512 -warmup 400 -tolerance 0.2 \
 		-manifest BENCH_live.json
+
+# The manifest-diff loop: run the same small bench twice (same seed,
+# so the workload fingerprints match), then diff the two manifests
+# with cmd/benchdiff — run-to-run metric drift, mechanically.
+bench-diff:
+	$(GO) run ./cmd/hiergdd bench -requests 1500 -objects 150 -clients 20 \
+		-proxies 2 -caches 2 -mode closed -workers 8 -object-bytes 128 \
+		-warmup 150 -manifest BENCH_a.json
+	$(GO) run ./cmd/hiergdd bench -requests 1500 -objects 150 -clients 20 \
+		-proxies 2 -caches 2 -mode closed -workers 8 -object-bytes 128 \
+		-warmup 150 -manifest BENCH_b.json
+	$(GO) run ./cmd/benchdiff BENCH_a.json BENCH_b.json
+
+# The disabled-tracer cost gate: the nil tracer must stay zero-alloc
+# on the request path (also asserted by TestDisabledTracerZeroAlloc;
+# CI runs this with -benchmem so regressions show up as numbers).
+trace-alloc:
+	$(GO) test -run='^$$' -bench=BenchmarkDisabledTracer -benchmem ./internal/obs
 
 # One iteration of every figure bench; set WEBCACHE_BENCH_SCALE and/or
 # WEBCACHE_BENCH_MANIFEST=bench.json to scale up or record a manifest.

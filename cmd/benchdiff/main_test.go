@@ -1,0 +1,59 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"webcache/internal/obs"
+)
+
+// writeManifest builds a minimal valid manifest file.
+func writeManifest(t *testing.T, path, fp string, metrics map[string]float64) {
+	t.Helper()
+	m := obs.NewManifest("benchdiff-test")
+	m.Trace = map[string]any{"fingerprint": fp}
+	reg := obs.NewRegistry("benchdiff-test")
+	for name, v := range metrics {
+		reg.Gauge(name).Set(v)
+	}
+	m.Finish(reg)
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffMatchingFingerprints(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeManifest(t, a, "fnv1a:1", map[string]float64{"x": 1, "same": 5})
+	writeManifest(t, b, "fnv1a:1", map[string]float64{"x": 2, "same": 5})
+	if err := run([]string{a, b}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffRefusesMismatchedWorkloads(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeManifest(t, a, "fnv1a:1", map[string]float64{"x": 1})
+	writeManifest(t, b, "fnv1a:2", map[string]float64{"x": 2})
+	err := run([]string{a, b})
+	if err == nil || !strings.Contains(err.Error(), "fingerprints differ") {
+		t.Fatalf("mismatched workloads accepted: %v", err)
+	}
+	if err := run([]string{"-force", a, b}); err != nil {
+		t.Fatalf("-force did not override: %v", err)
+	}
+}
+
+func TestDiffArgValidation(t *testing.T) {
+	if err := run([]string{"only-one.json"}); err == nil {
+		t.Fatal("single argument accepted")
+	}
+	if err := run([]string{"/nonexistent/a.json", "/nonexistent/b.json"}); err == nil {
+		t.Fatal("unreadable manifests accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"time"
@@ -48,9 +49,13 @@ func runBench(args []string) error {
 	duration := fs.Duration("duration", 0, "stop issuing after this long (0 = whole trace)")
 	warmup := fs.Int("warmup", -1, "requests discarded from accounting (-1 = trace length / 10)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
-	// Reporting.
+	// Reporting.  (-trace is the input workload; -trace-out and friends
+	// are the span-tracing exports.)
 	tolerance := fs.Float64("tolerance", 0, "fail if |live - sim| aggregate hit ratio exceeds this (0 = report only)")
 	manifestPath := fs.String("manifest", "", "write a run-manifest JSON document to this file")
+	traceOut := fs.String("trace-out", "", "write sampled request traces (driver roots + daemon hops) as Chrome trace-event JSON to this file")
+	traceJSONL := fs.String("trace-jsonl", "", "write sampled request traces as JSONL to this file")
+	traceSample := fs.Int("trace-sample", 100, "head-sample 1 in N driven requests")
 	drain := fs.Duration("drain", 5*time.Second, "topology shutdown drain deadline")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
 	fs.Parse(args)
@@ -83,12 +88,35 @@ func runBench(args []string) error {
 		}
 		return out
 	}
+
+	var man *obs.Manifest
+	var reg *obs.Registry
+	if *manifestPath != "" {
+		reg = obs.NewRegistry("hiergdd-bench")
+		man = obs.NewManifest("hiergdd-bench")
+	}
+	// Span tracing: the driver head-samples roots and stamps the trace
+	// id on the wire; the daemons share one join-only collector, so
+	// every daemon record is a hop of a driver-sampled request and the
+	// merged export shows each request's full decision path.
+	var driverTracer, daemonTracer *obs.Tracer
+	if *traceOut != "" || *traceJSONL != "" {
+		driverTracer = obs.NewTracer(obs.TracerOptions{
+			Origin: "loadgen", SampleEvery: *traceSample, Clock: obs.ClockWall,
+		})
+		daemonTracer = obs.NewTracer(obs.TracerOptions{
+			Origin: "daemon", SampleEvery: obs.SampleNever, Clock: obs.ClockWall,
+		})
+	}
+
 	topo, err := loadgen.StartLoopback(loadgen.TopologyConfig{
 		Proxies:            *proxies,
 		CachesPerProxy:     *caches,
 		ProxyCapacityBytes: toBytes(proxyCap),
 		CacheCapacityBytes: toBytes(clientCap),
 		ObjectBytes:        *objectBytes,
+		Tracer:             daemonTracer,
+		Metrics:            reg,
 	})
 	if err != nil {
 		return err
@@ -114,6 +142,8 @@ func runBench(args []string) error {
 		Think:       *think,
 		Duration:    *duration,
 		Warmup:      *warmup,
+		Obs:         reg,
+		Tracer:      driverTracer,
 	}
 	switch *mode {
 	case "open":
@@ -135,14 +165,6 @@ func runBench(args []string) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
-	var man *obs.Manifest
-	var reg *obs.Registry
-	if *manifestPath != "" {
-		reg = obs.NewRegistry("hiergdd-bench")
-		man = obs.NewManifest("hiergdd-bench")
-		opts.Obs = reg
-	}
-
 	res, err := loadgen.Run(context.Background(), sched, loadgen.NewHTTPTarget(*timeout), opts)
 	if err != nil {
 		return err
@@ -160,6 +182,41 @@ func runBench(args []string) error {
 	}
 	fmt.Println()
 	fmt.Print(rep.Table())
+
+	if driverTracer != nil {
+		// Driver-observed per-tier latency decomposition.  Report-only:
+		// live tiers are wall-clock RTTs, not analytic netmodel units, so
+		// no tolerance check applies here (the asserted cross-check
+		// against netmodel lives in the simulator's trace path).
+		if d := driverTracer.Decompose(); len(d.Tiers) > 0 {
+			fmt.Println()
+			fmt.Println("live latency decomposition (seconds, driver-observed):")
+			fmt.Print(d.Table())
+		}
+		merged := append(driverTracer.Snapshots(), daemonTracer.Snapshots()...)
+		if *traceOut != "" {
+			if err := writeTraces(*traceOut, func(w io.Writer) error {
+				return obs.WriteChromeTraces(w, merged)
+			}); err != nil {
+				return fmt.Errorf("trace export: %w", err)
+			}
+			fmt.Printf("\ntrace: %d records (%d sampled roots) -> %s\n",
+				len(merged), driverTracer.Len(), *traceOut)
+		}
+		if *traceJSONL != "" {
+			if err := writeTraces(*traceJSONL, func(w io.Writer) error {
+				return obs.WriteJSONLTraces(w, merged)
+			}); err != nil {
+				return fmt.Errorf("trace export: %w", err)
+			}
+			fmt.Printf("trace: %d records -> %s\n", len(merged), *traceJSONL)
+		}
+		if reg != nil {
+			// Once, at end of run — PublishMetrics accumulates counters.
+			driverTracer.PublishMetrics(reg)
+			daemonTracer.PublishMetrics(reg)
+		}
+	}
 
 	if man != nil {
 		man.SetConfig("mode", *mode)
@@ -197,6 +254,19 @@ func runBench(args []string) error {
 			math.Abs(rep.AggregateDelta), *tolerance)
 	}
 	return nil
+}
+
+// writeTraces creates path and streams one export into it.
+func writeTraces(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // benchTrace loads the trace at path, or generates a ProWGen workload.

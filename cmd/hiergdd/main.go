@@ -16,6 +16,12 @@
 // on SIGINT/SIGTERM: the listener closes, in-flight requests get -drain
 // to finish, then the process exits.
 //
+// Observability: both daemons serve Prometheus text exposition on
+// GET /metrics, and -trace FILE / -trace-jsonl FILE enable per-request
+// span tracing (head-sampling 1 in -trace-sample untagged requests;
+// requests carrying the X-Webcache-Trace header always join), with the
+// exports flushed during graceful shutdown after the drain completes.
+//
 // The demo starts an origin, two cooperating proxies with three client
 // caches each, drives a request script through them, and prints which
 // tier served every request — the paper's architecture observable
@@ -88,8 +94,11 @@ func usage() {
 
 // serveDaemon serves h on ln until SIGINT/SIGTERM, then drains
 // in-flight requests through http.Server.Shutdown for up to drain
-// before closing hard.  It returns nil on a clean signal-driven exit.
-func serveDaemon(ln net.Listener, h http.Handler, drain time.Duration) error {
+// before closing hard.  flush (nil ok) runs after the drain attempt —
+// in-flight requests have finished recording by then — so trace and
+// metrics exports capture every request the daemon served.  It
+// returns nil on a clean signal-driven exit.
+func serveDaemon(ln net.Listener, h http.Handler, drain time.Duration, flush func()) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -108,12 +117,73 @@ func serveDaemon(ln net.Listener, h http.Handler, drain time.Duration) error {
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
 		srv.Close()
+		if flush != nil {
+			flush()
+		}
 		return fmt.Errorf("drain deadline exceeded: %w", err)
+	}
+	if flush != nil {
+		flush()
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	return nil
+}
+
+// daemonObs bundles the observability flags shared by the proxy and
+// cache roles: a per-request span tracer (Chrome trace-event and/or
+// JSONL export, written at shutdown) and the obs registry backing the
+// daemon's /metrics Prometheus endpoint.
+type daemonObs struct {
+	traceOut   *string
+	traceJSONL *string
+	sample     *int
+}
+
+func addObsFlags(fs *flag.FlagSet) *daemonObs {
+	return &daemonObs{
+		traceOut:   fs.String("trace", "", "write sampled request traces as Chrome trace-event JSON to this file at shutdown"),
+		traceJSONL: fs.String("trace-jsonl", "", "write sampled request traces as JSONL to this file at shutdown"),
+		sample:     fs.Int("trace-sample", 100, "head-sample 1 in N untagged requests (tagged requests always join)"),
+	}
+}
+
+// build returns the tracer (nil when no export was requested — the
+// nil tracer is the zero-cost disabled path), the /metrics registry,
+// and the shutdown flush that writes the exports and folds the
+// tracer's totals into the registry exactly once.
+func (d *daemonObs) build(role string) (*obs.Tracer, *obs.Registry, func()) {
+	reg := obs.NewRegistry("hiergdd-" + role)
+	var tracer *obs.Tracer
+	if *d.traceOut != "" || *d.traceJSONL != "" {
+		tracer = obs.NewTracer(obs.TracerOptions{
+			Origin:      role,
+			SampleEvery: *d.sample,
+			Clock:       obs.ClockWall,
+		})
+	}
+	flush := func() {
+		if tracer == nil {
+			return
+		}
+		tracer.PublishMetrics(reg)
+		if *d.traceOut != "" {
+			if err := tracer.WriteChromeFile(*d.traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "hiergdd: trace export:", err)
+			} else {
+				fmt.Printf("hiergdd: wrote %d traces to %s\n", tracer.Len(), *d.traceOut)
+			}
+		}
+		if *d.traceJSONL != "" {
+			if err := tracer.WriteJSONLFile(*d.traceJSONL); err != nil {
+				fmt.Fprintln(os.Stderr, "hiergdd: trace export:", err)
+			} else {
+				fmt.Printf("hiergdd: wrote %d traces to %s\n", tracer.Len(), *d.traceJSONL)
+			}
+		}
+	}
+	return tracer, reg, flush
 }
 
 // bindBase listens on addr and derives the externally reachable base
@@ -141,6 +211,7 @@ func runProxy(args []string) error {
 	peers := fs.String("peers", "", "comma-separated cooperating proxy base URLs")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+	dobs := addObsFlags(fs)
 	fs.Parse(args)
 	startPprof(*pprofAddr)
 
@@ -156,8 +227,11 @@ func runProxy(args []string) error {
 	if *peers != "" {
 		p.SetPeers(strings.Split(*peers, ","))
 	}
+	tracer, reg, flush := dobs.build("proxy")
+	p.SetTracer(tracer)
+	p.SetMetrics(reg)
 	fmt.Printf("hiergdd proxy: listening on %s (self=%s, %d-byte cache)\n", ln.Addr(), base, *capacity)
-	return serveDaemon(ln, p.Handler(), *drain)
+	return serveDaemon(ln, p.Handler(), *drain, flush)
 }
 
 func runCache(args []string) error {
@@ -167,10 +241,14 @@ func runCache(args []string) error {
 	proxy := fs.String("proxy", "http://localhost:8080", "local proxy base URL")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+	dobs := addObsFlags(fs)
 	fs.Parse(args)
 	startPprof(*pprofAddr)
 
 	cc := httpcache.NewClientCache(*capacity)
+	tracer, reg, flush := dobs.build("cache")
+	cc.SetTracer(tracer)
+	cc.SetMetrics(reg)
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -183,7 +261,7 @@ func runCache(args []string) error {
 		resp.Body.Close()
 	}
 	fmt.Printf("hiergdd cache: %s registered with %s (%d-byte partition)\n", addr, *proxy, *capacity)
-	return serveDaemon(ln, cc.Handler(), *drain)
+	return serveDaemon(ln, cc.Handler(), *drain, flush)
 }
 
 func runDemo(args []string) error {

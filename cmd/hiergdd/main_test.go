@@ -1,11 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -24,7 +26,7 @@ func TestServeDaemonGracefulShutdown(t *testing.T) {
 	go func() {
 		done <- serveDaemon(ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			w.Write([]byte("ok"))
-		}), 2*time.Second)
+		}), 2*time.Second, nil)
 	}()
 
 	url := fmt.Sprintf("http://%s/", ln.Addr())
@@ -57,6 +59,108 @@ func TestServeDaemonGracefulShutdown(t *testing.T) {
 	}
 }
 
+// Graceful shutdown with work in flight: a slow request issued before
+// SIGTERM must complete within the -drain window, and the shutdown
+// flush must then export the trace files (valid Chrome trace-event
+// JSON + JSONL) and fold the tracer totals into the /metrics registry
+// — the daemons' trace/metrics flush path end to end.
+func TestServeDaemonDrainFlushesExports(t *testing.T) {
+	dir := t.TempDir()
+	traceOut := filepath.Join(dir, "trace.json")
+	traceJSONL := filepath.Join(dir, "trace.jsonl")
+	sample := 1
+	d := &daemonObs{traceOut: &traceOut, traceJSONL: &traceJSONL, sample: &sample}
+	tracer, reg, flush := d.build("proxy")
+	if tracer == nil {
+		t.Fatal("tracer not built despite -trace")
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := tracer.StartTrace("request", 0)
+		sp := st.StartSpan("work", "Tl")
+		time.Sleep(250 * time.Millisecond) // still running when SIGTERM lands
+		sp.End()
+		st.FinishWall("proxy")
+		w.Write([]byte("slow-ok"))
+	})
+	done := make(chan error, 1)
+	go func() { done <- serveDaemon(ln, handler, 2*time.Second, flush) }()
+
+	url := fmt.Sprintf("http://%s/", ln.Addr())
+	for i := 0; ; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if i > 50 {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Put a slow request in flight, then signal mid-request.
+	body := make(chan string, 1)
+	fetchErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(url)
+		if err != nil {
+			fetchErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		b := make([]byte, 64)
+		n, _ := resp.Body.Read(b)
+		body <- string(b[:n])
+	}()
+	time.Sleep(60 * time.Millisecond) // request is inside the handler's sleep
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case b := <-body:
+		if b != "slow-ok" {
+			t.Fatalf("in-flight request body %q, want %q", b, "slow-ok")
+		}
+	case err := <-fetchErr:
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	case <-time.After(3 * time.Second):
+		t.Fatal("in-flight request did not complete within the drain window")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveDaemon returned %v, want nil", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("serveDaemon did not return after drain")
+	}
+
+	// Flush ran after the drain: exports on disk and totals published.
+	data, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatalf("chrome export not written: %v", err)
+	}
+	if err := obs.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("chrome export invalid: %v", err)
+	}
+	jl, err := os.ReadFile(traceJSONL)
+	if err != nil {
+		t.Fatalf("jsonl export not written: %v", err)
+	}
+	if len(jl) == 0 {
+		t.Fatal("jsonl export empty despite a traced request")
+	}
+	if got := reg.Values()["trace.sampled"]; got < 1 {
+		t.Fatalf("trace.sampled = %v after flush, want >= 1", got)
+	}
+}
+
 // bindBase must report the kernel-assigned port for ":0" listens, not
 // the requested one.
 func TestBindBasePortZero(t *testing.T) {
@@ -78,13 +182,17 @@ func TestBenchSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live bench in -short mode")
 	}
-	manifest := filepath.Join(t.TempDir(), "BENCH_live.json")
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "BENCH_live.json")
+	traceOut := filepath.Join(dir, "bench_trace.json")
+	traceJSONL := filepath.Join(dir, "bench_trace.jsonl")
 	err := runBench([]string{
 		"-requests", "1500", "-objects", "150", "-clients", "20",
 		"-proxies", "2", "-caches", "2",
 		"-mode", "closed", "-workers", "8",
 		"-object-bytes", "128", "-warmup", "150",
 		"-tolerance", "0.25", "-manifest", manifest,
+		"-trace-out", traceOut, "-trace-jsonl", traceJSONL, "-trace-sample", "25",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -101,5 +209,41 @@ func TestBenchSmoke(t *testing.T) {
 	}
 	if _, ok := m.Notes["calibration"]; !ok {
 		t.Fatal("manifest missing calibration note")
+	}
+	// Live tracing acceptance: the bench's merged export is valid Chrome
+	// trace-event JSON with the expected sampled-root population (1500
+	// requests / sample 25 = 60 roots) plus joined daemon hops, and the
+	// tracer totals landed in the manifest's metrics snapshot.
+	data, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("bench chrome export invalid: %v", err)
+	}
+	jl, err := os.ReadFile(traceJSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots, joins := 0, 0
+	for _, line := range strings.Split(strings.TrimSpace(string(jl)), "\n") {
+		var st obs.SpanTrace
+		if err := json.Unmarshal([]byte(line), &st); err != nil {
+			t.Fatalf("jsonl line %q: %v", line, err)
+		}
+		if st.Root {
+			roots++
+		} else {
+			joins++
+		}
+	}
+	if roots != 60 {
+		t.Fatalf("export holds %d sampled roots, want 60 (1500 / 25)", roots)
+	}
+	if joins < roots {
+		t.Fatalf("export holds %d daemon hop records for %d roots", joins, roots)
+	}
+	if m.Metrics["trace.sampled"] < 60 {
+		t.Fatalf("manifest trace.sampled = %v, want >= 60", m.Metrics["trace.sampled"])
 	}
 }

@@ -30,24 +30,38 @@ import (
 )
 
 func main() {
+	if _, err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "overlay:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one overlay inspection and returns the registry it
+// populated (nil unless -metrics/-manifest asked for one), so tests —
+// the METRICS.md doc-drift check in particular — can hold the
+// registered names against the documented overlay.* namespace.
+func run(args []string) (*obs.Registry, error) {
+	fs := flag.NewFlagSet("overlay", flag.ContinueOnError)
 	var (
-		nodes      = flag.Int("nodes", 1024, "overlay size (the paper's client cluster size)")
-		b          = flag.Int("b", 4, "Pastry digit width in bits (1, 2, 4, 8)")
-		leafs      = flag.Int("l", 16, "leaf set size")
-		routes     = flag.Int("routes", 10_000, "number of random routes to measure")
-		fail       = flag.Float64("fail", 0, "fraction of nodes to crash before routing")
-		seed       = flag.Int64("seed", 1, "random seed")
-		verify     = flag.Bool("verify", false, "check every route against the ground-truth owner")
-		stabilize  = flag.Bool("stabilize", false, "run a maintenance round after failures")
-		diagnose   = flag.Bool("diagnose", false, "print overlay health diagnostics")
-		proximity  = flag.Bool("proximity", false, "proximity-aware routing tables (report stretch)")
-		progress   = flag.Bool("progress", false, "print live routing progress with ETA to stderr")
-		metrics    = flag.Bool("metrics", false, "dump the run's metric registry to stderr on exit")
-		manifest   = flag.String("manifest", "", "write a run-manifest JSON document to this file")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		nodes      = fs.Int("nodes", 1024, "overlay size (the paper's client cluster size)")
+		b          = fs.Int("b", 4, "Pastry digit width in bits (1, 2, 4, 8)")
+		leafs      = fs.Int("l", 16, "leaf set size")
+		routes     = fs.Int("routes", 10_000, "number of random routes to measure")
+		fail       = fs.Float64("fail", 0, "fraction of nodes to crash before routing")
+		seed       = fs.Int64("seed", 1, "random seed")
+		verify     = fs.Bool("verify", false, "check every route against the ground-truth owner")
+		stabilize  = fs.Bool("stabilize", false, "run a maintenance round after failures")
+		diagnose   = fs.Bool("diagnose", false, "print overlay health diagnostics")
+		proximity  = fs.Bool("proximity", false, "proximity-aware routing tables (report stretch)")
+		progress   = fs.Bool("progress", false, "print live routing progress with ETA to stderr")
+		metrics    = fs.Bool("metrics", false, "dump the run's metric registry to stderr on exit")
+		manifest   = fs.String("manifest", "", "write a run-manifest JSON document to this file")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
 
 	var reg *obs.Registry
 	var man *obs.Manifest
@@ -65,20 +79,20 @@ func main() {
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)
 		if err != nil {
-			fatal(err)
+			return reg, err
 		}
 		defer stop()
 	}
 
 	ov, err := pastry.New(pastry.Config{B: *b, LeafSetSize: *leafs, Seed: *seed, ProximityAware: *proximity})
 	if err != nil {
-		fatal(err)
+		return reg, err
 	}
 	buildStop := reg.Timer("overlay.build").Start()
 	ids, err := ov.JoinN(*nodes, "overlay-cli")
 	buildStop()
 	if err != nil {
-		fatal(err)
+		return reg, err
 	}
 	fmt.Printf("built overlay: %d nodes, b=%d (%d-ary digits), leaf set %d\n",
 		ov.Len(), *b, 1<<*b, *leafs)
@@ -86,7 +100,7 @@ func main() {
 	if *fail >= 1 {
 		// A fraction of 1+ would crash the whole ring and the kill loop
 		// below could never finish; at least one node must survive.
-		fatal(fmt.Errorf("-fail %v: must be a fraction in [0, 1)", *fail))
+		return reg, fmt.Errorf("-fail %v: must be a fraction in [0, 1)", *fail)
 	}
 	if *fail > 0 {
 		rng := rand.New(rand.NewSource(*seed + 1))
@@ -117,7 +131,7 @@ func main() {
 		key := pastry.HashString(fmt.Sprintf("key-%d", i))
 		dest, hops, err := ov.Route(key)
 		if err != nil {
-			fatal(err)
+			return reg, err
 		}
 		hist[hops]++
 		if *verify {
@@ -178,7 +192,7 @@ func main() {
 
 	if *memprofile != "" {
 		if err := obs.WriteHeapProfile(*memprofile); err != nil {
-			fatal(err)
+			return reg, err
 		}
 	}
 	if *metrics {
@@ -187,7 +201,7 @@ func main() {
 	if *manifest != "" {
 		man.Finish(reg)
 		if err := man.WriteFile(*manifest); err != nil {
-			fatal(err)
+			return reg, err
 		}
 	}
 
@@ -195,13 +209,8 @@ func main() {
 		if mismatches == 0 {
 			fmt.Println("\nverification: every route reached the ground-truth owner")
 		} else {
-			fmt.Printf("\nverification: %d/%d routes missed the owner\n", mismatches, *routes)
-			os.Exit(1)
+			return reg, fmt.Errorf("verification: %d/%d routes missed the owner", mismatches, *routes)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "overlay:", err)
-	os.Exit(1)
+	return reg, nil
 }

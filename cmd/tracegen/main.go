@@ -27,36 +27,53 @@ import (
 )
 
 func main() {
-	var (
-		out       = flag.String("o", "", "output file (required for generation)")
-		format    = flag.String("format", "", "output format: binary or text (default by extension: .txt = text)")
-		requests  = flag.Int("requests", 1_000_000, "number of requests")
-		objects   = flag.Int("objects", 10_000, "number of distinct objects")
-		clients   = flag.Int("clients", 200, "client population")
-		oneTimers = flag.Float64("one-timers", 0.5, "fraction of one-time-referenced objects")
-		alpha     = flag.Float64("alpha", 0.7, "Zipf popularity exponent")
-		stack     = flag.Float64("stack", 0.2, "LRU stack fraction (temporal locality)")
-		sizes     = flag.Bool("sizes", false, "variable object sizes (lognormal+Pareto)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		ucb       = flag.Bool("ucb", false, "generate the UCB-like trace instead of ProWGen")
-		preset    = flag.String("preset", "", "generate from a workload preset family (webcachesim -presets lists them)")
-		scale     = flag.Float64("scale", 1.0, "UCB scale (1.0 = 9.2M requests)")
-		analyze   = flag.String("analyze", "", "analyze an existing trace file")
-		convert   = flag.String("convert", "", "convert an existing trace file to -o")
-		squid     = flag.String("squid", "", "ingest a Squid access.log into -o")
-		unitSizes = flag.Bool("unit-sizes", false, "with -squid: force unit object sizes")
-		verbose   = flag.Bool("v", false, "with -analyze: temporal-locality and popularity profiles")
+	if _, err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
 
-		manifest   = flag.String("manifest", "", "write a run-manifest JSON document to this file")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+// errUsage asks main for a usage dump + non-zero exit.
+var errUsage = fmt.Errorf("no mode selected (need -o, -analyze, -convert, or -squid)")
+
+// run executes one tracegen invocation and returns the registry it
+// populated (nil without -manifest), so tests — the METRICS.md
+// doc-drift check in particular — can hold the registered names
+// against the documented tracegen.* namespace.
+func run(args []string) (*obs.Registry, error) {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		out       = fs.String("o", "", "output file (required for generation)")
+		format    = fs.String("format", "", "output format: binary or text (default by extension: .txt = text)")
+		requests  = fs.Int("requests", 1_000_000, "number of requests")
+		objects   = fs.Int("objects", 10_000, "number of distinct objects")
+		clients   = fs.Int("clients", 200, "client population")
+		oneTimers = fs.Float64("one-timers", 0.5, "fraction of one-time-referenced objects")
+		alpha     = fs.Float64("alpha", 0.7, "Zipf popularity exponent")
+		stack     = fs.Float64("stack", 0.2, "LRU stack fraction (temporal locality)")
+		sizes     = fs.Bool("sizes", false, "variable object sizes (lognormal+Pareto)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		ucb       = fs.Bool("ucb", false, "generate the UCB-like trace instead of ProWGen")
+		preset    = fs.String("preset", "", "generate from a workload preset family (webcachesim -presets lists them)")
+		scale     = fs.Float64("scale", 1.0, "UCB scale (1.0 = 9.2M requests)")
+		analyze   = fs.String("analyze", "", "analyze an existing trace file")
+		convert   = fs.String("convert", "", "convert an existing trace file to -o")
+		squid     = fs.String("squid", "", "ingest a Squid access.log into -o")
+		unitSizes = fs.Bool("unit-sizes", false, "with -squid: force unit object sizes")
+		verbose   = fs.Bool("v", false, "with -analyze: temporal-locality and popularity profiles")
+
+		manifest   = fs.String("manifest", "", "write a run-manifest JSON document to this file")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
 
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		defer stop()
 	}
@@ -76,7 +93,7 @@ func main() {
 	}
 	// finish seals the manifest (and heap profile) after the produced
 	// or analyzed trace is known.
-	finish := func(tr *webcache.Trace) {
+	finish := func(tr *webcache.Trace) error {
 		if tr != nil && reg.Enabled() {
 			reg.Counter("tracegen.requests").Add(int64(tr.Len()))
 			reg.Counter("tracegen.objects").Add(int64(tr.NumObjects))
@@ -84,7 +101,7 @@ func main() {
 		}
 		if *memprofile != "" {
 			if err := obs.WriteHeapProfile(*memprofile); err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		if man != nil {
@@ -96,35 +113,37 @@ func main() {
 			}
 			man.Finish(reg)
 			if err := man.WriteFile(*manifest); err != nil {
-				fatal(err)
+				return err
 			}
 		}
+		return nil
 	}
 
 	switch {
 	case *squid != "":
 		if *out == "" {
-			fatal(fmt.Errorf("-squid requires -o"))
+			return reg, fmt.Errorf("-squid requires -o")
 		}
 		f, err := os.Open(*squid)
 		if err != nil {
-			fatal(err)
+			return reg, err
 		}
 		res, err := webcache.ReadSquidLog(f, webcache.SquidOptions{UnitSize: *unitSizes})
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return reg, err
 		}
 		if err := writeTrace(*out, *format, res.Trace); err != nil {
-			fatal(err)
+			return reg, err
 		}
 		fmt.Printf("ingested %d/%d log lines (%d skipped): %s\n",
 			res.Trace.Len(), res.Lines, res.Skipped, webcache.AnalyzeTrace(res.Trace))
-		finish(res.Trace)
+		return reg, finish(res.Trace)
+
 	case *analyze != "":
 		tr, err := readTrace(*analyze)
 		if err != nil {
-			fatal(err)
+			return reg, err
 		}
 		st := webcache.AnalyzeTrace(tr)
 		fmt.Printf("%s\n", st)
@@ -146,21 +165,21 @@ func main() {
 			}
 			fmt.Println()
 		}
-		finish(tr)
+		return reg, finish(tr)
 
 	case *convert != "":
 		if *out == "" {
-			fatal(fmt.Errorf("-convert requires -o"))
+			return reg, fmt.Errorf("-convert requires -o")
 		}
 		tr, err := readTrace(*convert)
 		if err != nil {
-			fatal(err)
+			return reg, err
 		}
 		if err := writeTrace(*out, *format, tr); err != nil {
-			fatal(err)
+			return reg, err
 		}
 		fmt.Printf("wrote %d requests to %s\n", tr.Len(), *out)
-		finish(tr)
+		return reg, finish(tr)
 
 	case *out != "":
 		var tr *webcache.Trace
@@ -182,18 +201,18 @@ func main() {
 			})
 		}
 		if err != nil {
-			fatal(err)
+			return reg, err
 		}
 		if err := writeTrace(*out, *format, tr); err != nil {
-			fatal(err)
+			return reg, err
 		}
 		st := webcache.AnalyzeTrace(tr)
 		fmt.Printf("wrote %s: %s\n", *out, st)
-		finish(tr)
+		return reg, finish(tr)
 
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return reg, errUsage
 	}
 }
 
@@ -237,9 +256,4 @@ func writeTrace(path, format string, tr *webcache.Trace) error {
 		return webcache.WriteTraceText(f, tr)
 	}
 	return webcache.WriteTraceBinary(f, tr)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
 }

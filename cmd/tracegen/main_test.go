@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"webcache/internal/obs"
+)
+
+// TestMetricsDocTracegen holds the tracegen.* namespace in METRICS.md
+// against what one generation run registers, both directions.
+func TestMetricsDocTracegen(t *testing.T) {
+	md, err := os.ReadFile("../../METRICS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	reg, err := run([]string{
+		"-o", filepath.Join(dir, "t.bin"),
+		"-requests", "2000", "-objects", "200", "-clients", "20",
+		"-manifest", filepath.Join(dir, "m.json"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, m := range reg.Snapshot() {
+		names = append(names, m.Name)
+	}
+	if len(names) == 0 {
+		t.Fatal("tracegen run registered nothing")
+	}
+	if err := obs.CheckMetricsDoc(md, names, "tracegen"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerateConvertAnalyzeRoundTrip drives the three modes through
+// the refactored run(): generate a binary trace, convert it to text,
+// analyze the result, and check the manifest validates.
+func TestGenerateConvertAnalyzeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "t.bin")
+	txt := filepath.Join(dir, "t.txt")
+	manifest := filepath.Join(dir, "m.json")
+
+	if _, err := run([]string{"-o", bin, "-requests", "500", "-objects", "50", "-clients", "8", "-manifest", manifest}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.ReadManifestFile(manifest)
+	if err != nil {
+		t.Fatalf("manifest failed validation: %v", err)
+	}
+	if m.Tool != "tracegen" || m.Metrics["tracegen.requests"] != 500 {
+		t.Fatalf("manifest tool=%q requests=%v", m.Tool, m.Metrics["tracegen.requests"])
+	}
+	if _, err := run([]string{"-convert", bin, "-o", txt, "-format", "text"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run([]string{"-analyze", txt}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run([]string{}); err == nil {
+		t.Fatal("mode-less invocation accepted")
+	}
+}

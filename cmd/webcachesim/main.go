@@ -213,7 +213,7 @@ func runScheme(name string, src traceSource, frac float64, sess *obsSession, chk
 	if err != nil {
 		return err
 	}
-	res, err := webcache.Run(tr, webcache.Config{Scheme: scheme, ProxyCacheFrac: frac, Seed: src.seed, Obs: sess.reg, Check: chk})
+	res, err := webcache.Run(tr, webcache.Config{Scheme: scheme, ProxyCacheFrac: frac, Seed: src.seed, Obs: sess.reg, Check: chk, Tracer: sess.tracer})
 	if err != nil {
 		return err
 	}
@@ -233,6 +233,17 @@ func runScheme(name string, src traceSource, frac float64, sess *obsSession, chk
 	}
 	fmt.Printf("  infinite cache sizes: %v, proxy caps: %v\n",
 		res.InfiniteCacheSizes, res.ProxyCapacities)
+	if sess.tracer != nil {
+		// Fold the sampled span traces into a per-tier latency
+		// decomposition and cross-check each tier's span-derived mean
+		// against the analytic netmodel latency (METRICS.md "Span
+		// tracing"); the known scheme deviations are documented on
+		// CheckDecomposition.
+		rep := webcache.CheckDecomposition(webcache.DefaultNetwork(), sess.tracer.Decompose(), 1e-9)
+		fmt.Printf("\nlatency decomposition (%d sampled traces, span-derived vs analytic):\n%s",
+			sess.tracer.Len(), rep.Table())
+		sess.setNote("decomposition", rep)
+	}
 	return nil
 }
 

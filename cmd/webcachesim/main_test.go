@@ -60,6 +60,59 @@ func TestRunManifestGolden(t *testing.T) {
 	}
 }
 
+// TestRunTraceExport drives -run with span tracing on: the sampled sim
+// run must emit valid Chrome trace-event JSON and JSONL, publish the
+// trace.* totals into the manifest, and record a decomposition note
+// whose span-derived tiers match the analytic model.
+func TestRunTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.json")
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	manifest := filepath.Join(dir, "run.json")
+	of := obsFlags{manifest: manifest, traceOut: out, traceJSONL: jsonl, traceSample: 50}
+	sess, err := of.start("webcachesim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runScheme("hier-gd", traceSource{scale: 0.02, seed: 1}, 0.3, sess, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("chrome export invalid: %v", err)
+	}
+	jl, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(jl)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("jsonl export empty")
+	}
+
+	m, err := obs.ReadManifestFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Metrics["trace.sampled"] != float64(len(lines)) {
+		t.Fatalf("trace.sampled = %v for %d exported traces", m.Metrics["trace.sampled"], len(lines))
+	}
+	dec, ok := m.Notes["decomposition"].(map[string]any)
+	if !ok {
+		t.Fatalf("decomposition note = %T", m.Notes["decomposition"])
+	}
+	if within, _ := dec["within"].(bool); !within {
+		t.Fatalf("span-derived decomposition disagrees with the analytic model: %v", dec)
+	}
+}
+
 // TestCPUProfileFlag checks that -cpuprofile produces a pprof-format
 // file (gzip-framed protobuf) even for a short run.
 func TestCPUProfileFlag(t *testing.T) {

@@ -14,11 +14,14 @@ import (
 // commands (README "Observability"): live progress, a metrics dump, a
 // run manifest, and pprof profile capture.
 type obsFlags struct {
-	progress   bool
-	metrics    bool
-	manifest   string
-	cpuprofile string
-	memprofile string
+	progress    bool
+	metrics     bool
+	manifest    string
+	cpuprofile  string
+	memprofile  string
+	traceOut    string
+	traceJSONL  string
+	traceSample int
 }
 
 // register declares the flags on the default flag set.
@@ -28,6 +31,9 @@ func (o *obsFlags) register() {
 	flag.StringVar(&o.manifest, "manifest", "", "write a run-manifest JSON document to this file (schema in METRICS.md)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file on exit")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write sampled request span traces as Chrome trace-event JSON to this file (-run only)")
+	flag.StringVar(&o.traceJSONL, "trace-jsonl", "", "write sampled request span traces as JSONL to this file (-run only)")
+	flag.IntVar(&o.traceSample, "trace-sample", 100, "head-sample 1 in N requests for span tracing")
 }
 
 // obsSession is one command invocation's observability state: the
@@ -38,16 +44,26 @@ type obsSession struct {
 	flags    obsFlags
 	reg      *obs.Registry
 	manifest *obs.Manifest
+	tracer   *obs.Tracer
 	stopCPU  func()
 }
 
-// start opens the session: allocates the registry and manifest when
-// requested and begins CPU profiling.
+// start opens the session: allocates the registry, manifest, and span
+// tracer when requested and begins CPU profiling.
 func (o *obsFlags) start(tool string) (*obsSession, error) {
 	s := &obsSession{flags: *o}
 	if o.metrics || o.manifest != "" {
 		s.reg = obs.NewRegistry(tool)
 		s.manifest = obs.NewManifest(tool)
+	}
+	if o.traceOut != "" || o.traceJSONL != "" {
+		// Virtual clock: simulated requests are traced in the sim's
+		// normalized latency units with sim time as the span clock.
+		s.tracer = obs.NewTracer(obs.TracerOptions{
+			Origin:      "sim",
+			SampleEvery: o.traceSample,
+			Clock:       obs.ClockVirtual,
+		})
 	}
 	if o.cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(o.cpuprofile)
@@ -114,8 +130,10 @@ func (s *obsSession) progressFunc(label string) (cb func(done, total int), finis
 }
 
 // close finishes the session: stops profiling, writes the heap
-// profile, dumps metrics, and emits the manifest.  Call exactly once,
-// after all work has completed.
+// profile, flushes the trace exports, dumps metrics, and emits the
+// manifest.  Call exactly once, after all work has completed (the
+// tracer's totals fold into the registry here, and PublishMetrics
+// accumulates — a second call would double-count).
 func (s *obsSession) close() error {
 	if s.stopCPU != nil {
 		s.stopCPU()
@@ -123,6 +141,21 @@ func (s *obsSession) close() error {
 	if s.flags.memprofile != "" {
 		if err := obs.WriteHeapProfile(s.flags.memprofile); err != nil {
 			return err
+		}
+	}
+	if s.tracer != nil {
+		s.tracer.PublishMetrics(s.reg)
+		if s.flags.traceOut != "" {
+			if err := s.tracer.WriteChromeFile(s.flags.traceOut); err != nil {
+				return fmt.Errorf("trace export: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d records -> %s\n", s.tracer.Len(), s.flags.traceOut)
+		}
+		if s.flags.traceJSONL != "" {
+			if err := s.tracer.WriteJSONLFile(s.flags.traceJSONL); err != nil {
+				return fmt.Errorf("trace export: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d records -> %s\n", s.tracer.Len(), s.flags.traceJSONL)
 		}
 	}
 	if s.flags.metrics && s.reg != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"webcache/internal/cache"
+	"webcache/internal/obs"
 	"webcache/internal/pastry"
 	"webcache/internal/trace"
 )
@@ -121,6 +122,10 @@ type ClientCache struct {
 
 	mu    sync.Mutex
 	stats ClientCacheStats
+
+	// tracer and metrics are the observability hooks (obs.go).
+	tracer  *obs.Tracer
+	metrics *obs.Registry
 }
 
 // NewClientCache creates a daemon with the given cooperative-partition
@@ -147,6 +152,7 @@ func (c *ClientCache) Handler() http.Handler {
 	mux.HandleFunc("POST /store", c.handleStore)
 	mux.HandleFunc("POST /push", c.handlePush)
 	mux.HandleFunc("GET /stats", c.handleStats)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	return mux
 }
 
@@ -178,14 +184,20 @@ func (c *ClientCache) handleObject(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	st := traceStart(c.tracer, r, "object")
+	sp := st.StartSpan("client.object", "Tp2p")
 	obj, ok := c.store.get(fold(id))
 	if !ok {
+		sp.EndWasted()
+		st.FinishWall("miss")
 		c.bump(func(s *ClientCacheStats) { s.Misses++ })
 		http.NotFound(w, r)
 		return
 	}
+	sp.End()
 	c.bump(func(s *ClientCacheStats) { s.Hits++ })
 	serve(w, obj.body, TierClientCache)
+	st.FinishWall(TierClientCache)
 }
 
 func (c *ClientCache) handleStore(w http.ResponseWriter, r *http.Request) {
@@ -230,21 +242,41 @@ func (c *ClientCache) handlePush(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing to", http.StatusBadRequest)
 		return
 	}
+	st := traceStart(c.tracer, r, "push")
+	sp := st.StartSpan("client.push", "Tp2p")
 	obj, ok := c.store.get(fold(id))
 	if !ok {
+		sp.EndWasted()
+		st.FinishWall("miss")
 		http.NotFound(w, r)
 		return
 	}
 	// The push (§4.5): the client cache opens the connection to the
-	// proxy — never the other way around across organizations.
-	resp, err := c.client.Post(to, "application/octet-stream", bytesReader(obj.body))
+	// proxy — never the other way around across organizations.  The
+	// trace id rides along so the accept-push hop stays in the trace.
+	req, err := http.NewRequest("POST", to, bytesReader(obj.body))
 	if err != nil {
+		sp.EndWasted()
+		st.FinishWall("error")
+		http.Error(w, "push failed: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if tid := st.TraceID(); tid != "" {
+		req.Header.Set(TraceHeader, tid)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		sp.EndWasted()
+		st.FinishWall("error")
 		http.Error(w, "push failed: "+err.Error(), http.StatusBadGateway)
 		return
 	}
 	resp.Body.Close()
+	sp.End()
 	c.bump(func(s *ClientCacheStats) { s.Pushes++ })
 	w.WriteHeader(http.StatusNoContent)
+	st.FinishWall(TierPeerP2P)
 }
 
 func (c *ClientCache) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,91 @@
+package httpcache
+
+import (
+	"net/http"
+
+	"webcache/internal/obs"
+)
+
+// TraceHeader carries a span-trace id across hops: the load generator
+// stamps it on /fetch, the proxy forwards it on LAN fetches and
+// peer-lookups, and the push channel relays it through the client
+// cache's POST — so one request's spans join up across every daemon it
+// touched (each daemon records its own trace under the shared id; the
+// exports are merged offline by id).
+const TraceHeader = "X-Webcache-Trace"
+
+// SetTracer attaches a span tracer (wall clock); nil disables tracing
+// at zero cost.  Not safe to call after Serve starts.
+func (p *Proxy) SetTracer(t *obs.Tracer) { p.tracer = t }
+
+// SetMetrics attaches the registry backing the /metrics endpoint; nil
+// leaves /metrics serving an empty (but valid) exposition.
+func (p *Proxy) SetMetrics(reg *obs.Registry) { p.metrics = reg }
+
+// SetTracer attaches a span tracer (wall clock); nil disables tracing.
+func (c *ClientCache) SetTracer(t *obs.Tracer) { c.tracer = t }
+
+// SetMetrics attaches the registry backing the daemon's /metrics.
+func (c *ClientCache) SetMetrics(reg *obs.Registry) { c.metrics = reg }
+
+// traceStart opens a request's span trace: joining the caller's trace
+// when it propagated TraceHeader, else head-sampling a fresh one.
+func traceStart(t *obs.Tracer, r *http.Request, name string) *obs.SpanTrace {
+	if t == nil {
+		return nil
+	}
+	if id := r.Header.Get(TraceHeader); id != "" {
+		return t.StartTraceID(id, name)
+	}
+	return t.StartTrace(name, 0)
+}
+
+// publishStats folds the proxy's counters into its registry as
+// httpcache.proxy.* gauges (scrape-time snapshot, like /stats).
+func (p *Proxy) publishStats() {
+	reg := p.metrics
+	if reg == nil {
+		return
+	}
+	st := p.snapshotStats()
+	g := func(name string, v int) { reg.Gauge("httpcache.proxy." + name).Set(float64(v)) }
+	g("requests", st.Requests)
+	g("proxy_hits", st.ProxyHits)
+	g("client_hits", st.ClientHits)
+	g("remote_hits", st.RemoteHits)
+	g("origin_fetches", st.OriginFetch)
+	g("pass_downs", st.PassDowns)
+	g("diversions", st.Diversions)
+	g("diverted_hits", st.DivertedHits)
+	g("pushes_in", st.PushesIn)
+	g("directory_entries", st.DirEntries)
+	g("client_caches", p.ring.size())
+}
+
+func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	p.publishStats()
+	obs.PrometheusHandler(p.metrics).ServeHTTP(w, r)
+}
+
+// publishStats folds the daemon's counters into its registry as
+// httpcache.cache.* gauges.
+func (c *ClientCache) publishStats() {
+	reg := c.metrics
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	st := c.stats
+	c.mu.Unlock()
+	g := func(name string, v int) { reg.Gauge("httpcache.cache." + name).Set(float64(v)) }
+	g("objects", c.store.len())
+	g("hits", st.Hits)
+	g("misses", st.Misses)
+	g("stores", st.Stores)
+	g("pushes", st.Pushes)
+}
+
+func (c *ClientCache) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.publishStats()
+	obs.PrometheusHandler(c.metrics).ServeHTTP(w, r)
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"webcache/internal/directory"
+	"webcache/internal/obs"
 	"webcache/internal/pastry"
 )
 
@@ -53,6 +54,11 @@ type Proxy struct {
 
 	pushSeq     atomic.Uint64
 	pushWaiters sync.Map // pushID string -> chan []byte
+
+	// tracer and metrics are the observability hooks (obs.go); both nil
+	// by default and nil-safe throughout.
+	tracer  *obs.Tracer
+	metrics *obs.Registry
 }
 
 // NewProxy creates a proxy with the given cache capacity in bytes.
@@ -91,6 +97,7 @@ func (p *Proxy) Handler() http.Handler {
 	mux.HandleFunc("POST /accept-push", p.handleAcceptPush)
 	mux.HandleFunc("POST /register", p.handleRegister)
 	mux.HandleFunc("GET /stats", p.handleStats)
+	mux.HandleFunc("GET /metrics", p.handleMetrics)
 	return mux
 }
 
@@ -126,13 +133,18 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 	p.bump(func(s *ProxyStats) { s.Requests++ })
 	id := keyOf(url)
 	folded := fold(id)
+	st := traceStart(p.tracer, r, "fetch")
 
 	// 1. Proxy cache.
+	probe := st.StartSpan("proxy.cache", "Tl")
 	if obj, ok := p.store.get(folded); ok {
+		probe.End()
 		p.bump(func(s *ProxyStats) { s.ProxyHits++ })
 		serve(w, obj.body, TierProxy)
+		st.FinishWall(TierProxy)
 		return
 	}
+	probe.End()
 
 	// 2. Own P2P client cache, per the lookup directory (§4.2).
 	p.mu.Lock()
@@ -140,20 +152,28 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 	p.mu.Unlock()
 	if inDir {
 		if addr, ok := p.ring.owner(id); ok {
-			if body, ok := p.lanFetch(addr, id); ok {
+			lan := st.StartSpan("client.fetch", "Tp2p")
+			if body, ok := p.lanFetch(addr, id, st.TraceID()); ok {
+				lan.End()
 				p.bump(func(s *ProxyStats) { s.ClientHits++ })
 				serve(w, body, TierClientCache)
+				st.FinishWall(TierClientCache)
 				return
 			}
+			lan.EndWasted()
 			// Diversion passthrough: an ifFree store may have landed
 			// the object on a ring neighbour instead of its owner
 			// (§4.3); probe them before declaring the entry stale.
 			for _, alt := range p.ringNeighbours(addr) {
-				if body, ok := p.lanFetch(alt, id); ok {
+				div := st.StartSpan("client.fetch.divert", "Tp2p")
+				if body, ok := p.lanFetch(alt, id, st.TraceID()); ok {
+					div.End()
 					p.bump(func(s *ProxyStats) { s.ClientHits++; s.DivertedHits++ })
 					serve(w, body, TierClientCache)
+					st.FinishWall(TierClientCache)
 					return
 				}
+				div.EndWasted()
 			}
 		}
 		// Stale entry (crashed daemon or raced eviction): repair.
@@ -167,35 +187,63 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 	peers := p.peers
 	p.mu.Unlock()
 	for _, peer := range peers {
-		resp, err := p.client.Get(fmt.Sprintf("%s/peer-lookup?key=%s", peer, id))
-		if err != nil {
-			continue
-		}
-		body, rerr := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if rerr == nil && resp.StatusCode == http.StatusOK {
+		look := st.StartSpan("peer.lookup", "Tc")
+		body, ok := p.peerLookup(peer, id, st.TraceID())
+		if ok {
+			look.End()
 			p.bump(func(s *ProxyStats) { s.RemoteHits++ })
 			p.insertAndDestage(url, body, remoteCost)
 			serve(w, body, TierRemoteProxy)
+			st.FinishWall(TierRemoteProxy)
 			return
 		}
+		look.EndWasted()
 	}
 
 	// 4. Origin.
+	org := st.StartSpan("origin.fetch", "Ts")
 	resp, err := p.client.Get(url)
 	if err != nil {
+		org.EndWasted()
+		st.FinishWall("error")
 		http.Error(w, "origin fetch: "+err.Error(), http.StatusBadGateway)
 		return
 	}
 	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil || resp.StatusCode != http.StatusOK {
+		org.EndWasted()
+		st.FinishWall("error")
 		http.Error(w, fmt.Sprintf("origin status %d", resp.StatusCode), http.StatusBadGateway)
 		return
 	}
+	org.End()
 	p.bump(func(s *ProxyStats) { s.OriginFetch++ })
 	p.insertAndDestage(url, body, originCost)
 	serve(w, body, TierOrigin)
+	st.FinishWall(TierOrigin)
+}
+
+// peerLookup asks one cooperating proxy for an object, forwarding the
+// request's trace id so the peer's spans join the same trace.
+func (p *Proxy) peerLookup(peer string, id pastry.ID, traceID string) ([]byte, bool) {
+	req, err := http.NewRequest("GET", fmt.Sprintf("%s/peer-lookup?key=%s", peer, id), nil)
+	if err != nil {
+		return nil, false
+	}
+	if traceID != "" {
+		req.Header.Set(TraceHeader, traceID)
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil || resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	return body, true
 }
 
 // Greedy-dual costs mirror the latency model: origin fetches are the
@@ -209,8 +257,15 @@ const (
 // (same intranet — direct connections are allowed here; it is only
 // *cross-organization* inbound connections the firewall forbids, which
 // is why cooperating proxies use the push path instead).
-func (p *Proxy) lanFetch(addr string, id pastry.ID) ([]byte, bool) {
-	resp, err := p.client.Get(fmt.Sprintf("http://%s/object?key=%s", addr, id))
+func (p *Proxy) lanFetch(addr string, id pastry.ID, traceID string) ([]byte, bool) {
+	req, err := http.NewRequest("GET", fmt.Sprintf("http://%s/object?key=%s", addr, id), nil)
+	if err != nil {
+		return nil, false
+	}
+	if traceID != "" {
+		req.Header.Set(TraceHeader, traceID)
+	}
+	resp, err := p.client.Do(req)
 	if err != nil {
 		// Connection-level failure: the daemon is gone; its keys
 		// re-home to the ring neighbours on the next pass-down.
@@ -323,19 +378,26 @@ func (p *Proxy) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	folded := fold(id)
+	st := traceStart(p.tracer, r, "peer-lookup")
+	probe := st.StartSpan("proxy.cache", "Tl")
 	if obj, ok := p.store.get(folded); ok {
+		probe.End()
 		serve(w, obj.body, TierPeerProxy)
+		st.FinishWall(TierPeerProxy)
 		return
 	}
+	probe.EndWasted()
 	p.mu.Lock()
 	inDir := p.dir.MayContain(folded)
 	p.mu.Unlock()
 	if !inDir {
+		st.FinishWall("miss")
 		http.NotFound(w, r)
 		return
 	}
 	addr, ok := p.ring.owner(id)
 	if !ok {
+		st.FinishWall("miss")
 		http.NotFound(w, r)
 		return
 	}
@@ -349,10 +411,19 @@ func (p *Proxy) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
 	ch := make(chan []byte, 1)
 	p.pushWaiters.Store(pushID, ch)
 	defer p.pushWaiters.Delete(pushID)
+	push := st.StartSpan("peer.push", "Tp2p")
 	accepted := false
 	for _, cand := range append([]string{addr}, p.ringNeighbours(addr)...) {
 		pushURL := fmt.Sprintf("http://%s/push?key=%s&to=%s/accept-push?id=%s", cand, id, p.self, pushID)
-		resp, err := p.client.Post(pushURL, "text/plain", nil)
+		req, err := http.NewRequest("POST", pushURL, nil)
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		if tid := st.TraceID(); tid != "" {
+			req.Header.Set(TraceHeader, tid)
+		}
+		resp, err := p.client.Do(req)
 		if err != nil {
 			continue
 		}
@@ -363,14 +434,20 @@ func (p *Proxy) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !accepted {
+		push.EndWasted()
+		st.FinishWall("miss")
 		http.NotFound(w, r)
 		return
 	}
 	select {
 	case body := <-ch:
+		push.End()
 		p.bump(func(s *ProxyStats) { s.PushesIn++ })
 		serve(w, body, TierPeerP2P)
+		st.FinishWall(TierPeerP2P)
 	case <-time.After(3 * time.Second):
+		push.EndWasted()
+		st.FinishWall("error")
 		http.Error(w, "push timed out", http.StatusGatewayTimeout)
 	}
 }

@@ -179,8 +179,17 @@ func TestTierAndErrorAccounting(t *testing.T) {
 	if vals["counter:loadgen.serves.origin"] != 50 {
 		t.Fatalf("loadgen.serves.origin = %v", vals["counter:loadgen.serves.origin"])
 	}
-	if _, ok := vals["gauge:loadgen.latency.p99"]; !ok {
-		t.Fatal("latency gauges not published")
+	// The latency distribution is a first-class registry histogram now;
+	// Values() flattens it to the quantile keys reports consume.
+	if _, ok := vals["histogram:loadgen.latency"]; !ok {
+		t.Fatal("loadgen.latency histogram not registered")
+	}
+	flat := reg.Values()
+	if _, ok := flat["loadgen.latency.p99"]; !ok {
+		t.Fatal("latency quantiles not in Values()")
+	}
+	if flat["loadgen.latency.count"] != 150 {
+		t.Fatalf("loadgen.latency.count = %v, want 150", flat["loadgen.latency.count"])
 	}
 }
 

@@ -145,8 +145,15 @@ func NewHTTPTarget(timeout time.Duration) *HTTPTarget {
 
 // Do implements Target.
 func (t *HTTPTarget) Do(r ScheduledRequest) Outcome {
+	req, err := http.NewRequest("GET", r.URL, nil)
+	if err != nil {
+		return Outcome{Tier: TierError, Err: err}
+	}
+	if r.TraceID != "" {
+		req.Header.Set(httpcache.TraceHeader, r.TraceID)
+	}
 	start := time.Now()
-	resp, err := t.Client.Get(r.URL)
+	resp, err := t.Client.Do(req)
 	if err != nil {
 		return Outcome{Tier: TierError, Latency: time.Since(start), Err: err}
 	}
@@ -208,6 +215,11 @@ type Options struct {
 	// Obs, when non-nil, streams driver counters into the registry
 	// (the loadgen.* namespace; nil disables at zero cost).
 	Obs *obs.Registry
+	// Tracer, when non-nil, head-samples span traces: each sampled
+	// request carries its trace id to the daemons (ScheduledRequest.
+	// TraceID → httpcache.TraceHeader), and the driver records the
+	// client-observed round trip as the root trace (wall clock).
+	Tracer *obs.Tracer
 }
 
 // Result is one driving run's measurements.
@@ -264,11 +276,34 @@ type recorder struct {
 }
 
 func newRecorder(warmup int, reg *obs.Registry) *recorder {
-	rec := &recorder{warmup: warmup, reg: reg, overall: &Histogram{},
+	// The latency distributions ARE registry histograms when a registry
+	// is attached — first-class metrics, flattened to .p50/.p90/... in
+	// Values() and exported as summaries on /metrics.  Without one they
+	// fall back to private histograms so Result keeps working.
+	overall := reg.Histogram("loadgen.latency")
+	if overall == nil {
+		overall = &Histogram{}
+	}
+	rec := &recorder{warmup: warmup, reg: reg, overall: overall,
 		reqTimer: reg.Timer("loadgen.request")}
 	for i := range rec.perTier {
-		rec.perTier[i] = &Histogram{}
+		h := reg.Histogram("loadgen.latency.tier." + Tier(i).String())
+		if h == nil {
+			h = &Histogram{}
+		}
+		rec.perTier[i] = h
 	}
+	// Pre-register the full counter/gauge set so every run exports the
+	// same metric names regardless of which paths fired — manifests
+	// stay diffable run to run and the doc-drift test can hold any
+	// smoke run against the METRICS.md glossary.
+	reg.Counter("loadgen.issued").Add(0)
+	reg.Counter("loadgen.warmup_discarded").Add(0)
+	reg.Counter("loadgen.throttled").Add(0)
+	for i := 0; i < int(numTiers); i++ {
+		reg.Counter("loadgen.serves." + Tier(i).String()).Add(0)
+	}
+	reg.Gauge("loadgen.inflight.max").SetMax(0)
 	return rec
 }
 
@@ -331,6 +366,22 @@ func Run(ctx context.Context, sched *Schedule, tgt Target, opts Options) (*Resul
 		clock = realClock{}
 	}
 	rec := newRecorder(opts.Warmup, opts.Obs)
+	// issue runs one scheduled request, wrapping it in a span trace
+	// when the tracer samples it: the trace id propagates to every
+	// daemon hop, and the root trace records the client-observed RTT.
+	issue := func(i int) {
+		req := sched.Requests[i]
+		st := opts.Tracer.StartTrace("request", 0)
+		req.TraceID = st.TraceID()
+		o := tgt.Do(req)
+		comp := ""
+		if src, ok := o.Tier.Source(); ok {
+			comp = string(netmodel.ServeComponent(src))
+		}
+		st.Span("fetch."+o.Tier.String(), comp, o.Latency.Seconds())
+		st.FinishWall(o.Tier.String())
+		rec.record(i, o)
+	}
 	start := clock.Now()
 	var deadline time.Time
 	if opts.Duration > 0 {
@@ -376,7 +427,7 @@ func Run(ctx context.Context, sched *Schedule, tgt Target, opts Options) (*Resul
 				defer wg.Done()
 				defer func() { <-sem }()
 				inflightMax.SetMax(float64(cur.Add(1)))
-				rec.record(i, tgt.Do(sched.Requests[i]))
+				issue(i)
 				cur.Add(-1)
 			}(i)
 		}
@@ -401,7 +452,7 @@ func Run(ctx context.Context, sched *Schedule, tgt Target, opts Options) (*Resul
 					if i >= len(sched.Requests) {
 						return
 					}
-					rec.record(i, tgt.Do(sched.Requests[i]))
+					issue(i)
 					if opts.Think > 0 {
 						clock.Sleep(opts.Think)
 					}
@@ -419,18 +470,22 @@ func Run(ctx context.Context, sched *Schedule, tgt Target, opts Options) (*Resul
 	return res, nil
 }
 
-// PublishMetrics folds the run's summary gauges into the registry
-// (counters stream during the run; quantiles only exist at the end).
-// A nil registry is a no-op.
+// PublishMetrics folds the run's summary into the registry.  The
+// latency distributions are already first-class registry histograms
+// when the run streamed into reg (newRecorder registered them), so
+// only a *different* registry needs them merged in — the identity
+// guard prevents double counting.  A nil registry is a no-op.
 func (r *Result) PublishMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	s := r.Overall.Summary()
-	reg.Gauge("loadgen.latency.p50").Set(s.P50.Seconds())
-	reg.Gauge("loadgen.latency.p90").Set(s.P90.Seconds())
-	reg.Gauge("loadgen.latency.p99").Set(s.P99.Seconds())
-	reg.Gauge("loadgen.latency.p999").Set(s.P999.Seconds())
-	reg.Gauge("loadgen.latency.max").Set(s.Max.Seconds())
+	if h := reg.Histogram("loadgen.latency"); h != r.Overall {
+		h.Merge(r.Overall)
+	}
+	for i, ph := range r.PerTier {
+		if h := reg.Histogram("loadgen.latency.tier." + Tier(i).String()); h != ph {
+			h.Merge(ph)
+		}
+	}
 	reg.Gauge("loadgen.achieved_rate").Set(r.AchievedRate)
 }

@@ -1,0 +1,39 @@
+package loadgen
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"webcache/internal/obs"
+)
+
+// TestMetricsDocLoadgen holds the loadgen.* namespace in METRICS.md
+// against the names one driver run registers, in both directions: an
+// undocumented registration or a documented-but-dead name fails here
+// instead of rotting quietly.  newRecorder pre-registers the full set,
+// so a small closed-loop run on the fake target exercises every name.
+func TestMetricsDocLoadgen(t *testing.T) {
+	md, err := os.ReadFile("../../METRICS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry("doc-smoke")
+	if _, err := Run(context.Background(), testSchedule(40), &fakeTarget{}, Options{
+		Mode:    ClosedLoop,
+		Workers: 2,
+		Warmup:  4,
+		Clock:   NewFakeClock(time.Unix(0, 0)),
+		Obs:     reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, m := range reg.Snapshot() {
+		names = append(names, m.Name)
+	}
+	if err := obs.CheckMetricsDoc(md, names, "loadgen"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,6 +15,10 @@ type ScheduledRequest struct {
 	Object trace.ObjectID
 	Proxy  int
 	URL    string
+	// TraceID, when non-empty, rides the request as the
+	// httpcache.TraceHeader so every daemon the fetch touches joins the
+	// same span trace.  The driver stamps it per sampled request.
+	TraceID string
 }
 
 // Schedule is a trace rendered into issuable requests, in trace order.

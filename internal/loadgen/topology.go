@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"webcache/internal/httpcache"
+	"webcache/internal/obs"
 )
 
 // TopologyConfig sizes a loopback deployment: an origin, Proxies
@@ -27,6 +28,13 @@ type TopologyConfig struct {
 	// caches hold exactly capacity_units objects, keeping the live
 	// topology unit-for-unit comparable with a sim capacity plan.
 	ObjectBytes int
+	// Tracer, when non-nil, is shared by every daemon: each records its
+	// hop of a propagated trace id into the one collector (wall clock).
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, backs every daemon's /metrics endpoint.
+	// Shared: a scrape of daemon D refreshes D's gauges synchronously
+	// before exposition, so each response reflects the scraped daemon.
+	Metrics *obs.Registry
 }
 
 // Topology is a running loopback deployment.  Everything listens on
@@ -89,6 +97,8 @@ func StartLoopback(cfg TopologyConfig) (*Topology, error) {
 			return nil, err
 		}
 		px := httpcache.NewProxy(capBytes)
+		px.SetTracer(cfg.Tracer)
+		px.SetMetrics(cfg.Metrics)
 		ln, err := listen()
 		if err != nil {
 			return nil, err
@@ -105,6 +115,8 @@ func StartLoopback(cfg TopologyConfig) (*Topology, error) {
 		}
 		for c := 0; c < cfg.CachesPerProxy; c++ {
 			cc := httpcache.NewClientCache(cacheBytes)
+			cc.SetTracer(cfg.Tracer)
+			cc.SetMetrics(cfg.Metrics)
 			cln, err := listen()
 			if err != nil {
 				return nil, err

@@ -126,6 +126,62 @@ func (s Source) String() string {
 // NumSources is the number of distinct Source values, for metric arrays.
 const NumSources = int(numSources)
 
+// ParseSource is the inverse of Source.String, for consumers (the
+// span-trace decomposition) that carry tiers as labels.
+func ParseSource(label string) (Source, bool) {
+	for s := SrcLocalProxy; s < Source(numSources); s++ {
+		if s.String() == label {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// Component names one of the model's four latency components, used to
+// tag trace spans with the leg of the network they are charged under.
+type Component string
+
+const (
+	CompTs   Component = "Ts"   // proxy -> origin server
+	CompTc   Component = "Tc"   // proxy -> cooperating proxy
+	CompTl   Component = "Tl"   // client -> local proxy
+	CompTp2p Component = "Tp2p" // client/proxy -> P2P client cache
+)
+
+// ComponentValue returns the model's latency for one component.
+func (m Model) ComponentValue(c Component) float64 {
+	switch c {
+	case CompTs:
+		return m.Ts
+	case CompTc:
+		return m.Tc
+	case CompTl:
+		return m.Tl
+	case CompTp2p:
+		return m.Tp2p
+	default:
+		return 0
+	}
+}
+
+// ServeComponent returns the component the serving leg beyond the
+// mandatory client->proxy hop is charged under; a local-proxy hit has
+// no extra leg, so it maps to CompTl.
+func ServeComponent(src Source) Component {
+	switch src {
+	case SrcLocalProxy:
+		return CompTl
+	case SrcP2P:
+		return CompTp2p
+	case SrcRemoteProxy:
+		return CompTc
+	case SrcServer:
+		return CompTs
+	default:
+		return ""
+	}
+}
+
 // Latency returns the end-to-end latency observed by the client for a
 // request served from src.  Every request first travels client->proxy
 // (Tl); the serving tier adds its own cost on a miss.

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Manifest diffing: make two BENCH_*.json (or any -manifest) documents
+// mechanically comparable.  Two manifests are comparable only when
+// their schema version and workload fingerprint agree — otherwise the
+// metric deltas would compare different experiments — so DiffManifests
+// refuses mismatches unless forced.
+
+// MetricDelta is one metric's change between two manifests.
+type MetricDelta struct {
+	Name  string  `json:"name"`
+	A     float64 `json:"a"`
+	B     float64 `json:"b"`
+	Delta float64 `json:"delta"` // B - A
+	// Ratio is B/A (NaN when A is zero and B is not; 1 when both are
+	// zero).
+	Ratio float64 `json:"ratio"`
+}
+
+// ManifestDiff is the comparison of two run manifests.
+type ManifestDiff struct {
+	ToolA       string        `json:"tool_a,omitempty"`
+	ToolB       string        `json:"tool_b,omitempty"`
+	VersionA    string        `json:"version_a,omitempty"`
+	VersionB    string        `json:"version_b,omitempty"`
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	Changed     []MetricDelta `json:"changed,omitempty"`
+	Unchanged   int           `json:"unchanged"`
+	OnlyA       []string      `json:"only_a,omitempty"`
+	OnlyB       []string      `json:"only_b,omitempty"`
+	WallA       float64       `json:"wall_a,omitempty"`
+	WallB       float64       `json:"wall_b,omitempty"`
+}
+
+// fingerprint pulls the workload content hash out of a manifest's
+// trace block ("" when absent).
+func fingerprint(m *Manifest) string {
+	if m == nil || m.Trace == nil {
+		return ""
+	}
+	fp, _ := m.Trace["fingerprint"].(string)
+	return fp
+}
+
+// DiffManifests compares two manifests metric by metric.  It refuses
+// mismatched schema versions or workload fingerprints (the runs are
+// not comparable) unless force is set.
+func DiffManifests(a, b *Manifest, force bool) (*ManifestDiff, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("obs: diff needs two manifests")
+	}
+	if a.Schema != b.Schema {
+		return nil, fmt.Errorf("obs: manifest schemas differ (%d vs %d); not comparable", a.Schema, b.Schema)
+	}
+	fpA, fpB := fingerprint(a), fingerprint(b)
+	if fpA != fpB && !force {
+		return nil, fmt.Errorf("obs: workload fingerprints differ (%q vs %q); the runs replay different traces — pass force to diff anyway", fpA, fpB)
+	}
+	d := &ManifestDiff{
+		ToolA: a.Tool, ToolB: b.Tool,
+		VersionA: a.Version, VersionB: b.Version,
+		Fingerprint: fpA,
+		WallA:       a.WallSeconds, WallB: b.WallSeconds,
+	}
+	for _, name := range sortedNames(a.Metrics) {
+		va := a.Metrics[name]
+		vb, ok := b.Metrics[name]
+		if !ok {
+			d.OnlyA = append(d.OnlyA, name)
+			continue
+		}
+		if va == vb {
+			d.Unchanged++
+			continue
+		}
+		ratio := math.NaN()
+		switch {
+		case va != 0:
+			ratio = vb / va
+		case vb == 0:
+			ratio = 1
+		}
+		d.Changed = append(d.Changed, MetricDelta{Name: name, A: va, B: vb, Delta: vb - va, Ratio: ratio})
+	}
+	for _, name := range sortedNames(b.Metrics) {
+		if _, ok := a.Metrics[name]; !ok {
+			d.OnlyB = append(d.OnlyB, name)
+		}
+	}
+	return d, nil
+}
+
+// String renders the diff as an aligned table: changed metrics with
+// absolute and relative deltas, then the names present on one side
+// only.
+func (d *ManifestDiff) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "manifests: %s (%s) vs %s (%s)", d.ToolA, orDash(d.VersionA), d.ToolB, orDash(d.VersionB))
+	if d.Fingerprint != "" {
+		fmt.Fprintf(&b, "  workload %s", d.Fingerprint)
+	}
+	fmt.Fprintf(&b, "\nwall: %.3fs vs %.3fs\n", d.WallA, d.WallB)
+	if len(d.Changed) == 0 {
+		fmt.Fprintf(&b, "metrics: %d compared, none changed\n", d.Unchanged)
+	} else {
+		fmt.Fprintf(&b, "metrics: %d changed, %d unchanged\n", len(d.Changed), d.Unchanged)
+		fmt.Fprintf(&b, "%-44s %16s %16s %14s %9s\n", "metric", "a", "b", "delta", "ratio")
+		for _, c := range d.Changed {
+			ratio := "-"
+			if !math.IsNaN(c.Ratio) {
+				ratio = fmt.Sprintf("%.4g", c.Ratio)
+			}
+			fmt.Fprintf(&b, "%-44s %16.6g %16.6g %+14.6g %9s\n", c.Name, c.A, c.B, c.Delta, ratio)
+		}
+	}
+	for _, name := range d.OnlyA {
+		fmt.Fprintf(&b, "only in a: %s\n", name)
+	}
+	for _, name := range d.OnlyB {
+		fmt.Fprintf(&b, "only in b: %s\n", name)
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

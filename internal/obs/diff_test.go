@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func diffManifest(fp string, metrics map[string]float64) *Manifest {
+	m := NewManifest("hiergdd-bench")
+	m.Start = time.Now().Add(-time.Second)
+	m.WallSeconds = 1
+	m.Trace = map[string]any{"fingerprint": fp, "requests": 100.0}
+	m.Metrics = metrics
+	return m
+}
+
+func TestDiffManifests(t *testing.T) {
+	a := diffManifest("fnv1a:aaaa", map[string]float64{
+		"loadgen.issued": 100, "loadgen.latency.p50": 0.010, "only.a": 1, "same": 5,
+	})
+	b := diffManifest("fnv1a:aaaa", map[string]float64{
+		"loadgen.issued": 100, "loadgen.latency.p50": 0.012, "only.b": 2, "same": 5,
+	})
+	d, err := DiffManifests(a, b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Changed) != 1 || d.Changed[0].Name != "loadgen.latency.p50" {
+		t.Fatalf("changed = %+v", d.Changed)
+	}
+	if delta := d.Changed[0].Delta; delta < 0.0019 || delta > 0.0021 {
+		t.Fatalf("delta = %v", delta)
+	}
+	if d.Unchanged != 2 {
+		t.Fatalf("unchanged = %d, want 2 (issued, same)", d.Unchanged)
+	}
+	if len(d.OnlyA) != 1 || d.OnlyA[0] != "only.a" || len(d.OnlyB) != 1 || d.OnlyB[0] != "only.b" {
+		t.Fatalf("only = %v / %v", d.OnlyA, d.OnlyB)
+	}
+	out := d.String()
+	for _, want := range []string{"loadgen.latency.p50", "only in a: only.a", "only in b: only.b", "fnv1a:aaaa"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffManifestsRefusesMismatch(t *testing.T) {
+	a := diffManifest("fnv1a:aaaa", map[string]float64{"x": 1})
+	b := diffManifest("fnv1a:bbbb", map[string]float64{"x": 2})
+	if _, err := DiffManifests(a, b, false); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("fingerprint mismatch not refused: %v", err)
+	}
+	if _, err := DiffManifests(a, b, true); err != nil {
+		t.Fatalf("force did not override: %v", err)
+	}
+
+	b2 := diffManifest("fnv1a:aaaa", map[string]float64{"x": 2})
+	b2.Schema = ManifestSchema + 1
+	if _, err := DiffManifests(a, b2, true); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("schema mismatch not refused even under force: %v", err)
+	}
+	if _, err := DiffManifests(nil, b, false); err == nil {
+		t.Fatal("nil manifest accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Deep histogram behavior (quantile error bound, merge, min/max
+// sentinels) is pinned in internal/loadgen/histogram_test.go, the
+// type's original home; here we cover what the promotion added — the
+// nil contract and registry integration.
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second)
+	h.Merge(&Histogram{})
+	(&Histogram{}).Merge(h)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram returned non-zero")
+	}
+	if s := h.Summary(); s.Count != 0 {
+		t.Fatalf("nil Summary = %+v", s)
+	}
+}
+
+func TestDisabledHistogramZeroAlloc(t *testing.T) {
+	var reg *Registry
+	d := 3 * time.Millisecond
+	allocs := testing.AllocsPerRun(1000, func() {
+		h := reg.Histogram("loadgen.latency")
+		h.Observe(d)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled histogram allocated %v times per op", allocs)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	reg := NewRegistry("h")
+	h := reg.Histogram("loadgen.latency")
+	if h == nil || h != reg.Histogram("loadgen.latency") {
+		t.Fatal("Histogram accessor not idempotent")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+
+	var snap Metric
+	for _, m := range reg.Snapshot() {
+		if m.Name == "loadgen.latency" {
+			snap = m
+		}
+	}
+	if snap.Kind != "histogram" || snap.Count != 1000 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	vals := reg.Values()
+	if vals["loadgen.latency.count"] != 1000 {
+		t.Fatalf("values = %v", vals)
+	}
+	p50 := vals["loadgen.latency.p50"]
+	if p50 < 0.45 || p50 > 0.55 {
+		t.Fatalf("p50 = %v s, want ~0.5", p50)
+	}
+	if vals["loadgen.latency.max"] < 0.95 || vals["loadgen.latency.mean"] <= 0 {
+		t.Fatalf("values = %v", vals)
+	}
+	for _, suffix := range []string{".count", ".mean", ".p50", ".p90", ".p99", ".p999", ".max"} {
+		if _, ok := vals["loadgen.latency"+suffix]; !ok {
+			t.Fatalf("missing flattened key %s in %v", suffix, vals)
+		}
+	}
+	if _, ok := vals["loadgen.latency"]; ok {
+		t.Fatal("unflattened histogram name leaked into Values")
+	}
+
+	if s := reg.String(); !strings.Contains(s, "loadgen.latency") || !strings.Contains(s, "n=1000") {
+		t.Fatalf("String() = %q", s)
+	}
+}

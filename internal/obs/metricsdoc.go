@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Structural doc-drift checking for METRICS.md: extract every metric
+// name the glossary documents (including families written with brace
+// alternation like `sim.serves.{local_proxy,p2p}` or placeholder
+// segments like `check.violations.<layer>`) and compare them, both
+// directions, against the names a smoke run actually registered.
+// Each tool's test owns a namespace subset, so a new metric that is
+// not documented — or a documented metric no code registers — fails a
+// test instead of rotting quietly.
+
+// DocPattern is one documented metric name; placeholder segments make
+// it a family matching any value in that position.
+type DocPattern struct {
+	Raw string // as written in the doc, braces expanded
+	re  *regexp.Regexp
+}
+
+// Matches reports whether a registered metric name falls under the
+// pattern.
+func (p DocPattern) Matches(name string) bool { return p.re.MatchString(name) }
+
+// Wildcard reports whether the pattern is a family (has placeholder
+// segments).
+func (p DocPattern) Wildcard() bool { return strings.Contains(p.Raw, "<") }
+
+var (
+	inlineCodeRe = regexp.MustCompile("`([^`\n]+)`")
+	plainSegRe   = regexp.MustCompile(`^[a-z0-9_]+$`)
+	nsHeadingRe  = regexp.MustCompile("(?m)^#{2,4} `([a-z0-9_.]+)\\.\\*`")
+)
+
+// stripFences removes fenced code blocks, so example JSON documents
+// and shell transcripts don't contribute phantom metric names.
+func stripFences(md string) string {
+	var out []string
+	fence := false
+	for _, ln := range strings.Split(md, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(ln), "```") {
+			fence = !fence
+			continue
+		}
+		if !fence {
+			out = append(out, ln)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// expandBraces expands one level of {a,b,c} alternation (recursively,
+// so multiple groups multiply out).  A malformed group yields nothing.
+func expandBraces(tok string) []string {
+	i := strings.IndexByte(tok, '{')
+	if i < 0 {
+		return []string{tok}
+	}
+	j := strings.IndexByte(tok[i:], '}')
+	if j < 0 {
+		return nil
+	}
+	j += i
+	var out []string
+	for _, alt := range strings.Split(tok[i+1:j], ",") {
+		out = append(out, expandBraces(tok[:i]+alt+tok[j+1:])...)
+	}
+	return out
+}
+
+// patternFor compiles one expanded token into a pattern, or reports
+// that the token is not a metric name (Go identifiers, file names, and
+// prose fragments all fall out here).
+func patternFor(tok string) (DocPattern, bool) {
+	if !strings.Contains(tok, ".") || strings.ContainsAny(tok, " */()=:") {
+		return DocPattern{}, false
+	}
+	var reb strings.Builder
+	reb.WriteString("^")
+	for k, seg := range strings.Split(tok, ".") {
+		if k > 0 {
+			reb.WriteString(`\.`)
+		}
+		if strings.HasPrefix(seg, "<") && strings.HasSuffix(seg, ">") && len(seg) > 2 {
+			if k == 0 {
+				// A leading placeholder (`<name>.seconds` in the
+				// conventions prose) has no namespace anchor and is
+				// not a metric family.
+				return DocPattern{}, false
+			}
+			reb.WriteString(`[^.]+`)
+			continue
+		}
+		if !plainSegRe.MatchString(seg) {
+			return DocPattern{}, false
+		}
+		reb.WriteString(regexp.QuoteMeta(seg))
+	}
+	reb.WriteString("$")
+	return DocPattern{Raw: tok, re: regexp.MustCompile(reb.String())}, true
+}
+
+// DocumentedMetrics extracts every metric-name pattern from a METRICS.md
+// document: inline-code tokens outside fenced blocks that parse as
+// dotted lowercase names, with brace alternation expanded and
+// <placeholder> segments compiled to wildcards.
+func DocumentedMetrics(md []byte) []DocPattern {
+	var out []DocPattern
+	seen := map[string]bool{}
+	for _, m := range inlineCodeRe.FindAllStringSubmatch(stripFences(string(md)), -1) {
+		for _, tok := range expandBraces(m[1]) {
+			p, ok := patternFor(tok)
+			if ok && !seen[p.Raw] {
+				seen[p.Raw] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Raw < out[j].Raw })
+	return out
+}
+
+// MetricNamespaces lists the `ns.*` namespace headings the document
+// declares, sorted.
+func MetricNamespaces(md []byte) []string {
+	var out []string
+	for _, m := range nsHeadingRe.FindAllStringSubmatch(string(md), -1) {
+		out = append(out, m[1])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// inNamespaces reports whether name falls under one of the given
+// dotted prefixes.
+func inNamespaces(name string, namespaces []string) bool {
+	for _, ns := range namespaces {
+		if strings.HasPrefix(name, ns+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckMetricsDoc cross-checks the registered metric names of a smoke
+// run against the documented patterns, restricted to the given
+// namespaces (each tool's test owns its own).  It fails in both
+// directions: a registered name no pattern documents, or a documented
+// pattern no registration exercises.
+func CheckMetricsDoc(md []byte, registered []string, namespaces ...string) error {
+	pats := []DocPattern{}
+	for _, p := range DocumentedMetrics(md) {
+		if inNamespaces(p.Raw, namespaces) {
+			pats = append(pats, p)
+		}
+	}
+	var problems []string
+	matched := make([]bool, len(pats))
+	for _, name := range registered {
+		if !inNamespaces(name, namespaces) {
+			continue
+		}
+		ok := false
+		for i, p := range pats {
+			if p.Matches(name) {
+				matched[i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			problems = append(problems, fmt.Sprintf("registered metric %q is not documented in METRICS.md", name))
+		}
+	}
+	for i, p := range pats {
+		if !matched[i] {
+			problems = append(problems, fmt.Sprintf("documented metric %q was not registered by the smoke run", p.Raw))
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return fmt.Errorf("metrics doc drift (%d problems):\n  %s", len(problems), strings.Join(problems, "\n  "))
+	}
+	return nil
+}

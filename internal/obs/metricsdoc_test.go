@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const docFixture = "# Metrics\n" +
+	"### `sim.*` — simulator\n" +
+	"| `sim.runs` | counter | runs |\n" +
+	"| `sim.serves.{local_proxy,p2p}` | counter | serves |\n" +
+	"| `check.violations.<layer>` | counter | by layer: `cache`, `ring` |\n" +
+	"Not metrics: `webcache.Run`, `Registry.Values`, `-manifest`, `BENCH_live.json`,\n" +
+	"`internal/obs/trace.go`, `figure.*`, `fnv1a:<16 hex>`, `<name>.seconds`.\n" +
+	"```json\n" +
+	"{\"fenced.metric\": 1}\n" +
+	"```\n" +
+	"### `loadgen.*` — loadgen\n" +
+	"`loadgen.request` timer.\n"
+
+func TestDocumentedMetrics(t *testing.T) {
+	pats := DocumentedMetrics([]byte(docFixture))
+	raws := make([]string, len(pats))
+	for i, p := range pats {
+		raws[i] = p.Raw
+	}
+	got := strings.Join(raws, " ")
+	for _, want := range []string{
+		"sim.runs", "sim.serves.local_proxy", "sim.serves.p2p",
+		"check.violations.<layer>", "loadgen.request",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in %v", want, raws)
+		}
+	}
+	for _, reject := range []string{
+		"webcache.Run", "Registry.Values", "BENCH_live.json",
+		"fenced.metric", "figure.*", "<name>.seconds", "name.seconds",
+	} {
+		if strings.Contains(got, reject) {
+			t.Fatalf("extracted non-metric %q: %v", reject, raws)
+		}
+	}
+
+	var layer DocPattern
+	for _, p := range pats {
+		if p.Raw == "check.violations.<layer>" {
+			layer = p
+		}
+	}
+	if !layer.Wildcard() || !layer.Matches("check.violations.cache") || layer.Matches("check.violations") ||
+		layer.Matches("check.violations.a.b") {
+		t.Fatalf("placeholder pattern misbehaves: %+v", layer)
+	}
+}
+
+func TestMetricNamespaces(t *testing.T) {
+	got := MetricNamespaces([]byte(docFixture))
+	if len(got) != 2 || got[0] != "loadgen" || got[1] != "sim" {
+		t.Fatalf("namespaces = %v", got)
+	}
+}
+
+func TestCheckMetricsDoc(t *testing.T) {
+	registered := []string{
+		"sim.runs", "sim.serves.local_proxy", "sim.serves.p2p",
+		"check.violations.cache", "loadgen.request",
+		"figure.2a", // outside the namespaces under test: ignored
+	}
+	if err := CheckMetricsDoc([]byte(docFixture), registered, "sim", "check", "loadgen"); err != nil {
+		t.Fatalf("clean doc flagged: %v", err)
+	}
+
+	// Direction 1: a registered metric nobody documented.
+	withUndoc := append([]string{"sim.mystery"}, registered...)
+	err := CheckMetricsDoc([]byte(docFixture), withUndoc, "sim", "check", "loadgen")
+	if err == nil || !strings.Contains(err.Error(), "sim.mystery") {
+		t.Fatalf("undocumented metric not flagged: %v", err)
+	}
+
+	// Direction 2: a documented metric the smoke never registered.
+	missing := []string{"sim.runs", "sim.serves.local_proxy", "sim.serves.p2p", "check.violations.cache"}
+	err = CheckMetricsDoc([]byte(docFixture), missing, "sim", "check", "loadgen")
+	if err == nil || !strings.Contains(err.Error(), "loadgen.request") {
+		t.Fatalf("unregistered documented metric not flagged: %v", err)
+	}
+
+	// Namespace restriction: figure.* problems invisible here.
+	if err := CheckMetricsDoc([]byte(docFixture), registered, "loadgen"); err != nil {
+		t.Fatalf("namespace filter leaked: %v", err)
+	}
+}

@@ -166,20 +166,22 @@ func (t *Timer) Mean() time.Duration {
 type Registry struct {
 	name string
 
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // NewRegistry creates an enabled registry.  The name scopes the run
 // ("webcachesim", "fig-2a", ...) and is echoed in manifests.
 func NewRegistry(name string) *Registry {
 	return &Registry{
-		name:     name,
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
+		name:       name,
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -240,25 +242,41 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named latency histogram, creating it on first
+// use.  Returns nil (the no-op histogram) on a disabled registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Metric is one named observation in a registry snapshot.
 type Metric struct {
 	Name  string  `json:"name"`
-	Kind  string  `json:"kind"` // "counter", "gauge", or "timer"
+	Kind  string  `json:"kind"` // "counter", "gauge", "timer", or "histogram"
 	Value float64 `json:"value"`
-	// Count is the observation count for timers (Value is then the
-	// total in seconds); zero otherwise.
+	// Count is the observation count for timers and histograms (Value
+	// is then the total in seconds); zero otherwise.
 	Count int64 `json:"count,omitempty"`
 }
 
-// Snapshot returns every metric, sorted by name.  Timers report their
-// total in seconds plus the observation count.
+// Snapshot returns every metric, sorted by name.  Timers and
+// histograms report their total in seconds plus the observation count.
 func (r *Registry) Snapshot() []Metric {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.timers))
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.timers)+len(r.histograms))
 	for name, c := range r.counters {
 		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(c.Value())})
 	}
@@ -268,13 +286,33 @@ func (r *Registry) Snapshot() []Metric {
 	for name, t := range r.timers {
 		out = append(out, Metric{Name: name, Kind: "timer", Value: t.Total().Seconds(), Count: t.Count()})
 	}
+	for name, h := range r.histograms {
+		out = append(out, Metric{Name: name, Kind: "histogram", Value: h.Sum().Seconds(), Count: h.Count()})
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// histSnapshot returns the histograms under the registry lock, for the
+// flattening and exposition paths that need quantiles (which Snapshot's
+// total/count pair cannot carry).
+func (r *Registry) histSnapshot() map[string]*Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		out[name] = h
+	}
 	return out
 }
 
 // Values flattens the snapshot into a name -> value map for manifest
 // embedding.  Timers contribute two entries: "<name>.seconds" and
-// "<name>.count".
+// "<name>.count".  Histograms contribute their quantile summary in
+// seconds: "<name>.count", "<name>.mean", "<name>.p50" ... "<name>.max".
 func (r *Registry) Values() map[string]float64 {
 	snap := r.Snapshot()
 	if snap == nil {
@@ -287,7 +325,20 @@ func (r *Registry) Values() map[string]float64 {
 			out[m.Name+".count"] = float64(m.Count)
 			continue
 		}
+		if m.Kind == "histogram" {
+			continue // flattened below, with quantiles
+		}
 		out[m.Name] = m.Value
+	}
+	for name, h := range r.histSnapshot() {
+		s := h.Summary()
+		out[name+".count"] = float64(s.Count)
+		out[name+".mean"] = s.Mean.Seconds()
+		out[name+".p50"] = s.P50.Seconds()
+		out[name+".p90"] = s.P90.Seconds()
+		out[name+".p99"] = s.P99.Seconds()
+		out[name+".p999"] = s.P999.Seconds()
+		out[name+".max"] = s.Max.Seconds()
 	}
 	return out
 }
@@ -302,7 +353,7 @@ func (r *Registry) String() string {
 	var b strings.Builder
 	for _, m := range snap {
 		switch m.Kind {
-		case "timer":
+		case "timer", "histogram":
 			fmt.Fprintf(&b, "%-40s %12.6fs n=%d\n", m.Name, m.Value, m.Count)
 		case "counter":
 			fmt.Fprintf(&b, "%-40s %12d\n", m.Name, int64(m.Value))

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func promRegistry() *Registry {
+	reg := NewRegistry("prom")
+	reg.Counter("sim.requests").Add(42)
+	reg.Gauge("loadgen.achieved_rate").Set(123.5)
+	reg.Timer("sim.run").Observe(1500 * time.Millisecond)
+	h := reg.Histogram("loadgen.latency")
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	return reg
+}
+
+func TestWritePrometheusParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE webcache_sim_requests_total counter",
+		"webcache_sim_requests_total 42",
+		"# TYPE webcache_loadgen_achieved_rate gauge",
+		"webcache_loadgen_achieved_rate 123.5",
+		"# TYPE webcache_sim_run_seconds summary",
+		"webcache_sim_run_seconds_sum 1.5",
+		"webcache_sim_run_seconds_count 1",
+		"# TYPE webcache_loadgen_latency_seconds summary",
+		`webcache_loadgen_latency_seconds{quantile="0.5"}`,
+		`webcache_loadgen_latency_seconds{quantile="0.999"}`,
+		"webcache_loadgen_latency_seconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	n, err := ParsePrometheusText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("our own exposition failed to parse: %v\n%s", err, out)
+	}
+	// counter + gauge + timer(sum,count) + histogram(4 quantiles + sum + count)
+	if n != 10 {
+		t.Fatalf("parsed %d samples, want 10:\n%s", n, out)
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, nil); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry: err=%v len=%d", err, buf.Len())
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	PrometheusHandler(promRegistry()).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if n, err := ParsePrometheusText(rec.Body); err != nil || n == 0 {
+		t.Fatalf("scrape did not parse: n=%d err=%v", n, err)
+	}
+}
+
+func TestParsePrometheusRejects(t *testing.T) {
+	for _, bad := range []string{
+		"webcache sim requests 1\n",
+		"webcache_x 1 2 3\n",
+		"# TYPE webcache_x bogus\n",
+		"webcache_x{quantile=\"0.5\"} 1\n", // quantile without a summary TYPE
+		"1metric 2\n",
+	} {
+		if _, err := ParsePrometheusText(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted malformed exposition %q", bad)
+		}
+	}
+	if n, err := ParsePrometheusText(strings.NewReader("# HELP x y\n\n# random comment\nok_metric 1\n")); err != nil || n != 1 {
+		t.Fatalf("comment handling: n=%d err=%v", n, err)
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	if got := promName("sim.serves.local_proxy"); got != "webcache_sim_serves_local_proxy" {
+		t.Fatalf("promName = %q", got)
+	}
+	if got := promName("bench.Fig2a-16.ns/op"); got != "webcache_bench_Fig2a_16_ns_op" {
+		t.Fatalf("promName = %q", got)
+	}
+}

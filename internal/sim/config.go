@@ -174,6 +174,14 @@ type Config struct {
 	// registry.  nil (the default) disables instrumentation at zero
 	// cost.
 	Obs *obs.Registry `json:"-"`
+	// Tracer, when non-nil, records one span trace per sampled request
+	// with child spans for each hop of the decision path (local proxy
+	// probe, directory lookup, P2P fetch, cooperating-proxy probes,
+	// origin fetch), each tagged with the netmodel component it is
+	// charged under.  The simulator uses the virtual clock: cumulative
+	// charged latency, in Tl units.  nil (the default) disables tracing
+	// at zero cost, like Obs and Check.
+	Tracer *obs.Tracer `json:"-"`
 	// Check, when non-nil, threads the invariant subsystem through
 	// every stateful layer of the run: replacement policies and lookup
 	// directories are replaced by shadow-checked wrappers, P2P receipt

@@ -3,6 +3,7 @@ package sim
 import (
 	"webcache/internal/cache"
 	"webcache/internal/netmodel"
+	"webcache/internal/obs"
 	"webcache/internal/trace"
 )
 
@@ -132,22 +133,31 @@ func (e *fcEngine) maintain(reqIdx int, res *Result) {
 	}
 }
 
-func (e *fcEngine) serve(obj trace.ObjectID, _ uint32, proxy, _ int) (netmodel.Source, float64) {
+func (e *fcEngine) serve(obj trace.ObjectID, _ uint32, proxy, _ int, st *obs.SpanTrace) (netmodel.Source, float64) {
+	net := e.cfg.Net
 	if t, ok := e.placement.ByProxy[proxy][obj]; ok {
 		src := e.tierKind[t]
 		if src == netmodel.SrcP2P && e.cfg.SinglePoolEC {
 			// Pooled client tier serves at proxy latency but is still
 			// accounted as a P2P-tier hit.
-			return src, e.cfg.Net.Latency(netmodel.SrcLocalProxy)
+			st.Span("pool.hit", string(netmodel.CompTl), net.Tl)
+			return src, net.Latency(netmodel.SrcLocalProxy)
 		}
-		return src, e.cfg.Net.Latency(src)
+		st.Span("proxy.cache", string(netmodel.CompTl), net.Tl)
+		if src == netmodel.SrcP2P {
+			st.Span("p2p.fetch", string(netmodel.CompTp2p), net.Tp2p)
+		}
+		return src, net.Latency(src)
 	}
+	st.Span("proxy.cache", string(netmodel.CompTl), net.Tl)
 	// Any other proxy's copy (proxy tier or, via push, its P2P client
 	// cache) serves at Tc.
 	if e.placement.Anywhere(obj) {
-		return netmodel.SrcRemoteProxy, e.cfg.Net.Latency(netmodel.SrcRemoteProxy)
+		st.Span("peer.fetch", string(netmodel.CompTc), net.Tc)
+		return netmodel.SrcRemoteProxy, net.Latency(netmodel.SrcRemoteProxy)
 	}
-	return netmodel.SrcServer, e.cfg.Net.Latency(netmodel.SrcServer)
+	st.Span("origin.fetch", string(netmodel.CompTs), net.Ts)
+	return netmodel.SrcServer, net.Latency(netmodel.SrcServer)
 }
 
 func (e *fcEngine) finish(*Result) {}

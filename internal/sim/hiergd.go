@@ -118,7 +118,7 @@ func newHierGDEngine(cfg Config, sz sizing) (*hierGDEngine, error) {
 	return e, nil
 }
 
-func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int) (netmodel.Source, float64) {
+func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int, st *obs.SpanTrace) (netmodel.Source, float64) {
 	px := e.proxies[proxy]
 	// Only the first P2PClientCaches members contribute cache nodes;
 	// requests from other members route via their nearest contributor.
@@ -126,8 +126,12 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int)
 
 	// 1. Local proxy cache (greedy-dual hit refreshes H).
 	if px.cache.Access(obj) {
+		st.Span("proxy.cache", string(netmodel.CompTl), e.net.Tl)
 		return netmodel.SrcLocalProxy, e.net.Latency(netmodel.SrcLocalProxy)
 	}
+
+	// Every miss path below still pays the client->proxy leg.
+	st.Span("proxy.cache", string(netmodel.CompTl), e.net.Tl)
 
 	// extra accumulates the latency of wasted probes (stale digests,
 	// directory false positives) charged on top of wherever the object
@@ -147,13 +151,16 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int)
 			for _, gone := range lr.Displaced {
 				px.dir.Remove(gone) // hot-object replica displaced these
 			}
-			return netmodel.SrcP2P, e.net.LatencyHops(netmodel.SrcP2P, lr.Hops)
+			lat := e.net.LatencyHops(netmodel.SrcP2P, lr.Hops)
+			st.Span("p2p.fetch", string(netmodel.CompTp2p), lat-e.net.Tl)
+			return netmodel.SrcP2P, lat
 		}
 		// False positive (Bloom) or object lost to churn: repair the
 		// directory and fall through.  The wasted LAN lookup is charged
 		// on top of wherever the object is finally found.
 		px.dir.Remove(obj)
 		px.dirFP.Inc()
+		st.WastedSpan("dir.false_positive", string(netmodel.CompTp2p), e.net.Tp2p)
 		extra += e.net.Tp2p
 	}
 
@@ -168,6 +175,7 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int)
 			continue
 		}
 		if peer.cache.Access(obj) {
+			st.Span("peer.fetch", string(netmodel.CompTc), e.net.Tc)
 			src = netmodel.SrcRemoteProxy
 			break
 		}
@@ -180,6 +188,7 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int)
 				for _, gone := range lr.Displaced {
 					peer.dir.Remove(gone) // replica displacement receipts
 				}
+				st.Span("peer.push", string(netmodel.CompTc), e.net.Tc)
 				src = netmodel.SrcRemoteProxy
 				break
 			}
@@ -187,12 +196,17 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int)
 			// proxy paid a Tp2p round trip before reporting the miss.
 			peer.dir.Remove(obj)
 			peer.dirFP.Inc()
+			st.WastedSpan("peer.dir.false_positive", string(netmodel.CompTp2p), e.net.Tp2p)
 			extra += e.net.Tp2p
 		}
 		if peer.digest != nil {
 			e.staleProbes.Inc()
+			st.WastedSpan("peer.probe.stale", string(netmodel.CompTc), e.net.Tc)
 			extra += e.net.Tc
 		}
+	}
+	if src == netmodel.SrcServer {
+		st.Span("origin.fetch", string(netmodel.CompTs), e.net.Ts)
 	}
 
 	// 4. Fetch and cache at the proxy; greedy-dual cost is the fetch

@@ -39,7 +39,7 @@ func TestHierGDLocalFalsePositiveLatency(t *testing.T) {
 	px := e.proxies[0]
 	px.dir.Add(obj) // falsified directory: claims the P2P cache has it
 
-	src, lat := e.serve(obj, 1, 0, 0)
+	src, lat := e.serve(obj, 1, 0, 0, nil)
 	if src != netmodel.SrcServer {
 		t.Fatalf("served from %v, want server", src)
 	}
@@ -66,7 +66,7 @@ func TestHierGDPeerFalsePositiveLatency(t *testing.T) {
 	peer := e.proxies[1]
 	peer.dir.Add(obj) // the peer's directory lies; its cluster is empty
 
-	src, lat := e.serve(obj, 1, 0, 0)
+	src, lat := e.serve(obj, 1, 0, 0, nil)
 	if src != netmodel.SrcServer {
 		t.Fatalf("served from %v, want server", src)
 	}
@@ -88,7 +88,7 @@ func TestHierGDStackedFalsePositiveLatency(t *testing.T) {
 	e.proxies[0].dir.Add(obj)
 	e.proxies[1].dir.Add(obj)
 
-	_, lat := e.serve(obj, 1, 0, 0)
+	_, lat := e.serve(obj, 1, 0, 0, nil)
 	want := net.Latency(netmodel.SrcServer) + 2*net.Tp2p
 	if math.Abs(lat-want) > 1e-12 {
 		t.Errorf("latency = %g, want %g (server + two wasted probes)", lat, want)

@@ -5,14 +5,19 @@ import (
 
 	"webcache/internal/cache"
 	"webcache/internal/netmodel"
+	"webcache/internal/obs"
 	"webcache/internal/trace"
 )
 
 // engine is one scheme's per-request logic.  serve processes a request
 // by a member of a proxy's cluster and returns the serving tier plus
-// the end-to-end latency charged to the client.
+// the end-to-end latency charged to the client.  st is the request's
+// span trace (nil when the request is unsampled or tracing is off);
+// engines append one span per hop, with durations that sum exactly to
+// the latency they return — the decomposition cross-check
+// (CheckDecomposition) holds them to it.
 type engine interface {
-	serve(obj trace.ObjectID, size uint32, proxy, member int) (netmodel.Source, float64)
+	serve(obj trace.ObjectID, size uint32, proxy, member int, st *obs.SpanTrace) (netmodel.Source, float64)
 	// finish folds engine-specific telemetry into the result.
 	finish(res *Result)
 }
@@ -74,12 +79,19 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		ClientCapacity:     sz.clientCap[0],
 	}
 	mnt, hasMaintenance := eng.(maintainer)
+	// simClock is the tracer's virtual time base: requests are replayed
+	// sequentially, so cumulative charged latency lays sampled traces
+	// end-to-end on the Perfetto timeline.
+	simClock := 0.0
 	for i, r := range tr.Requests {
 		if hasMaintenance {
 			mnt.maintain(i, res)
 		}
 		proxy, member := clientMapping(cfg, r.Client)
-		src, lat := eng.serve(r.Object, r.Size, proxy, member)
+		st := cfg.Tracer.StartTrace("request", simClock)
+		src, lat := eng.serve(r.Object, r.Size, proxy, member, st)
+		st.Finish(src.String(), lat)
+		simClock += lat
 		if i < cfg.WarmupRequests {
 			continue // warm the caches without measuring
 		}
@@ -146,15 +158,20 @@ func (e *lfuEngine) maintain(reqIdx int, res *Result) {
 	}
 }
 
-func (e *lfuEngine) serve(obj trace.ObjectID, size uint32, proxy, _ int) (netmodel.Source, float64) {
+func (e *lfuEngine) serve(obj trace.ObjectID, size uint32, proxy, _ int, st *obs.SpanTrace) (netmodel.Source, float64) {
+	net := e.cfg.Net
 	c := e.caches[proxy]
 	switch c.access(obj) {
 	case tierProxy:
-		return netmodel.SrcLocalProxy, e.cfg.Net.Latency(netmodel.SrcLocalProxy)
+		st.Span("proxy.cache", string(netmodel.CompTl), net.Tl)
+		return netmodel.SrcLocalProxy, net.Latency(netmodel.SrcLocalProxy)
 	case tierClient:
-		return netmodel.SrcP2P, e.cfg.Net.Latency(netmodel.SrcP2P)
+		st.Span("proxy.cache", string(netmodel.CompTl), net.Tl)
+		st.Span("p2p.fetch", string(netmodel.CompTp2p), net.Tp2p)
+		return netmodel.SrcP2P, net.Latency(netmodel.SrcP2P)
 	}
 	c.recordMiss(obj)
+	st.Span("proxy.cache", string(netmodel.CompTl), net.Tl)
 	src := netmodel.SrcServer
 	extra := 0.0
 	if e.cfg.Scheme.Cooperative() {
@@ -166,20 +183,25 @@ func (e *lfuEngine) serve(obj trace.ObjectID, size uint32, proxy, _ int) (netmod
 			}
 			if peer.contains(obj) {
 				peer.touchRemote(obj)
+				st.Span("peer.fetch", string(netmodel.CompTc), net.Tc)
 				src = netmodel.SrcRemoteProxy
 				break
 			}
 			if e.digests != nil {
 				// Stale digest entry: the probe was wasted.
 				e.stale++
-				extra += e.cfg.Net.Tc
+				st.WastedSpan("peer.probe.stale", string(netmodel.CompTc), net.Tc)
+				extra += net.Tc
 			}
 		}
 	}
+	if src == netmodel.SrcServer {
+		st.Span("origin.fetch", string(netmodel.CompTs), net.Ts)
+	}
 	// "Once a proxy fetches an object from another proxy, it caches
 	// the object locally" (§2) — and likewise for server fetches.
-	c.insert(entryFor(obj, size, e.cfg.Net.FetchCost(src)))
-	return src, e.cfg.Net.Latency(src) + extra
+	c.insert(entryFor(obj, size, net.FetchCost(src)))
+	return src, net.Latency(src) + extra
 }
 
 func (e *lfuEngine) finish(res *Result) {

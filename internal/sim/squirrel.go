@@ -6,6 +6,7 @@ import (
 	"webcache/internal/cache"
 	"webcache/internal/invariant"
 	"webcache/internal/netmodel"
+	"webcache/internal/obs"
 	"webcache/internal/p2p"
 	"webcache/internal/trace"
 )
@@ -72,7 +73,7 @@ func newSquirrelEngine(cfg Config, sz sizing) (*squirrelEngine, error) {
 	return e, nil
 }
 
-func (e *squirrelEngine) serve(obj trace.ObjectID, size uint32, proxy, member int) (netmodel.Source, float64) {
+func (e *squirrelEngine) serve(obj trace.ObjectID, size uint32, proxy, member int, st *obs.SpanTrace) (netmodel.Source, float64) {
 	cl := e.clusters[proxy]
 	member %= e.cfg.P2PClientCaches
 	lr, err := cl.Lookup(obj, member)
@@ -86,16 +87,20 @@ func (e *squirrelEngine) serve(obj trace.ObjectID, size uint32, proxy, member in
 		if lr.Hops > 1 {
 			lat += float64(lr.Hops-1) * e.net.PerHop
 		}
+		st.Span("p2p.route", string(netmodel.CompTp2p), lat)
 		return netmodel.SrcP2P, lat
 	}
 	// Miss: the requesting client fetches from the origin server and
-	// hands the object to its home node for storage.
+	// hands the object to its home node for storage.  No proxy: the
+	// client pays the server latency without the Tl leg — the
+	// decomposition deliberately shows Squirrel off the end-to-end
+	// model every other scheme follows (see CheckDecomposition).
+	st.Span("origin.fetch", string(netmodel.CompTs), e.net.Ts)
 	r, err := cl.StoreEvicted(entryFor(obj, size, e.net.Ts), member, true)
 	if err != nil {
 		return netmodel.SrcServer, e.net.Ts
 	}
 	e.accts[proxy].RecordStore(r)
-	// No proxy: the client pays the server latency without the Tl leg.
 	return netmodel.SrcServer, e.net.Ts
 }
 

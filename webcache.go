@@ -37,6 +37,7 @@ package webcache
 
 import (
 	"io"
+	"net/http"
 
 	"webcache/internal/core"
 	"webcache/internal/invariant"
@@ -269,6 +270,54 @@ const ManifestSchema = obs.ManifestSchema
 // NewMetricsRegistry creates an enabled metric registry scoped to the
 // named run.
 func NewMetricsRegistry(name string) *MetricsRegistry { return obs.NewRegistry(name) }
+
+// Span-tracing types (METRICS.md "Span tracing"): per-request traces
+// with one child span per hop of the decision path, tagged with the
+// netmodel component the hop is charged under.
+type (
+	// SpanTracer samples and collects request traces; attach one via
+	// Config.Tracer.  A nil tracer disables tracing at zero cost.
+	SpanTracer = obs.Tracer
+	// SpanTracerOptions configures NewSpanTracer (origin, head-sampling
+	// rate, retention limit, virtual vs wall clock).
+	SpanTracerOptions = obs.TracerOptions
+	// RequestTrace is one sampled request's span trace.
+	RequestTrace = obs.SpanTrace
+	// LatencyDecomposition is span traces folded into a per-tier
+	// latency-decomposition table.
+	LatencyDecomposition = obs.Decomposition
+	// DecompositionReport cross-checks a decomposition against the
+	// analytic netmodel latency per tier.
+	DecompositionReport = sim.DecompReport
+	// ManifestDiff compares two run manifests metric by metric.
+	ManifestDiff = obs.ManifestDiff
+)
+
+// NewSpanTracer creates an enabled request tracer.
+func NewSpanTracer(opts SpanTracerOptions) *SpanTracer { return obs.NewTracer(opts) }
+
+// ValidateChromeTrace checks that data is well-formed Chrome
+// trace-event JSON (the tracer's Perfetto-loadable export format).
+func ValidateChromeTrace(data []byte) error { return obs.ValidateChromeTrace(data) }
+
+// CheckDecomposition compares each tier's span-derived mean served
+// latency against the analytic model's prediction for that tier.
+func CheckDecomposition(m NetworkModel, d *LatencyDecomposition, tol float64) *DecompositionReport {
+	return sim.CheckDecomposition(m, d, tol)
+}
+
+// WritePrometheus renders a registry in Prometheus/OpenMetrics text
+// exposition format; PrometheusHandler serves it over HTTP (the
+// hiergdd daemons' /metrics endpoint).
+func WritePrometheus(w io.Writer, reg *MetricsRegistry) error { return obs.WritePrometheus(w, reg) }
+func PrometheusHandler(reg *MetricsRegistry) http.Handler    { return obs.PrometheusHandler(reg) }
+
+// DiffManifests compares two run manifests (same schema, and same
+// workload fingerprint unless force) metric by metric — the engine
+// behind `make bench-diff` and cmd/benchdiff.
+func DiffManifests(a, b *RunManifest, force bool) (*ManifestDiff, error) {
+	return obs.DiffManifests(a, b, force)
+}
 
 // Invariant-checking types (see DESIGN.md for the oracle catalog).
 type (
