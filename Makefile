@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench vet fuzz-smoke bench-smoke bench-diff trace-alloc
+.PHONY: all build test check race bench vet fuzz-smoke bench-smoke bench-diff store-bench trace-alloc
 
 all: build test
 
@@ -18,10 +18,13 @@ vet:
 	$(GO) vet ./...
 
 # The instrumentation gate: full vet plus race-enabled tests of the
-# metric registry, the invariant oracles, and the simulator that feeds
-# them (the ./internal/sim run includes the checked end-to-end replays).
+# metric registry, the invariant oracles, the simulator that feeds
+# them (the ./internal/sim run includes the checked end-to-end
+# replays), and the concurrent data plane (sharded store + the HTTP
+# daemons built on it).
 check: vet
-	$(GO) test -race ./internal/obs ./internal/invariant ./internal/sim
+	$(GO) test -race ./internal/obs ./internal/invariant ./internal/sim \
+		./internal/store ./internal/httpcache
 
 # Ten seconds of each fuzz target (beyond replaying the checked-in
 # seed corpora, which plain `make test` already does).  FUZZTIME=1m
@@ -60,6 +63,17 @@ bench-diff:
 		-proxies 2 -caches 2 -mode closed -workers 8 -object-bytes 128 \
 		-warmup 150 -manifest BENCH_b.json
 	$(GO) run ./cmd/benchdiff BENCH_a.json BENCH_b.json
+
+# ~5s store microbenchmark: closed-loop GetOrLoad on the sharded
+# coalescing store vs the single-mutex uncoalesced baseline, with a
+# 1ms loader delay standing in for the origin round trip.  Fails
+# unless the sharded store at 16 workers beats the baseline at 1
+# worker by at least 2x; writes the BENCH_store.json manifest
+# (diffable run-to-run with cmd/benchdiff, like bench-diff).
+store-bench:
+	$(GO) run ./cmd/hiergdd bench -store -store-ops 4000 -store-load-delay 1ms \
+		-objects 512 -object-bytes 4096 -store-capacity 1048576 \
+		-store-workers 1,4,16 -store-min-speedup 2 -manifest BENCH_store.json
 
 # The disabled-tracer cost gate: the nil tracer must stay zero-alloc
 # on the request path (also asserted by TestDisabledTracerZeroAlloc;

@@ -58,8 +58,38 @@ func runBench(args []string) error {
 	traceSample := fs.Int("trace-sample", 100, "head-sample 1 in N driven requests")
 	drain := fs.Duration("drain", 5*time.Second, "topology shutdown drain deadline")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
+	// Store microbenchmark mode (-store): drive the data plane directly
+	// instead of standing up the HTTP topology.
+	storeMode := fs.Bool("store", false, "run the store microbenchmark: closed-loop GetOrLoad on the sharded store vs the single-mutex baseline")
+	storeCapacity := fs.Uint64("store-capacity", 1<<20, "store byte budget (store mode)")
+	storeShards := fs.Int("store-shards", 0, "store shard count, 0 = auto (store mode)")
+	storePolicy := fs.String("store-policy", "", "store replacement policy, empty = default (store mode)")
+	storeOps := fs.Int("store-ops", 4000, "timed operations per engine/worker cell (store mode)")
+	storeDelay := fs.Duration("store-load-delay", time.Millisecond, "simulated origin latency a cache miss's loader pays (store mode)")
+	storeWorkers := fs.String("store-workers", "1,4,16", "comma-separated closed-loop worker counts (store mode)")
+	storeMinSpeedup := fs.Float64("store-min-speedup", 0, "fail unless sharded@max-workers ops/sec >= this multiple of baseline@1 (0 = report only)")
 	fs.Parse(args)
 	startPprof(*pprofAddr)
+
+	if *storeMode {
+		wl, err := parseWorkersList(*storeWorkers)
+		if err != nil {
+			return err
+		}
+		return runStoreBench(storeBenchConfig{
+			capacity:     *storeCapacity,
+			shards:       *storeShards,
+			policy:       *storePolicy,
+			objects:      *objects,
+			objectBytes:  *objectBytes,
+			ops:          *storeOps,
+			loadDelay:    *storeDelay,
+			workersList:  wl,
+			seed:         *seed,
+			minSpeedup:   *storeMinSpeedup,
+			manifestPath: *manifestPath,
+		})
+	}
 
 	tr, err := benchTrace(*tracePath, *requests, *objects, *clients, *seed)
 	if err != nil {

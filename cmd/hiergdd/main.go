@@ -9,6 +9,12 @@
 //	hiergdd cache -listen :9001 -capacity 16777216 -proxy http://localhost:8080
 //	hiergdd demo                     # whole topology in-process on localhost
 //	hiergdd bench -trace t.bin -rate 500 -duration 10s   # live load + calibration
+//	hiergdd bench -store             # store microbench: sharded vs single-mutex
+//
+// Both daemons take -policy (any internal/cache registry name) and
+// -shards (lock stripes of the internal/store data plane, 0 = auto);
+// the proxy additionally takes -sweep to probe registered client
+// caches periodically and deregister dead ones.
 //
 // Both daemons accept -pprof addr to expose net/http/pprof on a side
 // listener (e.g. -pprof localhost:6060, then `go tool pprof
@@ -207,6 +213,9 @@ func runProxy(args []string) error {
 	fs := flag.NewFlagSet("proxy", flag.ExitOnError)
 	listen := fs.String("listen", ":8080", "listen address")
 	capacity := fs.Uint64("capacity", 64<<20, "proxy cache capacity in bytes")
+	policy := fs.String("policy", "", "replacement policy (empty = greedy-dual; see internal/cache registry)")
+	shards := fs.Int("shards", 0, "store shard count (0 = auto-size from GOMAXPROCS)")
+	sweep := fs.Duration("sweep", 0, "probe registered client caches this often and deregister dead ones (0 = passive detection only)")
 	self := fs.String("self", "", "externally reachable base URL (default derived from the bound address)")
 	peers := fs.String("peers", "", "comma-separated cooperating proxy base URLs")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
@@ -222,7 +231,15 @@ func runProxy(args []string) error {
 	if *self != "" {
 		base = *self
 	}
-	p := httpcache.NewProxy(*capacity)
+	p, err := httpcache.NewProxyOpts(httpcache.Options{
+		CapacityBytes: *capacity,
+		Policy:        *policy,
+		Shards:        *shards,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
 	p.SetSelf(base)
 	if *peers != "" {
 		p.SetPeers(strings.Split(*peers, ","))
@@ -230,7 +247,12 @@ func runProxy(args []string) error {
 	tracer, reg, flush := dobs.build("proxy")
 	p.SetTracer(tracer)
 	p.SetMetrics(reg)
-	fmt.Printf("hiergdd proxy: listening on %s (self=%s, %d-byte cache)\n", ln.Addr(), base, *capacity)
+	if *sweep > 0 {
+		stop := p.StartSweeper(*sweep)
+		defer stop()
+	}
+	fmt.Printf("hiergdd proxy: listening on %s (self=%s, %d-byte cache, %s policy, %d shards)\n",
+		ln.Addr(), base, *capacity, p.Store().PolicyName(), p.Store().NumShards())
 	return serveDaemon(ln, p.Handler(), *drain, flush)
 }
 
@@ -238,6 +260,8 @@ func runCache(args []string) error {
 	fs := flag.NewFlagSet("cache", flag.ExitOnError)
 	listen := fs.String("listen", ":9001", "listen address")
 	capacity := fs.Uint64("capacity", 16<<20, "cooperative cache capacity in bytes")
+	policy := fs.String("policy", "", "replacement policy (empty = greedy-dual; see internal/cache registry)")
+	shards := fs.Int("shards", 0, "store shard count (0 = auto-size from GOMAXPROCS)")
 	proxy := fs.String("proxy", "http://localhost:8080", "local proxy base URL")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
@@ -245,7 +269,14 @@ func runCache(args []string) error {
 	fs.Parse(args)
 	startPprof(*pprofAddr)
 
-	cc := httpcache.NewClientCache(*capacity)
+	cc, err := httpcache.NewClientCacheOpts(httpcache.Options{
+		CapacityBytes: *capacity,
+		Policy:        *policy,
+		Shards:        *shards,
+	})
+	if err != nil {
+		return err
+	}
 	tracer, reg, flush := dobs.build("cache")
 	cc.SetTracer(tracer)
 	cc.SetMetrics(reg)

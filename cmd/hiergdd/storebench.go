@@ -1,0 +1,231 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webcache/internal/obs"
+	"webcache/internal/store"
+	"webcache/internal/trace"
+)
+
+// The store microbenchmark (`hiergdd bench -store`): a closed-loop
+// GetOrLoad workload driven straight at the data plane, comparing the
+// sharded coalescing store against the single-mutex uncoalesced
+// Baseline the daemons used to share.  The loader sleeps for
+// -store-load-delay, modelling what a real miss costs (an origin
+// fetch over the network) — that is the latency concurrent workers
+// overlap and coalescing dedups, so the numbers measure the store's
+// concurrency design rather than map speed.
+type storeBenchConfig struct {
+	capacity     uint64
+	shards       int
+	policy       string
+	objects      int
+	objectBytes  int
+	ops          int
+	loadDelay    time.Duration
+	workersList  []int
+	seed         int64
+	minSpeedup   float64
+	manifestPath string
+}
+
+// storeBenchCell is one engine x worker-count measurement.
+type storeBenchCell struct {
+	Engine    string  `json:"engine"`
+	Workers   int     `json:"workers"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Hits      int64   `json:"hits"`
+	Loads     int64   `json:"loads"`
+	Coalesced int64   `json:"coalesced"`
+}
+
+// parseWorkersList parses "1,4,16".
+func parseWorkersList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -store-workers element %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// splitmix64 is the per-worker deterministic key stream.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4B9B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// runStoreCell drives one closed-loop cell: workers goroutines split
+// cfg.ops GetOrLoad calls over a fresh engine.  A warmup of ops/5
+// untimed operations brings the cache to steady state first.
+func runStoreCell(eng store.Interface, engine string, workers int, cfg storeBenchConfig) storeBenchCell {
+	var hits, loads, coalesced atomic.Int64
+	run := func(ops int, worker int, count bool) {
+		rng := uint64(cfg.seed)*0x9E3779B97F4A7C15 + uint64(worker)
+		for i := 0; i < ops; i++ {
+			key := trace.ObjectID(splitmix64(&rng) % uint64(cfg.objects))
+			view, err := eng.GetOrLoad(key, func() (store.Object, string, error) {
+				if cfg.loadDelay > 0 {
+					time.Sleep(cfg.loadDelay)
+				}
+				body := make([]byte, cfg.objectBytes)
+				return store.Object{HexKey: fmt.Sprintf("%032x", uint64(key)), Body: body, Cost: 1}, "origin", nil
+			})
+			if !count || err != nil {
+				continue
+			}
+			switch view.Outcome {
+			case store.OutcomeHit:
+				hits.Add(1)
+			case store.OutcomeLoaded:
+				loads.Add(1)
+			default:
+				coalesced.Add(1)
+			}
+		}
+	}
+	drive := func(total int, count bool) {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			ops := total / workers
+			if w < total%workers {
+				ops++
+			}
+			wg.Add(1)
+			go func(w, ops int) {
+				defer wg.Done()
+				run(ops, w, count)
+			}(w, ops)
+		}
+		wg.Wait()
+	}
+	drive(cfg.ops/5, false) // warmup, untimed
+	start := time.Now()
+	drive(cfg.ops, true)
+	elapsed := time.Since(start).Seconds()
+	return storeBenchCell{
+		Engine:    engine,
+		Workers:   workers,
+		Ops:       cfg.ops,
+		Seconds:   elapsed,
+		OpsPerSec: float64(cfg.ops) / elapsed,
+		Hits:      hits.Load(),
+		Loads:     loads.Load(),
+		Coalesced: coalesced.Load(),
+	}
+}
+
+// runStoreBench runs the full grid — both engines at every worker
+// count — prints the table, writes the manifest, and enforces the
+// minimum sharded-vs-baseline speedup when one is configured.
+func runStoreBench(cfg storeBenchConfig) error {
+	fmt.Printf("hiergdd bench -store: %d ops over %d x %dB objects, %d-byte budget, load delay %s\n",
+		cfg.ops, cfg.objects, cfg.objectBytes, cfg.capacity, cfg.loadDelay)
+
+	newEngine := func(engine string) (store.Interface, error) {
+		if engine == "baseline" {
+			return store.NewBaseline(cfg.capacity, cfg.policy)
+		}
+		s, err := store.New(store.Config{
+			CapacityBytes: cfg.capacity,
+			Shards:        cfg.shards,
+			Policy:        cfg.policy,
+			Label:         "store-bench",
+		})
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+
+	var cells []storeBenchCell
+	for _, engine := range []string{"baseline", "sharded"} {
+		for _, w := range cfg.workersList {
+			eng, err := newEngine(engine)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, runStoreCell(eng, engine, w, cfg))
+		}
+	}
+
+	fmt.Printf("\n  %-9s %8s %12s %12s %9s %9s %10s\n",
+		"engine", "workers", "ops/sec", "seconds", "hits", "loads", "coalesced")
+	byCell := map[string]storeBenchCell{}
+	for _, c := range cells {
+		byCell[fmt.Sprintf("%s.w%d", c.Engine, c.Workers)] = c
+		fmt.Printf("  %-9s %8d %12.0f %12.3f %9d %9d %10d\n",
+			c.Engine, c.Workers, c.OpsPerSec, c.Seconds, c.Hits, c.Loads, c.Coalesced)
+	}
+
+	// The gate the refactor is sold on: the sharded store at the widest
+	// worker count against the old design driven by one worker.
+	maxW := cfg.workersList[len(cfg.workersList)-1]
+	base := byCell["baseline.w1"]
+	wide := byCell[fmt.Sprintf("sharded.w%d", maxW)]
+	speedup := 0.0
+	if base.OpsPerSec > 0 {
+		speedup = wide.OpsPerSec / base.OpsPerSec
+	}
+	fmt.Printf("\n  sharded @%d workers vs single-mutex @1: %.2fx\n", maxW, speedup)
+
+	if cfg.manifestPath != "" {
+		reg := obs.NewRegistry("hiergdd-store-bench")
+		man := obs.NewManifest("hiergdd-store-bench")
+		for _, c := range cells {
+			pre := fmt.Sprintf("bench.store.%s.w%d.", c.Engine, c.Workers)
+			reg.Gauge(pre + "ops_per_sec").Set(c.OpsPerSec)
+			reg.Gauge(pre + "seconds").Set(c.Seconds)
+			reg.Gauge(pre + "loads").Set(float64(c.Loads))
+			reg.Gauge(pre + "coalesced").Set(float64(c.Coalesced))
+		}
+		reg.Gauge("bench.store.speedup").Set(speedup)
+		man.SetConfig("store_capacity", cfg.capacity)
+		man.SetConfig("store_shards", cfg.shards)
+		man.SetConfig("store_policy", cfg.policy)
+		man.SetConfig("objects", cfg.objects)
+		man.SetConfig("object_bytes", cfg.objectBytes)
+		man.SetConfig("store_ops", cfg.ops)
+		man.SetConfig("store_load_delay", cfg.loadDelay.String())
+		man.SetConfig("store_workers", cfg.workersList)
+		man.SetConfig("seed", cfg.seed)
+		// The workload is fully synthetic and config-determined; the
+		// fingerprint hashes the generator parameters so benchdiff
+		// refuses to compare cells from different workloads.
+		man.Trace = map[string]any{
+			"fingerprint": fmt.Sprintf("store-bench:ops=%d,objects=%d,bytes=%d,delay=%s,seed=%d",
+				cfg.ops, cfg.objects, cfg.objectBytes, cfg.loadDelay, cfg.seed),
+			"requests": cfg.ops * len(cfg.workersList) * 2,
+		}
+		man.SetNote("store_bench", cells)
+		man.SetNote("speedup", speedup)
+		man.Finish(reg)
+		if err := man.WriteFile(cfg.manifestPath); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+		if _, err := obs.ReadManifestFile(cfg.manifestPath); err != nil {
+			return fmt.Errorf("manifest self-check: %w", err)
+		}
+		fmt.Printf("  manifest: %s\n", cfg.manifestPath)
+	}
+
+	if cfg.minSpeedup > 0 && speedup < cfg.minSpeedup {
+		return fmt.Errorf("store bench below the gate: %.2fx < %.2fx (sharded @%d workers vs baseline @1)",
+			speedup, cfg.minSpeedup, maxW)
+	}
+	return nil
+}

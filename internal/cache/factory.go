@@ -1,0 +1,73 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Policy factory registry: the sharded store (internal/store) and the
+// live daemons instantiate replacement policies by name, so a shard —
+// or a whole deployment — can run any registered policy instead of
+// being hardwired to greedy-dual.  Belady and the cost-benefit
+// placement are deliberately absent: both need the future request
+// sequence, which no online store has.
+
+// Factory builds a policy with the given capacity (bytes in the live
+// system, cache units in the simulator).
+type Factory func(capacity uint64) Policy
+
+var (
+	factoryMu sync.RWMutex
+	factories = map[string]Factory{
+		"gd":          func(c uint64) Policy { return NewGreedyDual(c) },
+		"greedy-dual": func(c uint64) Policy { return NewGreedyDual(c) },
+		"gdsf":        func(c uint64) Policy { return NewGDSF(c) },
+		"lru":         func(c uint64) Policy { return NewLRU(c) },
+		"lfu":         func(c uint64) Policy { return NewLFU(c) },
+		"perfect-lfu": func(c uint64) Policy { return NewPerfectLFU(c) },
+	}
+)
+
+// DefaultPolicy is the registry name the daemons fall back to: the
+// greedy-dual algorithm the paper runs everywhere (§4.4).
+const DefaultPolicy = "gd"
+
+// Register adds (or replaces) a named factory; extensions use it to
+// plug custom policies into the store and the daemons.
+func Register(name string, f Factory) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("cache: Register(%q) with empty name or nil factory", name)
+	}
+	factoryMu.Lock()
+	defer factoryMu.Unlock()
+	factories[name] = f
+	return nil
+}
+
+// New instantiates a registered policy by name ("" means
+// DefaultPolicy).
+func New(name string, capacity uint64) (Policy, error) {
+	if name == "" {
+		name = DefaultPolicy
+	}
+	factoryMu.RLock()
+	f, ok := factories[name]
+	factoryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cache: unknown policy %q (have %v)", name, PolicyNames())
+	}
+	return f(capacity), nil
+}
+
+// PolicyNames lists the registered policy names, sorted.
+func PolicyNames() []string {
+	factoryMu.RLock()
+	defer factoryMu.RUnlock()
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,56 @@
+package cache
+
+import (
+	"testing"
+
+	"webcache/internal/trace"
+)
+
+func TestFactoryNewInstantiatesEveryRegisteredPolicy(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := New(name, 100)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Capacity() != 100 {
+			t.Fatalf("New(%q).Capacity() = %d, want 100", name, p.Capacity())
+		}
+		if p.Access(1) {
+			t.Fatalf("New(%q): fresh policy reports a hit", name)
+		}
+		p.Add(Entry{Obj: 1, Size: 10, Cost: 1})
+		if !p.Access(1) {
+			t.Fatalf("New(%q): added object not accessible", name)
+		}
+	}
+}
+
+func TestFactoryDefaultAndUnknown(t *testing.T) {
+	p, err := New("", 50)
+	if err != nil {
+		t.Fatalf("New(\"\"): %v", err)
+	}
+	if _, ok := p.(*GreedyDual); !ok {
+		t.Fatalf("default policy is %T, want *GreedyDual", p)
+	}
+	if _, err := New("no-such-policy", 50); err == nil {
+		t.Fatal("New(no-such-policy) did not fail")
+	}
+}
+
+func TestFactoryRegister(t *testing.T) {
+	if err := Register("", nil); err == nil {
+		t.Fatal("Register with empty name/nil factory did not fail")
+	}
+	if err := Register("factory-test-lru", func(c uint64) Policy { return NewLRU(c) }); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	p, err := New("factory-test-lru", 10)
+	if err != nil {
+		t.Fatalf("New(registered): %v", err)
+	}
+	p.Add(Entry{Obj: trace.ObjectID(7), Size: 1, Cost: 1})
+	if !p.Contains(7) {
+		t.Fatal("registered factory policy does not work")
+	}
+}

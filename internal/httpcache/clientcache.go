@@ -2,17 +2,18 @@ package httpcache
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/bits"
 	"net/http"
 	"strconv"
-	"sync"
+	"sync/atomic"
 	"time"
 
-	"webcache/internal/cache"
 	"webcache/internal/obs"
 	"webcache/internal/pastry"
+	"webcache/internal/store"
 	"webcache/internal/trace"
 )
 
@@ -24,78 +25,27 @@ func fold(id pastry.ID) trace.ObjectID {
 	return trace.ObjectID(id[0] ^ bits.RotateLeft64(id[1], 31))
 }
 
-// storedObject is one cached HTTP body.
-type storedObject struct {
-	hexKey string
-	body   []byte
-	cost   float64
+// Options configures a daemon's data plane beyond the capacity: the
+// per-shard replacement policy (any cache.New registry name) and the
+// lock-stripe count of the concurrent store (internal/store).  The
+// zero value means greedy-dual with auto-sized sharding.
+type Options struct {
+	// CapacityBytes is the cache byte budget.
+	CapacityBytes uint64
+	// Policy names the replacement policy ("" = greedy-dual).
+	Policy string
+	// Shards is the store's lock-stripe count (0 = auto).
+	Shards int
 }
 
-// boundedStore is a mutex-guarded greedy-dual cache of HTTP bodies,
-// shared by the client-cache daemon and the proxy.
-type boundedStore struct {
-	mu     sync.Mutex
-	gd     *cache.GreedyDual
-	bodies map[trace.ObjectID]storedObject
-}
-
-func newBoundedStore(capacityBytes uint64) *boundedStore {
-	return &boundedStore{
-		gd:     cache.NewGreedyDual(capacityBytes),
-		bodies: make(map[trace.ObjectID]storedObject),
-	}
-}
-
-// get returns the object and refreshes its greedy-dual value.
-func (s *boundedStore) get(key trace.ObjectID) (storedObject, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.gd.Access(key) {
-		return storedObject{}, false
-	}
-	return s.bodies[key], true
-}
-
-// put stores an object and returns what was evicted to make room
-// (nothing when the object is oversized or already present — the
-// present case refreshes instead).
-func (s *boundedStore) put(key trace.ObjectID, obj storedObject) (evicted []storedObject, stored bool) {
-	size := uint32(len(obj.body))
-	if size == 0 {
-		size = 1
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.gd.Access(key) {
-		return nil, true
-	}
-	if uint64(size) > s.gd.Capacity() {
-		return nil, false
-	}
-	for _, ev := range s.gd.Add(cache.Entry{Obj: key, Size: size, Cost: obj.cost}) {
-		evicted = append(evicted, s.bodies[ev.Obj])
-		delete(s.bodies, ev.Obj)
-	}
-	s.bodies[key] = obj
-	return evicted, true
-}
-
-// hasFreeSpace reports whether size bytes fit without eviction.
-func (s *boundedStore) hasFreeSpace(size int) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sz := uint64(size)
-	if sz == 0 {
-		sz = 1
-	}
-	return s.gd.Used()+sz <= s.gd.Capacity()
-}
-
-// len reports the cached object count.
-func (s *boundedStore) len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.gd.Len()
+// newStore builds a daemon's sharded store from its options.
+func (o Options) newStore(label string) (*store.Store, error) {
+	return store.New(store.Config{
+		CapacityBytes: o.CapacityBytes,
+		Policy:        o.Policy,
+		Shards:        o.Shards,
+		Label:         label,
+	})
 }
 
 // StoreReceipt is the §4.3 store receipt a client cache returns to its
@@ -103,6 +53,9 @@ func (s *boundedStore) len() int {
 type StoreReceipt struct {
 	Stored  bool     `json:"stored"`
 	Evicted []string `json:"evicted,omitempty"` // hex objectIds
+	// Reason explains a refusal ("empty-object" for zero-length
+	// bodies, which are never cached — see store.ErrEmptyObject).
+	Reason string `json:"reason,omitempty"`
 }
 
 // ClientCacheStats is the daemon's /stats payload.
@@ -114,14 +67,17 @@ type ClientCacheStats struct {
 	Pushes  int `json:"pushes"`
 }
 
+// clientCounters is the lock-free backing for ClientCacheStats.
+type clientCounters struct {
+	hits, misses, stores, pushes atomic.Int64
+}
+
 // ClientCache is a browser-cache daemon: the cooperative partition of
 // one client machine's cache, serving its local proxy over HTTP.
 type ClientCache struct {
-	store  *boundedStore
+	store  *store.Store
 	client *http.Client
-
-	mu    sync.Mutex
-	stats ClientCacheStats
+	stats  clientCounters
 
 	// tracer and metrics are the observability hooks (obs.go).
 	tracer  *obs.Tracer
@@ -129,12 +85,27 @@ type ClientCache struct {
 }
 
 // NewClientCache creates a daemon with the given cooperative-partition
-// capacity in bytes.
+// capacity in bytes and default options (greedy-dual, auto sharding).
 func NewClientCache(capacityBytes uint64) *ClientCache {
-	return &ClientCache{
-		store:  newBoundedStore(capacityBytes),
-		client: &http.Client{Timeout: 5 * time.Second},
+	c, err := NewClientCacheOpts(Options{CapacityBytes: capacityBytes})
+	if err != nil {
+		panic(err) // unreachable: default options always construct
 	}
+	return c
+}
+
+// NewClientCacheOpts creates a daemon with explicit data-plane
+// options; it fails only on an unknown policy name or a bad shard
+// count.
+func NewClientCacheOpts(o Options) (*ClientCache, error) {
+	st, err := o.newStore("client-cache")
+	if err != nil {
+		return nil, err
+	}
+	return &ClientCache{
+		store:  st,
+		client: newHTTPClient(5 * time.Second),
+	}, nil
 }
 
 // Handler returns the daemon's HTTP interface:
@@ -172,12 +143,6 @@ func parseKey(r *http.Request) (pastry.ID, string, error) {
 	return pastry.IDFromBytes(raw[:]), hex, nil
 }
 
-func (c *ClientCache) bump(f func(*ClientCacheStats)) {
-	c.mu.Lock()
-	f(&c.stats)
-	c.mu.Unlock()
-}
-
 func (c *ClientCache) handleObject(w http.ResponseWriter, r *http.Request) {
 	id, _, err := parseKey(r)
 	if err != nil {
@@ -186,17 +151,17 @@ func (c *ClientCache) handleObject(w http.ResponseWriter, r *http.Request) {
 	}
 	st := traceStart(c.tracer, r, "object")
 	sp := st.StartSpan("client.object", "Tp2p")
-	obj, ok := c.store.get(fold(id))
+	obj, ok := c.store.Get(fold(id))
 	if !ok {
 		sp.EndWasted()
 		st.FinishWall("miss")
-		c.bump(func(s *ClientCacheStats) { s.Misses++ })
+		c.stats.misses.Add(1)
 		http.NotFound(w, r)
 		return
 	}
 	sp.End()
-	c.bump(func(s *ClientCacheStats) { s.Hits++ })
-	serve(w, obj.body, TierClientCache)
+	c.stats.hits.Add(1)
+	serve(w, obj.Body, TierClientCache)
 	st.FinishWall(TierClientCache)
 }
 
@@ -215,17 +180,23 @@ func (c *ClientCache) handleStore(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if r.URL.Query().Get("ifFree") == "1" && !c.store.hasFreeSpace(len(body)) {
+	folded := fold(id)
+	if r.URL.Query().Get("ifFree") == "1" && !c.store.FreeFor(folded, len(body)) {
 		// Diversion probe: this cache would have to evict; refuse so
 		// the sender can try a neighbour (§4.3).
 		http.Error(w, "no free space", http.StatusInsufficientStorage)
 		return
 	}
-	evicted, stored := c.store.put(fold(id), storedObject{hexKey: hex, body: body, cost: cost})
-	c.bump(func(s *ClientCacheStats) { s.Stores++ })
+	evicted, stored, err := c.store.Put(folded, store.Object{HexKey: hex, Body: body, Cost: cost})
+	c.stats.stores.Add(1)
 	receipt := StoreReceipt{Stored: stored}
+	if errors.Is(err, store.ErrEmptyObject) {
+		// Surfaced explicitly rather than coerced: a zero-length body
+		// is never cached, and the sender's directory must not list it.
+		receipt.Reason = "empty-object"
+	}
 	for _, ev := range evicted {
-		receipt.Evicted = append(receipt.Evicted, ev.hexKey)
+		receipt.Evicted = append(receipt.Evicted, ev.HexKey)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(receipt)
@@ -244,7 +215,7 @@ func (c *ClientCache) handlePush(w http.ResponseWriter, r *http.Request) {
 	}
 	st := traceStart(c.tracer, r, "push")
 	sp := st.StartSpan("client.push", "Tp2p")
-	obj, ok := c.store.get(fold(id))
+	obj, ok := c.store.Get(fold(id))
 	if !ok {
 		sp.EndWasted()
 		st.FinishWall("miss")
@@ -254,7 +225,7 @@ func (c *ClientCache) handlePush(w http.ResponseWriter, r *http.Request) {
 	// The push (§4.5): the client cache opens the connection to the
 	// proxy — never the other way around across organizations.  The
 	// trace id rides along so the accept-push hop stays in the trace.
-	req, err := http.NewRequest("POST", to, bytesReader(obj.body))
+	req, err := http.NewRequest("POST", to, bytesReader(obj.Body))
 	if err != nil {
 		sp.EndWasted()
 		st.FinishWall("error")
@@ -274,19 +245,29 @@ func (c *ClientCache) handlePush(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Body.Close()
 	sp.End()
-	c.bump(func(s *ClientCacheStats) { s.Pushes++ })
+	c.stats.pushes.Add(1)
 	w.WriteHeader(http.StatusNoContent)
 	st.FinishWall(TierPeerP2P)
 }
 
+// snapshotStats reads the lock-free counters into the /stats payload.
+func (c *ClientCache) snapshotStats() ClientCacheStats {
+	return ClientCacheStats{
+		Objects: c.store.Len(),
+		Hits:    int(c.stats.hits.Load()),
+		Misses:  int(c.stats.misses.Load()),
+		Stores:  int(c.stats.stores.Load()),
+		Pushes:  int(c.stats.pushes.Load()),
+	}
+}
+
 func (c *ClientCache) handleStats(w http.ResponseWriter, _ *http.Request) {
-	c.mu.Lock()
-	st := c.stats
-	c.mu.Unlock()
-	st.Objects = c.store.len()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(st)
+	json.NewEncoder(w).Encode(c.snapshotStats())
 }
 
 // Objects reports the current cached-object count (tests).
-func (c *ClientCache) Objects() int { return c.store.len() }
+func (c *ClientCache) Objects() int { return c.store.Len() }
+
+// Store exposes the daemon's sharded store (tests and telemetry).
+func (c *ClientCache) Store() *store.Store { return c.store }

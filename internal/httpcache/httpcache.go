@@ -121,6 +121,17 @@ func (r *ring) owner(key pastry.ID) (string, bool) {
 	return r.addrs[best], true
 }
 
+// addresses snapshots the registered cache addresses (liveness sweep).
+func (r *ring) addresses() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.ids))
+	for _, id := range r.ids {
+		out = append(out, r.addrs[id])
+	}
+	return out
+}
+
 // size reports the number of registered caches.
 func (r *ring) size() int {
 	r.mu.RLock()

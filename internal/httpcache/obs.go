@@ -19,14 +19,22 @@ const TraceHeader = "X-Webcache-Trace"
 func (p *Proxy) SetTracer(t *obs.Tracer) { p.tracer = t }
 
 // SetMetrics attaches the registry backing the /metrics endpoint; nil
-// leaves /metrics serving an empty (but valid) exposition.
-func (p *Proxy) SetMetrics(reg *obs.Registry) { p.metrics = reg }
+// leaves /metrics serving an empty (but valid) exposition.  The store
+// layer's own instruments (store.*) attach to the same registry.
+func (p *Proxy) SetMetrics(reg *obs.Registry) {
+	p.metrics = reg
+	p.store.SetMetrics(reg)
+}
 
 // SetTracer attaches a span tracer (wall clock); nil disables tracing.
 func (c *ClientCache) SetTracer(t *obs.Tracer) { c.tracer = t }
 
-// SetMetrics attaches the registry backing the daemon's /metrics.
-func (c *ClientCache) SetMetrics(reg *obs.Registry) { c.metrics = reg }
+// SetMetrics attaches the registry backing the daemon's /metrics.  The
+// store layer's own instruments (store.*) attach to the same registry.
+func (c *ClientCache) SetMetrics(reg *obs.Registry) {
+	c.metrics = reg
+	c.store.SetMetrics(reg)
+}
 
 // traceStart opens a request's span trace: joining the caller's trace
 // when it propagated TraceHeader, else head-sampling a fresh one.
@@ -54,12 +62,15 @@ func (p *Proxy) publishStats() {
 	g("client_hits", st.ClientHits)
 	g("remote_hits", st.RemoteHits)
 	g("origin_fetches", st.OriginFetch)
+	g("coalesced_fetches", st.CoalescedFetches)
 	g("pass_downs", st.PassDowns)
 	g("diversions", st.Diversions)
 	g("diverted_hits", st.DivertedHits)
 	g("pushes_in", st.PushesIn)
+	g("swept_caches", st.SweptCaches)
 	g("directory_entries", st.DirEntries)
 	g("client_caches", p.ring.size())
+	p.store.PublishMetrics()
 }
 
 func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -74,15 +85,14 @@ func (c *ClientCache) publishStats() {
 	if reg == nil {
 		return
 	}
-	c.mu.Lock()
-	st := c.stats
-	c.mu.Unlock()
+	st := c.snapshotStats()
 	g := func(name string, v int) { reg.Gauge("httpcache.cache." + name).Set(float64(v)) }
-	g("objects", c.store.len())
+	g("objects", st.Objects)
 	g("hits", st.Hits)
 	g("misses", st.Misses)
 	g("stores", st.Stores)
 	g("pushes", st.Pushes)
+	c.store.PublishMetrics()
 }
 
 func (c *ClientCache) handleMetrics(w http.ResponseWriter, r *http.Request) {

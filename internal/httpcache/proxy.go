@@ -14,6 +14,7 @@ import (
 	"webcache/internal/directory"
 	"webcache/internal/obs"
 	"webcache/internal/pastry"
+	"webcache/internal/store"
 )
 
 // bytesReader avoids importing bytes in two files.
@@ -27,28 +28,50 @@ type ProxyStats struct {
 	ClientHits  int `json:"client_hits"`
 	RemoteHits  int `json:"remote_hits"`
 	OriginFetch int `json:"origin_fetches"`
-	PassDowns   int `json:"pass_downs"`
-	Diversions  int `json:"diversions"`
+	// CoalescedFetches counts requests served from another request's
+	// in-flight origin fetch (singleflight miss coalescing): a
+	// thundering herd of N requests on one URL costs one OriginFetch
+	// and N-1 CoalescedFetches.
+	CoalescedFetches int `json:"coalesced_fetches"`
+	PassDowns        int `json:"pass_downs"`
+	Diversions       int `json:"diversions"`
 	// DivertedHits counts client-cache hits served through the
 	// diversion passthrough: the owner missed but a ring neighbour
 	// (where an ifFree store diverted the object) had it.
 	DivertedHits int `json:"diverted_hits"`
 	PushesIn     int `json:"pushes_in"`
-	DirEntries   int `json:"directory_entries"`
-	ClientPool   int `json:"client_caches"`
+	// SweptCaches counts client-cache daemons the liveness sweep
+	// deregistered after a failed probe.
+	SweptCaches int `json:"swept_caches"`
+	DirEntries  int `json:"directory_entries"`
+	ClientPool  int `json:"client_caches"`
+}
+
+// proxyCounters is the lock-free backing for ProxyStats: every
+// request-path bump is one atomic add, so the stats no longer
+// serialize the data plane the way the old mutex-guarded struct did.
+type proxyCounters struct {
+	requests, proxyHits, clientHits, remoteHits, originFetch,
+	coalesced, passDowns, diversions, divertedHits, pushesIn,
+	swept atomic.Int64
 }
 
 // Proxy is the caching forward proxy of the paper's architecture: a
-// greedy-dual cache whose evictions destage into the registered client
+// sharded cache whose evictions destage into the registered client
 // caches, with a lookup directory and inter-proxy cooperation.
 type Proxy struct {
-	store  *boundedStore
+	store  *store.Store
 	ring   *ring
 	client *http.Client
+	// probeClient is the liveness sweep's short-deadline client; a
+	// probe that cannot connect within its timeout marks the daemon
+	// dead.  It shares the tuned transport shape (transport.go).
+	probeClient *http.Client
+
+	stats proxyCounters
 
 	mu    sync.Mutex
 	dir   directory.Directory
-	stats ProxyStats
 	peers []string // cooperating proxies' base URLs
 	self  string   // this proxy's base URL (for push-back addressing)
 
@@ -61,14 +84,30 @@ type Proxy struct {
 	metrics *obs.Registry
 }
 
-// NewProxy creates a proxy with the given cache capacity in bytes.
+// NewProxy creates a proxy with the given cache capacity in bytes and
+// default options (greedy-dual, auto sharding).
 func NewProxy(capacityBytes uint64) *Proxy {
-	return &Proxy{
-		store:  newBoundedStore(capacityBytes),
-		ring:   newRing(),
-		dir:    directory.NewExact(),
-		client: &http.Client{Timeout: 10 * time.Second},
+	p, err := NewProxyOpts(Options{CapacityBytes: capacityBytes})
+	if err != nil {
+		panic(err) // unreachable: default options always construct
 	}
+	return p
+}
+
+// NewProxyOpts creates a proxy with explicit data-plane options; it
+// fails only on an unknown policy name or a bad shard count.
+func NewProxyOpts(o Options) (*Proxy, error) {
+	st, err := o.newStore("proxy")
+	if err != nil {
+		return nil, err
+	}
+	return &Proxy{
+		store:       st,
+		ring:        newRing(),
+		dir:         directory.NewExact(),
+		client:      newHTTPClient(10 * time.Second),
+		probeClient: newHTTPClient(2 * time.Second),
+	}, nil
 }
 
 // SetSelf tells the proxy its own externally reachable base URL
@@ -82,6 +121,9 @@ func (p *Proxy) SetPeers(urls []string) {
 	defer p.mu.Unlock()
 	p.peers = append([]string(nil), urls...)
 }
+
+// Store exposes the proxy's sharded store (tests and telemetry).
+func (p *Proxy) Store() *store.Store { return p.store }
 
 // Handler returns the proxy's HTTP interface:
 //
@@ -99,12 +141,6 @@ func (p *Proxy) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", p.handleStats)
 	mux.HandleFunc("GET /metrics", p.handleMetrics)
 	return mux
-}
-
-func (p *Proxy) bump(f func(*ProxyStats)) {
-	p.mu.Lock()
-	f(&p.stats)
-	p.mu.Unlock()
 }
 
 func (p *Proxy) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -130,17 +166,17 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing url", http.StatusBadRequest)
 		return
 	}
-	p.bump(func(s *ProxyStats) { s.Requests++ })
+	p.stats.requests.Add(1)
 	id := keyOf(url)
 	folded := fold(id)
 	st := traceStart(p.tracer, r, "fetch")
 
 	// 1. Proxy cache.
 	probe := st.StartSpan("proxy.cache", "Tl")
-	if obj, ok := p.store.get(folded); ok {
+	if obj, ok := p.store.Get(folded); ok {
 		probe.End()
-		p.bump(func(s *ProxyStats) { s.ProxyHits++ })
-		serve(w, obj.body, TierProxy)
+		p.stats.proxyHits.Add(1)
+		serve(w, obj.Body, TierProxy)
 		st.FinishWall(TierProxy)
 		return
 	}
@@ -155,7 +191,7 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 			lan := st.StartSpan("client.fetch", "Tp2p")
 			if body, ok := p.lanFetch(addr, id, st.TraceID()); ok {
 				lan.End()
-				p.bump(func(s *ProxyStats) { s.ClientHits++ })
+				p.stats.clientHits.Add(1)
 				serve(w, body, TierClientCache)
 				st.FinishWall(TierClientCache)
 				return
@@ -168,7 +204,8 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 				div := st.StartSpan("client.fetch.divert", "Tp2p")
 				if body, ok := p.lanFetch(alt, id, st.TraceID()); ok {
 					div.End()
-					p.bump(func(s *ProxyStats) { s.ClientHits++; s.DivertedHits++ })
+					p.stats.clientHits.Add(1)
+					p.stats.divertedHits.Add(1)
 					serve(w, body, TierClientCache)
 					st.FinishWall(TierClientCache)
 					return
@@ -191,7 +228,7 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 		body, ok := p.peerLookup(peer, id, st.TraceID())
 		if ok {
 			look.End()
-			p.bump(func(s *ProxyStats) { s.RemoteHits++ })
+			p.stats.remoteHits.Add(1)
 			p.insertAndDestage(url, body, remoteCost)
 			serve(w, body, TierRemoteProxy)
 			st.FinishWall(TierRemoteProxy)
@@ -200,28 +237,57 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 		look.EndWasted()
 	}
 
-	// 4. Origin.
+	// 4. Origin, through the coalescer: concurrent misses on one URL
+	// share a single origin fetch (the winner inserts and destages;
+	// every waiter serves the winner's body).
 	org := st.StartSpan("origin.fetch", "Ts")
-	resp, err := p.client.Get(url)
+	view, err := p.store.GetOrLoad(folded, func() (store.Object, string, error) {
+		body, ferr := p.originFetch(url)
+		if ferr != nil {
+			return store.Object{}, "", ferr
+		}
+		p.stats.originFetch.Add(1)
+		return store.Object{HexKey: id.String(), Body: body, Cost: originCost}, TierOrigin, nil
+	})
 	if err != nil {
 		org.EndWasted()
 		st.FinishWall("error")
 		http.Error(w, "origin fetch: "+err.Error(), http.StatusBadGateway)
 		return
 	}
+	org.End()
+	switch view.Outcome {
+	case store.OutcomeHit:
+		// Another request's insert landed between step 1 and here: a
+		// proxy cache hit after all.
+		p.stats.proxyHits.Add(1)
+		serve(w, view.Object.Body, TierProxy)
+		st.FinishWall(TierProxy)
+	case store.OutcomeCoalesced:
+		p.stats.coalesced.Add(1)
+		serve(w, view.Object.Body, view.Tag)
+		st.FinishWall(view.Tag)
+	default: // store.OutcomeLoaded: the flight winner destages.
+		for _, ev := range view.Evicted {
+			p.passDown(ev)
+		}
+		serve(w, view.Object.Body, TierOrigin)
+		st.FinishWall(TierOrigin)
+	}
+}
+
+// originFetch GETs the object body from its origin server.
+func (p *Proxy) originFetch(url string) ([]byte, error) {
+	resp, err := p.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
 	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil || resp.StatusCode != http.StatusOK {
-		org.EndWasted()
-		st.FinishWall("error")
-		http.Error(w, fmt.Sprintf("origin status %d", resp.StatusCode), http.StatusBadGateway)
-		return
+		return nil, fmt.Errorf("origin status %d", resp.StatusCode)
 	}
-	org.End()
-	p.bump(func(s *ProxyStats) { s.OriginFetch++ })
-	p.insertAndDestage(url, body, originCost)
-	serve(w, body, TierOrigin)
-	st.FinishWall(TierOrigin)
+	return body, nil
 }
 
 // peerLookup asks one cooperating proxy for an object, forwarding the
@@ -286,17 +352,21 @@ func (p *Proxy) lanFetch(addr string, id pastry.ID, traceID string) ([]byte, boo
 // insertAndDestage caches a fetched object at the proxy and passes any
 // evicted objects down into the client caches (§4.3 with the
 // diversion probe), updating the directory from the store receipts.
+// Empty bodies are served without caching (store.ErrEmptyObject).
 func (p *Proxy) insertAndDestage(url string, body []byte, cost float64) {
 	id := keyOf(url)
-	evicted, _ := p.store.put(fold(id), storedObject{hexKey: id.String(), body: body, cost: cost})
+	evicted, _, err := p.store.Put(fold(id), store.Object{HexKey: id.String(), Body: body, Cost: cost})
+	if err != nil {
+		return
+	}
 	for _, ev := range evicted {
 		p.passDown(ev)
 	}
 }
 
 // passDown routes one evicted object to its destination client cache.
-func (p *Proxy) passDown(obj storedObject) {
-	addr, ok := p.ring.owner(keyFromHex(obj.hexKey))
+func (p *Proxy) passDown(obj store.Object) {
+	addr, ok := p.ring.owner(keyFromHex(obj.HexKey))
 	if !ok {
 		return // no client caches registered: the object is dropped
 	}
@@ -304,11 +374,11 @@ func (p *Proxy) passDown(obj storedObject) {
 	// ring neighbours (the HTTP stand-in for the leaf set) before
 	// forcing a replacement at the destination.
 	tryStore := func(target string, ifFree bool) (*StoreReceipt, bool) {
-		u := fmt.Sprintf("http://%s/store?key=%s&cost=%g", target, obj.hexKey, obj.cost)
+		u := fmt.Sprintf("http://%s/store?key=%s&cost=%g", target, obj.HexKey, obj.Cost)
 		if ifFree {
 			u += "&ifFree=1"
 		}
-		resp, err := p.client.Post(u, "application/octet-stream", bytesReader(obj.body))
+		resp, err := p.client.Post(u, "application/octet-stream", bytesReader(obj.Body))
 		if err != nil {
 			p.ring.remove(target) // crashed daemon: drop from the ring
 			return nil, false
@@ -327,7 +397,7 @@ func (p *Proxy) passDown(obj storedObject) {
 	if !ok {
 		for _, alt := range p.ringNeighbours(addr) {
 			if rec, ok = tryStore(alt, true); ok {
-				p.bump(func(s *ProxyStats) { s.Diversions++ })
+				p.stats.diversions.Add(1)
 				break
 			}
 		}
@@ -339,10 +409,10 @@ func (p *Proxy) passDown(obj storedObject) {
 			return
 		}
 	}
-	p.bump(func(s *ProxyStats) { s.PassDowns++ })
+	p.stats.passDowns.Add(1)
 	p.mu.Lock()
 	if rec.Stored {
-		p.dir.Add(fold(keyFromHex(obj.hexKey)))
+		p.dir.Add(fold(keyFromHex(obj.HexKey)))
 	}
 	for _, evHex := range rec.Evicted {
 		p.dir.Remove(fold(keyFromHex(evHex)))
@@ -367,6 +437,50 @@ func (p *Proxy) ringNeighbours(exclude string) []string {
 	return out
 }
 
+// SweepClientCaches probes every registered client-cache daemon once
+// (GET /stats on the short-deadline probe client) and deregisters the
+// ones that do not answer, so a crashed daemon stops poisoning its
+// key range (its keys re-home to the ring neighbours).  It returns
+// the deregistered addresses.
+func (p *Proxy) SweepClientCaches() []string {
+	var removed []string
+	for _, addr := range p.ring.addresses() {
+		resp, err := p.probeClient.Get(fmt.Sprintf("http://%s/stats", addr))
+		if err != nil {
+			p.ring.remove(addr)
+			p.stats.swept.Add(1)
+			removed = append(removed, addr)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	return removed
+}
+
+// StartSweeper runs SweepClientCaches every interval until the
+// returned stop func is called.  The passive paths (lanFetch and
+// pass-down connection failures) already deregister daemons they
+// catch dying; the sweep is the active guarantee that a daemon
+// crashing while idle is still evicted from the ring.
+func (p *Proxy) StartSweeper(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				p.SweepClientCaches()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
 // handlePeerLookup serves a cooperating proxy: from the local proxy
 // cache directly, or from the P2P client cache via the push mechanism
 // (§4.5) — the client cache connects *out* to this proxy, which then
@@ -380,9 +494,9 @@ func (p *Proxy) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
 	folded := fold(id)
 	st := traceStart(p.tracer, r, "peer-lookup")
 	probe := st.StartSpan("proxy.cache", "Tl")
-	if obj, ok := p.store.get(folded); ok {
+	if obj, ok := p.store.Get(folded); ok {
 		probe.End()
-		serve(w, obj.body, TierPeerProxy)
+		serve(w, obj.Body, TierPeerProxy)
 		st.FinishWall(TierPeerProxy)
 		return
 	}
@@ -442,7 +556,7 @@ func (p *Proxy) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
 	select {
 	case body := <-ch:
 		push.End()
-		p.bump(func(s *ProxyStats) { s.PushesIn++ })
+		p.stats.pushesIn.Add(1)
 		serve(w, body, TierPeerP2P)
 		st.FinishWall(TierPeerP2P)
 	case <-time.After(3 * time.Second):
@@ -471,13 +585,25 @@ func (p *Proxy) handleAcceptPush(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// snapshotStats copies the counters under the lock.
+// snapshotStats reads the lock-free counters into the /stats payload.
 func (p *Proxy) snapshotStats() ProxyStats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	st := p.stats
-	st.DirEntries = p.dir.Len()
-	return st
+	dirLen := p.dir.Len()
+	p.mu.Unlock()
+	return ProxyStats{
+		Requests:         int(p.stats.requests.Load()),
+		ProxyHits:        int(p.stats.proxyHits.Load()),
+		ClientHits:       int(p.stats.clientHits.Load()),
+		RemoteHits:       int(p.stats.remoteHits.Load()),
+		OriginFetch:      int(p.stats.originFetch.Load()),
+		CoalescedFetches: int(p.stats.coalesced.Load()),
+		PassDowns:        int(p.stats.passDowns.Load()),
+		Diversions:       int(p.stats.diversions.Load()),
+		DivertedHits:     int(p.stats.divertedHits.Load()),
+		PushesIn:         int(p.stats.pushesIn.Load()),
+		SweptCaches:      int(p.stats.swept.Load()),
+		DirEntries:       dirLen,
+	}
 }
 
 func (p *Proxy) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -1,12 +1,17 @@
 package httpcache
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"net/url"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // A crashed client-cache daemon must not break the proxy: the stale
@@ -78,5 +83,163 @@ func TestConcurrentFetches(t *testing.T) {
 	close(errs)
 	for e := range errs {
 		t.Error(e)
+	}
+}
+
+// The liveness sweep must evict a daemon that crashed while idle —
+// one the passive paths (lanFetch / pass-down failures) never touch.
+func TestLivenessSweep(t *testing.T) {
+	px := NewProxy(1 << 20)
+	live := NewClientCache(1 << 20)
+	liveSrv := httptest.NewServer(live.Handler())
+	t.Cleanup(liveSrv.Close)
+	deadSrv := httptest.NewServer(NewClientCache(1 << 20).Handler())
+	liveAddr := strings.TrimPrefix(liveSrv.URL, "http://")
+	deadAddr := strings.TrimPrefix(deadSrv.URL, "http://")
+	px.ring.add(liveAddr)
+	px.ring.add(deadAddr)
+	deadSrv.Close() // crash while idle: no request ever observes it
+
+	removed := px.SweepClientCaches()
+	if len(removed) != 1 || removed[0] != deadAddr {
+		t.Fatalf("sweep removed %v, want [%s]", removed, deadAddr)
+	}
+	if px.ring.size() != 1 {
+		t.Fatalf("ring size = %d after sweep, want 1", px.ring.size())
+	}
+	if got := px.ring.addresses(); len(got) != 1 || got[0] != liveAddr {
+		t.Fatalf("survivor = %v, want [%s]", got, liveAddr)
+	}
+	if st := px.snapshotStats(); st.SweptCaches != 1 {
+		t.Fatalf("swept_caches = %d, want 1", st.SweptCaches)
+	}
+	// A second sweep finds everyone healthy: idempotent.
+	if removed := px.SweepClientCaches(); len(removed) != 0 {
+		t.Fatalf("second sweep removed %v", removed)
+	}
+}
+
+// The background sweeper drives the same probe on a ticker and stops
+// cleanly (stop is idempotent).
+func TestStartSweeper(t *testing.T) {
+	px := NewProxy(1 << 20)
+	deadSrv := httptest.NewServer(NewClientCache(1 << 20).Handler())
+	deadAddr := strings.TrimPrefix(deadSrv.URL, "http://")
+	px.ring.add(deadAddr)
+	deadSrv.Close()
+
+	stop := px.StartSweeper(5 * time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for px.ring.size() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweeper never removed the dead daemon")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+}
+
+// A thundering herd on one cold URL must cost exactly one origin
+// fetch: the flight winner fetches, every concurrent miss coalesces
+// onto it (or lands a proxy hit if it arrives after the insert).
+func TestCoalescedOriginFetch(t *testing.T) {
+	gate := make(chan struct{})
+	var originHits atomic.Int64
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		originHits.Add(1)
+		<-gate
+		fmt.Fprintf(w, "content-of:%s", r.URL.Path)
+	}))
+	t.Cleanup(origin.Close)
+
+	px := NewProxy(1 << 20)
+	pxSrv := httptest.NewServer(px.Handler())
+	t.Cleanup(pxSrv.Close)
+	px.SetSelf(pxSrv.URL)
+
+	const K = 16
+	u := fmt.Sprintf("%s/fetch?url=%s", pxSrv.URL, url.QueryEscape(origin.URL+"/herd"))
+	bodies := make(chan string, K)
+	errs := make(chan error, K)
+	for i := 0; i < K; i++ {
+		go func() {
+			resp, err := http.Get(u)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs <- err
+				return
+			}
+			bodies <- string(b)
+		}()
+	}
+	// Hold the gate until every request has entered the proxy and the
+	// winner is parked inside the origin handler, then give the
+	// followers a beat to reach the coalescer before releasing.
+	deadline := time.Now().Add(5 * time.Second)
+	for px.stats.requests.Load() != K || originHits.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("herd never formed: requests=%d originHits=%d",
+				px.stats.requests.Load(), originHits.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(gate)
+
+	for i := 0; i < K; i++ {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case b := <-bodies:
+			if b != "content-of:/herd" {
+				t.Fatalf("body %q", b)
+			}
+		}
+	}
+	if n := originHits.Load(); n != 1 {
+		t.Fatalf("origin hits = %d, want 1 (herd not coalesced)", n)
+	}
+	st := px.snapshotStats()
+	if st.OriginFetch != 1 {
+		t.Fatalf("origin_fetches = %d, want 1", st.OriginFetch)
+	}
+	if st.CoalescedFetches+st.ProxyHits != K-1 {
+		t.Fatalf("coalesced (%d) + proxy hits (%d) = %d, want %d",
+			st.CoalescedFetches, st.ProxyHits, st.CoalescedFetches+st.ProxyHits, K-1)
+	}
+	if st.CoalescedFetches == 0 {
+		t.Fatal("no request coalesced onto the in-flight fetch")
+	}
+}
+
+// A zero-length body is served but never cached, and the store
+// receipt says so explicitly instead of silently coercing the size.
+func TestEmptyBodyStoreReceipt(t *testing.T) {
+	cc := NewClientCache(1 << 20)
+	srv := httptest.NewServer(cc.Handler())
+	t.Cleanup(srv.Close)
+	key := keyOf("http://origin.test/empty").String()
+	resp, err := http.Post(fmt.Sprintf("%s/store?key=%s&cost=1", srv.URL, key),
+		"application/octet-stream", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rec StoreReceipt
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Stored || rec.Reason != "empty-object" {
+		t.Fatalf("receipt = %+v, want refused with reason empty-object", rec)
+	}
+	if cc.Objects() != 0 {
+		t.Fatal("empty object cached")
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"net/url"
 	"strings"
 	"testing"
+
+	"webcache/internal/store"
 )
 
 // get issues a GET and returns (status, tier header).
@@ -126,7 +128,7 @@ func TestDiversionPassthrough(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	px.passDown(storedObject{hexKey: id.String(), body: []byte("abcdefghij"), cost: 1})
+	px.passDown(store.Object{HexKey: id.String(), Body: []byte("abcdefghij"), Cost: 1})
 	if st := px.snapshotStats(); st.Diversions != 1 {
 		t.Fatalf("diversions = %d, want 1 (owner %s of %v)", st.Diversions, owner, addrs)
 	}

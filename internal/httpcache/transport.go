@@ -1,0 +1,31 @@
+package httpcache
+
+import (
+	"net/http"
+	"time"
+)
+
+// NewTransport returns the tuned *http.Transport every component of
+// the live system shares the shape of: the proxy's outbound client
+// (origin fetches, LAN fetches, peer lookups, pass-downs), the
+// client-cache daemon's push client, and the load generator's driver
+// (internal/loadgen).
+//
+// The stock http.DefaultTransport keeps only 2 idle connections per
+// host (MaxIdleConnsPerHost), so under load every hot peer or origin
+// serializes on two pooled connections and the rest of the traffic
+// pays a fresh TCP handshake per request.  A proxy's outbound fan-in
+// concentrates on a handful of hosts — its client caches, its peers,
+// the origins — which is exactly the topology that default starves.
+func NewTransport() *http.Transport {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 0 // no global cap; the per-host limit governs
+	tr.MaxIdleConnsPerHost = 256
+	tr.IdleConnTimeout = 90 * time.Second
+	return tr
+}
+
+// newHTTPClient builds a client on a fresh tuned transport.
+func newHTTPClient(timeout time.Duration) *http.Client {
+	return &http.Client{Timeout: timeout, Transport: NewTransport()}
+}

@@ -1,0 +1,46 @@
+package invariant
+
+// Cross-shard reconciliation for the sharded store (internal/store):
+// the store keeps cross-shard Used()/Len() totals in atomics so the
+// hot path never takes more than one shard lock, which means the
+// totals can silently drift from the per-shard ground truth if any
+// update path forgets its delta.  This check re-derives the totals
+// from a locked per-shard snapshot and compares.
+
+// ShardSnapshot is one shard's locked accounting snapshot.
+type ShardSnapshot struct {
+	Used     uint64
+	Capacity uint64
+	Len      int
+}
+
+// CheckShardPartition verifies a sharded store's accounting against a
+// consistent per-shard snapshot:
+//
+//   - every shard respects its own budget (Used ≤ Capacity);
+//   - the shard budgets partition the configured total exactly
+//     (Σ Capacity == totalCapacity — no bytes lost to rounding);
+//   - the store's atomic totals reconcile with the shard sums
+//     (Σ Used == totalUsed, Σ Len == totalLen).
+//
+// label distinguishes multiple stores in violation details.
+func (c *Checker) CheckShardPartition(label string, shards []ShardSnapshot, totalUsed, totalCapacity uint64, totalLen int) {
+	if c == nil {
+		return
+	}
+	var sumUsed, sumCap uint64
+	sumLen := 0
+	for i, s := range shards {
+		c.assertf(s.Used <= s.Capacity, "store", "shard-budget",
+			"%s: shard %d used %d exceeds its budget %d", label, i, s.Used, s.Capacity)
+		sumUsed += s.Used
+		sumCap += s.Capacity
+		sumLen += s.Len
+	}
+	c.assertf(sumCap == totalCapacity, "store", "capacity-partition",
+		"%s: shard budgets sum to %d, configured capacity %d", label, sumCap, totalCapacity)
+	c.assertf(sumUsed == totalUsed, "store", "used-total",
+		"%s: shard used sums to %d, atomic total %d", label, sumUsed, totalUsed)
+	c.assertf(sumLen == totalLen, "store", "len-total",
+		"%s: shard lengths sum to %d, atomic total %d", label, sumLen, totalLen)
+}

@@ -134,13 +134,12 @@ type HTTPTarget struct {
 	Client *http.Client
 }
 
-// NewHTTPTarget builds a target with the given per-request timeout and
-// a transport sized for bench-grade connection reuse.
+// NewHTTPTarget builds a target with the given per-request timeout on
+// the daemons' shared tuned transport (httpcache.NewTransport): the
+// driver concentrates its whole request stream on a handful of proxy
+// hosts, the exact topology the stock per-host idle limit starves.
 func NewHTTPTarget(timeout time.Duration) *HTTPTarget {
-	tr := http.DefaultTransport.(*http.Transport).Clone()
-	tr.MaxIdleConns = 0
-	tr.MaxIdleConnsPerHost = 256
-	return &HTTPTarget{Client: &http.Client{Timeout: timeout, Transport: tr}}
+	return &HTTPTarget{Client: &http.Client{Timeout: timeout, Transport: httpcache.NewTransport()}}
 }
 
 // Do implements Target.

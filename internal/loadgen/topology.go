@@ -28,6 +28,11 @@ type TopologyConfig struct {
 	// caches hold exactly capacity_units objects, keeping the live
 	// topology unit-for-unit comparable with a sim capacity plan.
 	ObjectBytes int
+	// Policy and Shards pass through to every daemon's data plane
+	// (httpcache.Options): the replacement policy by registry name
+	// ("" = greedy-dual) and the store's lock-stripe count (0 = auto).
+	Policy string
+	Shards int
 	// Tracer, when non-nil, is shared by every daemon: each records its
 	// hop of a propagated trace id into the one collector (wall clock).
 	Tracer *obs.Tracer
@@ -96,7 +101,12 @@ func StartLoopback(cfg TopologyConfig) (*Topology, error) {
 		if err != nil {
 			return nil, err
 		}
-		px := httpcache.NewProxy(capBytes)
+		px, err := httpcache.NewProxyOpts(httpcache.Options{
+			CapacityBytes: capBytes, Policy: cfg.Policy, Shards: cfg.Shards,
+		})
+		if err != nil {
+			return nil, err
+		}
 		px.SetTracer(cfg.Tracer)
 		px.SetMetrics(cfg.Metrics)
 		ln, err := listen()
@@ -114,7 +124,12 @@ func StartLoopback(cfg TopologyConfig) (*Topology, error) {
 			return nil, err
 		}
 		for c := 0; c < cfg.CachesPerProxy; c++ {
-			cc := httpcache.NewClientCache(cacheBytes)
+			cc, err := httpcache.NewClientCacheOpts(httpcache.Options{
+				CapacityBytes: cacheBytes, Policy: cfg.Policy, Shards: cfg.Shards,
+			})
+			if err != nil {
+				return nil, err
+			}
 			cc.SetTracer(cfg.Tracer)
 			cc.SetMetrics(cfg.Metrics)
 			cln, err := listen()

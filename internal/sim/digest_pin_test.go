@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// TestResultDigestPinned pins a SHA-256 over the JSON-marshalled
+// Result of every scheme on a fixed ProWGen trace and configuration.
+// The simulator is single-threaded and seed-deterministic, so this
+// digest must never move unless a simulator change is intended — in
+// particular, refactors of the live data plane (internal/store,
+// internal/httpcache) must leave it bit-identical.  When a deliberate
+// simulator change lands, re-pin by running the test and copying the
+// digest from the failure message.
+func TestResultDigestPinned(t *testing.T) {
+	const pinned = "70e3fbd66d0391f5b7dc35f8fb6ba8bd9b7baa9e0c3e962aa073d2e6c893a939"
+
+	tr := testTrace(t, 1)
+	h := sha256.New()
+	for _, s := range AllSchemes() {
+		res := run(t, tr, Config{
+			Scheme:            s,
+			ProxyCacheFrac:    0.3,
+			ClientsPerCluster: 16,
+			Seed:              1,
+		})
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(h, "%s:%s\n", s, blob)
+	}
+	got := hex.EncodeToString(h.Sum(nil))
+	if got != pinned {
+		t.Fatalf("simulator results digest moved:\n  got  %s\n  want %s\n"+
+			"every scheme's Result changed bit-for-bit identity; if this is an intended simulator change, re-pin the constant",
+			got, pinned)
+	}
+}

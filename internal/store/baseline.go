@@ -1,0 +1,109 @@
+package store
+
+import (
+	"sync"
+
+	"webcache/internal/cache"
+	"webcache/internal/trace"
+)
+
+// Baseline is the pre-sharding design the throughput bench compares
+// the Store against: one mutex in front of one policy instance, and
+// no miss coalescing — N concurrent misses on the same key run N
+// loader calls, exactly like the bounded store the live daemons used
+// to share.  It exists so the sharded store's multicore win is a
+// measured number (BENCH_store.json) rather than a claim, and so
+// behaviour-parity tests can diff the two implementations.
+type Baseline struct {
+	mu     sync.Mutex
+	policy cache.Policy
+	bodies map[trace.ObjectID]Object
+}
+
+// NewBaseline builds a single-mutex store with the named policy
+// ("" = cache.DefaultPolicy).
+func NewBaseline(capacityBytes uint64, policy string) (*Baseline, error) {
+	p, err := cache.New(policy, capacityBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Baseline{policy: p, bodies: make(map[trace.ObjectID]Object)}, nil
+}
+
+// Get returns the object and refreshes its replacement metadata.
+func (b *Baseline) Get(key trace.ObjectID) (Object, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.policy.Access(key) {
+		return Object{}, false
+	}
+	return b.bodies[key], true
+}
+
+// Put stores an object under the single lock, mirroring Store.Put's
+// contract (including ErrEmptyObject).
+func (b *Baseline) Put(key trace.ObjectID, obj Object) (evicted []Object, stored bool, err error) {
+	size := len(obj.Body)
+	if size == 0 {
+		return nil, false, ErrEmptyObject
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.policy.Access(key) {
+		return nil, true, nil
+	}
+	if uint64(size) > b.policy.Capacity() {
+		return nil, false, nil
+	}
+	for _, ev := range b.policy.Add(cache.Entry{Obj: key, Size: uint32(size), Cost: obj.Cost}) {
+		evicted = append(evicted, b.bodies[ev.Obj])
+		delete(b.bodies, ev.Obj)
+	}
+	b.bodies[key] = obj
+	return evicted, true, nil
+}
+
+// GetOrLoad is deliberately uncoalesced: every concurrent miss runs
+// its own loader call, the old design's thundering-herd behaviour.
+func (b *Baseline) GetOrLoad(key trace.ObjectID, loader Loader) (LoadView, error) {
+	if obj, ok := b.Get(key); ok {
+		return LoadView{Object: obj, Outcome: OutcomeHit}, nil
+	}
+	obj, tag, err := loader()
+	if err != nil {
+		return LoadView{Outcome: OutcomeLoaded}, err
+	}
+	view := LoadView{Object: obj, Tag: tag, Outcome: OutcomeLoaded}
+	if evicted, stored, perr := b.Put(key, obj); perr == nil {
+		view.Stored, view.Evicted = stored, evicted
+	}
+	return view, nil
+}
+
+// FreeFor reports whether size bytes fit without eviction.
+func (b *Baseline) FreeFor(_ trace.ObjectID, size int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.policy.Used()+uint64(size) <= b.policy.Capacity()
+}
+
+// Len reports the cached object count.
+func (b *Baseline) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.policy.Len()
+}
+
+// Used reports the resident bytes.
+func (b *Baseline) Used() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.policy.Used()
+}
+
+// Capacity is the configured byte budget.
+func (b *Baseline) Capacity() uint64 {
+	return b.policy.Capacity()
+}
+
+var _ Interface = (*Baseline)(nil)

@@ -39,6 +39,7 @@ import (
 	"io"
 	"net/http"
 
+	"webcache/internal/cache"
 	"webcache/internal/core"
 	"webcache/internal/invariant"
 	"webcache/internal/loadgen"
@@ -46,6 +47,7 @@ import (
 	"webcache/internal/obs"
 	"webcache/internal/prowgen"
 	"webcache/internal/sim"
+	"webcache/internal/store"
 	"webcache/internal/trace"
 )
 
@@ -310,7 +312,7 @@ func CheckDecomposition(m NetworkModel, d *LatencyDecomposition, tol float64) *D
 // exposition format; PrometheusHandler serves it over HTTP (the
 // hiergdd daemons' /metrics endpoint).
 func WritePrometheus(w io.Writer, reg *MetricsRegistry) error { return obs.WritePrometheus(w, reg) }
-func PrometheusHandler(reg *MetricsRegistry) http.Handler    { return obs.PrometheusHandler(reg) }
+func PrometheusHandler(reg *MetricsRegistry) http.Handler     { return obs.PrometheusHandler(reg) }
 
 // DiffManifests compares two run manifests (same schema, and same
 // workload fingerprint unless force) metric by metric — the engine
@@ -384,3 +386,32 @@ type (
 func Calibrate(tr *Trace, live *LoadResult, cfg Config, tolerance float64) (*CalibrationReport, error) {
 	return loadgen.Calibrate(tr, live, cfg, tolerance)
 }
+
+// Concurrent-store types (internal/store): the live daemons' data
+// plane — a sharded, lock-striped object store composing one
+// replacement policy per shard, with singleflight miss coalescing
+// (`hiergdd bench -store` measures it against the old single-mutex
+// design).
+type (
+	// ObjectStore is the sharded concurrent store.
+	ObjectStore = store.Store
+	// StoreConfig sizes and parameterizes an ObjectStore.
+	StoreConfig = store.Config
+	// StoredObject is one cached body with its wire key and cost.
+	StoredObject = store.Object
+	// StoreLoader fetches an object on a coalesced miss.
+	StoreLoader = store.Loader
+	// StoreLoadView is one GetOrLoad outcome (hit, loaded, coalesced).
+	StoreLoadView = store.LoadView
+)
+
+// ErrEmptyObject is returned by ObjectStore.Put for zero-length
+// bodies, which are never cached.
+var ErrEmptyObject = store.ErrEmptyObject
+
+// NewObjectStore builds a sharded concurrent store.
+func NewObjectStore(cfg StoreConfig) (*ObjectStore, error) { return store.New(cfg) }
+
+// CachePolicies lists the replacement-policy names the internal/cache
+// factory registry accepts (StoreConfig.Policy, hiergdd -policy).
+func CachePolicies() []string { return cache.PolicyNames() }
