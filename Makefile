@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench vet fuzz-smoke bench-smoke bench-diff store-bench trace-alloc
+.PHONY: all build test check race bench vet fuzz-smoke bench-smoke bench-diff store-bench disk-bench trace-alloc
 
 all: build test
 
@@ -24,7 +24,7 @@ vet:
 # daemons built on it).
 check: vet
 	$(GO) test -race ./internal/obs ./internal/invariant ./internal/sim \
-		./internal/store ./internal/httpcache
+		./internal/store ./internal/store/disk ./internal/httpcache
 
 # Ten seconds of each fuzz target (beyond replaying the checked-in
 # seed corpora, which plain `make test` already does).  FUZZTIME=1m
@@ -36,6 +36,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzRingChurn -fuzztime=$(FUZZTIME) ./internal/invariant
 	$(GO) test -run='^$$' -fuzz=FuzzTextCodec -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzBinaryCodec -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzRecord -fuzztime=$(FUZZTIME) ./internal/store/disk
+	$(GO) test -run='^$$' -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/store/disk
 
 race:
 	$(GO) test -race ./...
@@ -74,6 +76,18 @@ store-bench:
 	$(GO) run ./cmd/hiergdd bench -store -store-ops 4000 -store-load-delay 1ms \
 		-objects 512 -object-bytes 4096 -store-capacity 1048576 \
 		-store-workers 1,4,16 -store-min-speedup 2 -manifest BENCH_store.json
+
+# ~2s disk-tier benchmark: populate the append-only log through the
+# write-behind queue, sustain a closed-loop 90/10 read/write mix, then
+# close and reopen the store timing the journal replay — the recovery
+# rate a restarted daemon's time-to-serving depends on.  The reopen
+# runs with the invariant checker attached (crash-consistency gate).
+# Fails below 20k replayed objects/sec or 10k mixed ops/sec; writes
+# the BENCH_disk.json manifest (diffable run-to-run via cmd/benchdiff).
+disk-bench:
+	$(GO) run ./cmd/hiergdd bench -disk -objects 2000 -object-bytes 1024 \
+		-disk-ops 20000 -disk-workers 8 -disk-read-frac 0.9 \
+		-disk-min-recovery 20000 -disk-min-mixed 10000 -manifest BENCH_disk.json
 
 # The disabled-tracer cost gate: the nil tracer must stay zero-alloc
 # on the request path (also asserted by TestDisabledTracerZeroAlloc;

@@ -68,8 +68,34 @@ func runBench(args []string) error {
 	storeDelay := fs.Duration("store-load-delay", time.Millisecond, "simulated origin latency a cache miss's loader pays (store mode)")
 	storeWorkers := fs.String("store-workers", "1,4,16", "comma-separated closed-loop worker counts (store mode)")
 	storeMinSpeedup := fs.Float64("store-min-speedup", 0, "fail unless sharded@max-workers ops/sec >= this multiple of baseline@1 (0 = report only)")
+	// Disk-tier benchmark mode (-disk): populate / mixed / recovery
+	// against internal/store/disk instead of the HTTP topology.
+	diskMode := fs.Bool("disk", false, "run the disk-tier benchmark: write-behind throughput, mixed read/write, and recovery replay rate")
+	diskDir := fs.String("disk-dir", "", "disk bench directory (empty = fresh temp dir, removed afterwards)")
+	diskCapacity := fs.Uint64("disk-capacity", 1<<30, "disk-tier byte budget (disk mode)")
+	diskOps := fs.Int("disk-ops", 20000, "timed mixed-phase operations (disk mode)")
+	diskReadFrac := fs.Float64("disk-read-frac", 0.9, "fraction of mixed-phase operations that are reads (disk mode)")
+	diskWorkers := fs.Int("disk-workers", 8, "mixed-phase concurrency (disk mode)")
+	diskMinRecovery := fs.Float64("disk-min-recovery", 0, "fail unless recovery replays at least this many objects/sec (0 = report only)")
+	diskMinMixed := fs.Float64("disk-min-mixed", 0, "fail unless the mixed phase sustains at least this many ops/sec (0 = report only)")
 	fs.Parse(args)
 	startPprof(*pprofAddr)
+
+	if *diskMode {
+		return runDiskBench(diskBenchConfig{
+			dir:          *diskDir,
+			capacity:     *diskCapacity,
+			objects:      *objects,
+			objectBytes:  *objectBytes,
+			ops:          *diskOps,
+			readFrac:     *diskReadFrac,
+			workers:      *diskWorkers,
+			seed:         *seed,
+			minRecovery:  *diskMinRecovery,
+			minMixed:     *diskMinMixed,
+			manifestPath: *manifestPath,
+		})
+	}
 
 	if *storeMode {
 		wl, err := parseWorkersList(*storeWorkers)

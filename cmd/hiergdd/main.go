@@ -10,11 +10,20 @@
 //	hiergdd demo                     # whole topology in-process on localhost
 //	hiergdd bench -trace t.bin -rate 500 -duration 10s   # live load + calibration
 //	hiergdd bench -store             # store microbench: sharded vs single-mutex
+//	hiergdd bench -disk              # disk tier: write-behind, mixed load, recovery
 //
 // Both daemons take -policy (any internal/cache registry name) and
 // -shards (lock stripes of the internal/store data plane, 0 = auto);
 // the proxy additionally takes -sweep to probe registered client
 // caches periodically and deregister dead ones.
+//
+// Both daemons take -disk-dir to layer a persistent disk tier
+// (internal/store/disk) under the memory cache: acknowledged stores
+// ride a write-behind log, reads fall back to it on memory misses,
+// and a restart recovers the journal and serves the survivors
+// (-disk-cap bounds it; 0 = 16x -capacity).  A restarting cache
+// daemon re-registers its recovered objects with the proxy, so the
+// lookup directory re-learns what the cluster still holds.
 //
 // Both daemons accept -pprof addr to expose net/http/pprof on a side
 // listener (e.g. -pprof localhost:6060, then `go tool pprof
@@ -218,6 +227,8 @@ func runProxy(args []string) error {
 	sweep := fs.Duration("sweep", 0, "probe registered client caches this often and deregister dead ones (0 = passive detection only)")
 	self := fs.String("self", "", "externally reachable base URL (default derived from the bound address)")
 	peers := fs.String("peers", "", "comma-separated cooperating proxy base URLs")
+	diskDir := fs.String("disk-dir", "", "enable the persistent disk tier under this directory (recovered on boot)")
+	diskCap := fs.Uint64("disk-cap", 0, "disk-tier capacity in bytes (0 = 16x -capacity)")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	dobs := addObsFlags(fs)
@@ -231,10 +242,16 @@ func runProxy(args []string) error {
 	if *self != "" {
 		base = *self
 	}
+	// The registry is built before the proxy so the disk tier's
+	// recovery instruments (store.disk.replay.*) record boot progress.
+	tracer, reg, flush := dobs.build("proxy")
 	p, err := httpcache.NewProxyOpts(httpcache.Options{
-		CapacityBytes: *capacity,
-		Policy:        *policy,
-		Shards:        *shards,
+		CapacityBytes:     *capacity,
+		Policy:            *policy,
+		Shards:            *shards,
+		DiskDir:           *diskDir,
+		DiskCapacityBytes: *diskCap,
+		DiskMetrics:       reg,
 	})
 	if err != nil {
 		ln.Close()
@@ -244,7 +261,6 @@ func runProxy(args []string) error {
 	if *peers != "" {
 		p.SetPeers(strings.Split(*peers, ","))
 	}
-	tracer, reg, flush := dobs.build("proxy")
 	p.SetTracer(tracer)
 	p.SetMetrics(reg)
 	if *sweep > 0 {
@@ -253,7 +269,18 @@ func runProxy(args []string) error {
 	}
 	fmt.Printf("hiergdd proxy: listening on %s (self=%s, %d-byte cache, %s policy, %d shards)\n",
 		ln.Addr(), base, *capacity, p.Store().PolicyName(), p.Store().NumShards())
-	return serveDaemon(ln, p.Handler(), *drain, flush)
+	if *diskDir != "" {
+		fmt.Printf("hiergdd proxy: disk tier %s (%d-byte budget) recovered %d objects\n",
+			*diskDir, p.Disk().Capacity(), p.Disk().Recovered())
+	}
+	// The disk drain runs after the HTTP drain, so every insert an
+	// in-flight request acknowledged is journaled before exit.
+	return serveDaemon(ln, p.Handler(), *drain, func() {
+		flush()
+		if err := p.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "hiergdd: disk close:", err)
+		}
+	})
 }
 
 func runCache(args []string) error {
@@ -263,21 +290,26 @@ func runCache(args []string) error {
 	policy := fs.String("policy", "", "replacement policy (empty = greedy-dual; see internal/cache registry)")
 	shards := fs.Int("shards", 0, "store shard count (0 = auto-size from GOMAXPROCS)")
 	proxy := fs.String("proxy", "http://localhost:8080", "local proxy base URL")
+	diskDir := fs.String("disk-dir", "", "enable the persistent disk tier under this directory (recovered on boot)")
+	diskCap := fs.Uint64("disk-cap", 0, "disk-tier capacity in bytes (0 = 16x -capacity)")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	dobs := addObsFlags(fs)
 	fs.Parse(args)
 	startPprof(*pprofAddr)
 
+	tracer, reg, flush := dobs.build("cache")
 	cc, err := httpcache.NewClientCacheOpts(httpcache.Options{
-		CapacityBytes: *capacity,
-		Policy:        *policy,
-		Shards:        *shards,
+		CapacityBytes:     *capacity,
+		Policy:            *policy,
+		Shards:            *shards,
+		DiskDir:           *diskDir,
+		DiskCapacityBytes: *diskCap,
+		DiskMetrics:       reg,
 	})
 	if err != nil {
 		return err
 	}
-	tracer, reg, flush := dobs.build("cache")
 	cc.SetTracer(tracer)
 	cc.SetMetrics(reg)
 	ln, err := net.Listen("tcp", *listen)
@@ -285,14 +317,30 @@ func runCache(args []string) error {
 		return err
 	}
 	addr := ln.Addr().String()
-	if resp, err := http.Post(fmt.Sprintf("%s/register?addr=%s", *proxy, addr), "text/plain", nil); err != nil {
+	// A daemon restarting over its disk directory re-registers the
+	// recovered objects in the /register body, so the proxy's lookup
+	// directory re-learns what this partition still holds.
+	regBody, contentType := io.Reader(nil), "text/plain"
+	if rec := cc.RecoveredHexKeys(); len(rec) > 0 {
+		b, merr := json.Marshal(map[string][]string{"recovered": rec})
+		if merr == nil {
+			regBody, contentType = strings.NewReader(string(b)), "application/json"
+			fmt.Printf("hiergdd cache: disk tier %s recovered %d objects\n", *diskDir, len(rec))
+		}
+	}
+	if resp, err := http.Post(fmt.Sprintf("%s/register?addr=%s", *proxy, addr), contentType, regBody); err != nil {
 		ln.Close()
 		return fmt.Errorf("registering with proxy: %w", err)
 	} else {
 		resp.Body.Close()
 	}
 	fmt.Printf("hiergdd cache: %s registered with %s (%d-byte partition)\n", addr, *proxy, *capacity)
-	return serveDaemon(ln, cc.Handler(), *drain, flush)
+	return serveDaemon(ln, cc.Handler(), *drain, func() {
+		flush()
+		if err := cc.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "hiergdd: disk close:", err)
+		}
+	})
 }
 
 func runDemo(args []string) error {

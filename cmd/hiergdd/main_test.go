@@ -12,7 +12,9 @@ import (
 	"testing"
 	"time"
 
+	"webcache/internal/httpcache"
 	"webcache/internal/obs"
+	"webcache/internal/store/disk"
 )
 
 // serveDaemon must serve requests, then drain and return nil when the
@@ -158,6 +160,91 @@ func TestServeDaemonDrainFlushesExports(t *testing.T) {
 	}
 	if got := reg.Values()["trace.sampled"]; got < 1 {
 		t.Fatalf("trace.sampled = %v after flush, want >= 1", got)
+	}
+}
+
+// Graceful shutdown must not lose acknowledged stores: every POST
+// /store a disk-tier daemon answered 200 before SIGTERM must be in
+// the journal when the process exits — the drain closes the listener,
+// then the flush drains the write-behind queue.  A fresh store over
+// the same directory must recover every acknowledged key.
+func TestServeDaemonDrainFlushesDiskQueue(t *testing.T) {
+	dir := t.TempDir()
+	cc, err := httpcache.NewClientCacheOpts(httpcache.Options{
+		CapacityBytes: 1 << 20,
+		DiskDir:       dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- serveDaemon(ln, cc.Handler(), 2*time.Second, func() {
+			if err := cc.Close(); err != nil {
+				t.Errorf("disk close during flush: %v", err)
+			}
+		})
+	}()
+
+	// Acknowledged stores: each 200 means the memory tier took the
+	// object and the disk tier queued it — not that it is fsynced yet.
+	const stores = 200
+	acked := make([]string, 0, stores)
+	for i := 0; ; i++ {
+		hex := fmt.Sprintf("%032x", 0xd15c0000+len(acked))
+		resp, err := http.Post(
+			fmt.Sprintf("http://%s/store?key=%s&cost=1", ln.Addr(), hex),
+			"application/octet-stream", strings.NewReader(strings.Repeat("d", 256)))
+		if err != nil {
+			if len(acked) == 0 && i < 50 {
+				time.Sleep(10 * time.Millisecond) // server still coming up
+				continue
+			}
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("store %d: %s", len(acked), resp.Status)
+		}
+		acked = append(acked, hex)
+		if len(acked) == stores {
+			break
+		}
+	}
+
+	// SIGTERM with the queue presumably non-empty; the daemon must
+	// journal everything before serveDaemon returns.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveDaemon returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveDaemon did not return within 5s of SIGTERM")
+	}
+
+	// Recover the directory cold: every acknowledged key must be there.
+	d, err := disk.Open(disk.Config{Dir: dir, CapacityBytes: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	recovered := make(map[string]bool, d.Recovered())
+	for _, hex := range d.RecoveredHexKeys() {
+		recovered[hex] = true
+	}
+	for _, hex := range acked {
+		if !recovered[hex] {
+			t.Fatalf("acknowledged store %s lost across SIGTERM (recovered %d of %d)",
+				hex, len(recovered), len(acked))
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"webcache/internal/obs"
 	"webcache/internal/pastry"
 	"webcache/internal/store"
+	"webcache/internal/store/disk"
 	"webcache/internal/trace"
 )
 
@@ -26,16 +27,29 @@ func fold(id pastry.ID) trace.ObjectID {
 }
 
 // Options configures a daemon's data plane beyond the capacity: the
-// per-shard replacement policy (any cache.New registry name) and the
-// lock-stripe count of the concurrent store (internal/store).  The
-// zero value means greedy-dual with auto-sized sharding.
+// per-shard replacement policy (any cache.New registry name), the
+// lock-stripe count of the concurrent store (internal/store), and the
+// optional persistent disk tier (internal/store/disk).  The zero
+// value means greedy-dual with auto-sized sharding and no disk tier.
 type Options struct {
-	// CapacityBytes is the cache byte budget.
+	// CapacityBytes is the memory cache byte budget.
 	CapacityBytes uint64
 	// Policy names the replacement policy ("" = greedy-dual).
 	Policy string
 	// Shards is the store's lock-stripe count (0 = auto).
 	Shards int
+	// DiskDir, when non-empty, enables the persistent disk tier under
+	// this directory: writes ride its write-behind log, reads fall back
+	// to it on memory misses, and a restart recovers its contents.
+	DiskDir string
+	// DiskCapacityBytes bounds the disk tier's live bytes
+	// (0 = 16 x CapacityBytes — disk is the big tier).
+	DiskCapacityBytes uint64
+	// DiskMetrics, when non-nil, receives the disk tier's store.disk.*
+	// instruments at Open time — before recovery runs, so the replay
+	// counters observe boot progress.  (The memory tiers attach later
+	// via SetMetrics, which cannot retro-date recovery.)
+	DiskMetrics *obs.Registry
 }
 
 // newStore builds a daemon's sharded store from its options.
@@ -46,6 +60,35 @@ func (o Options) newStore(label string) (*store.Store, error) {
 		Shards:        o.Shards,
 		Label:         label,
 	})
+}
+
+// newTier builds a daemon's serving surface: the sharded memory store
+// alone, or — with DiskDir set — a store.Tiered layering it over the
+// persistent disk tier (opened here, so recovery happens before the
+// daemon serves its first request).
+func (o Options) newTier(label string) (mem *store.Store, dsk *disk.Store, tier store.Interface, err error) {
+	mem, err = o.newStore(label)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if o.DiskDir == "" {
+		return mem, nil, mem, nil
+	}
+	diskCap := o.DiskCapacityBytes
+	if diskCap == 0 {
+		diskCap = 16 * o.CapacityBytes
+	}
+	dsk, err = disk.Open(disk.Config{
+		Dir:           o.DiskDir,
+		CapacityBytes: diskCap,
+		Policy:        o.Policy,
+		Metrics:       o.DiskMetrics,
+		Label:         label + "-disk",
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return mem, dsk, store.NewTiered(mem, dsk, TierProxyDisk), nil
 }
 
 // StoreReceipt is the §4.3 store receipt a client cache returns to its
@@ -65,17 +108,24 @@ type ClientCacheStats struct {
 	Misses  int `json:"misses"`
 	Stores  int `json:"stores"`
 	Pushes  int `json:"pushes"`
+	// DiskHits counts hits served from the persistent disk tier after a
+	// memory miss (always 0 without Options.DiskDir).
+	DiskHits int `json:"disk_hits"`
 }
 
 // clientCounters is the lock-free backing for ClientCacheStats.
 type clientCounters struct {
-	hits, misses, stores, pushes atomic.Int64
+	hits, misses, stores, pushes, diskHits atomic.Int64
 }
 
 // ClientCache is a browser-cache daemon: the cooperative partition of
 // one client machine's cache, serving its local proxy over HTTP.
 type ClientCache struct {
-	store  *store.Store
+	store *store.Store // memory tier
+	disk  *disk.Store  // persistent tier; nil without Options.DiskDir
+	// tier is the serving surface: store alone, or the Tiered layering
+	// when a disk tier is configured.
+	tier   store.Interface
 	client *http.Client
 	stats  clientCounters
 
@@ -98,12 +148,14 @@ func NewClientCache(capacityBytes uint64) *ClientCache {
 // options; it fails only on an unknown policy name or a bad shard
 // count.
 func NewClientCacheOpts(o Options) (*ClientCache, error) {
-	st, err := o.newStore("client-cache")
+	st, dsk, tier, err := o.newTier("client-cache")
 	if err != nil {
 		return nil, err
 	}
 	return &ClientCache{
 		store:  st,
+		disk:   dsk,
+		tier:   tier,
 		client: newHTTPClient(5 * time.Second),
 	}, nil
 }
@@ -151,7 +203,7 @@ func (c *ClientCache) handleObject(w http.ResponseWriter, r *http.Request) {
 	}
 	st := traceStart(c.tracer, r, "object")
 	sp := st.StartSpan("client.object", "Tp2p")
-	obj, ok := c.store.Get(fold(id))
+	obj, ok := c.getTiered(fold(id))
 	if !ok {
 		sp.EndWasted()
 		st.FinishWall("miss")
@@ -163,6 +215,25 @@ func (c *ClientCache) handleObject(w http.ResponseWriter, r *http.Request) {
 	c.stats.hits.Add(1)
 	serve(w, obj.Body, TierClientCache)
 	st.FinishWall(TierClientCache)
+}
+
+// getTiered reads through the serving surface, attributing disk-tier
+// fallbacks to the DiskHits counter.  The wire tier stays
+// TierClientCache either way — from the proxy's point of view the
+// object was served by this client cache; which medium held it is the
+// daemon's own accounting.
+func (c *ClientCache) getTiered(key trace.ObjectID) (store.Object, bool) {
+	if obj, ok := c.store.Get(key); ok {
+		return obj, true
+	}
+	if c.disk == nil {
+		return store.Object{}, false
+	}
+	obj, ok := c.tier.Get(key)
+	if ok {
+		c.stats.diskHits.Add(1)
+	}
+	return obj, ok
 }
 
 func (c *ClientCache) handleStore(w http.ResponseWriter, r *http.Request) {
@@ -183,11 +254,13 @@ func (c *ClientCache) handleStore(w http.ResponseWriter, r *http.Request) {
 	folded := fold(id)
 	if r.URL.Query().Get("ifFree") == "1" && !c.store.FreeFor(folded, len(body)) {
 		// Diversion probe: this cache would have to evict; refuse so
-		// the sender can try a neighbour (§4.3).
+		// the sender can try a neighbour (§4.3).  FreeFor asks the
+		// memory tier — the diversion protocol balances the hot tier,
+		// and the disk tier's write-behind absorbs whatever lands.
 		http.Error(w, "no free space", http.StatusInsufficientStorage)
 		return
 	}
-	evicted, stored, err := c.store.Put(folded, store.Object{HexKey: hex, Body: body, Cost: cost})
+	evicted, stored, err := c.tier.Put(folded, store.Object{HexKey: hex, Body: body, Cost: cost})
 	c.stats.stores.Add(1)
 	receipt := StoreReceipt{Stored: stored}
 	if errors.Is(err, store.ErrEmptyObject) {
@@ -215,7 +288,7 @@ func (c *ClientCache) handlePush(w http.ResponseWriter, r *http.Request) {
 	}
 	st := traceStart(c.tracer, r, "push")
 	sp := st.StartSpan("client.push", "Tp2p")
-	obj, ok := c.store.Get(fold(id))
+	obj, ok := c.getTiered(fold(id))
 	if !ok {
 		sp.EndWasted()
 		st.FinishWall("miss")
@@ -253,11 +326,12 @@ func (c *ClientCache) handlePush(w http.ResponseWriter, r *http.Request) {
 // snapshotStats reads the lock-free counters into the /stats payload.
 func (c *ClientCache) snapshotStats() ClientCacheStats {
 	return ClientCacheStats{
-		Objects: c.store.Len(),
-		Hits:    int(c.stats.hits.Load()),
-		Misses:  int(c.stats.misses.Load()),
-		Stores:  int(c.stats.stores.Load()),
-		Pushes:  int(c.stats.pushes.Load()),
+		Objects:  c.store.Len(),
+		Hits:     int(c.stats.hits.Load()),
+		Misses:   int(c.stats.misses.Load()),
+		Stores:   int(c.stats.stores.Load()),
+		Pushes:   int(c.stats.pushes.Load()),
+		DiskHits: int(c.stats.diskHits.Load()),
 	}
 }
 
@@ -269,5 +343,40 @@ func (c *ClientCache) handleStats(w http.ResponseWriter, _ *http.Request) {
 // Objects reports the current cached-object count (tests).
 func (c *ClientCache) Objects() int { return c.store.Len() }
 
-// Store exposes the daemon's sharded store (tests and telemetry).
+// Store exposes the daemon's sharded memory store (tests and
+// telemetry).
 func (c *ClientCache) Store() *store.Store { return c.store }
+
+// Disk exposes the persistent tier (nil without Options.DiskDir).
+func (c *ClientCache) Disk() *disk.Store { return c.disk }
+
+// RecoveredHexKeys lists the hex objectIds the disk tier recovered at
+// startup, in journal order — the payload the daemon re-registers
+// with its proxy so the lookup directory learns what survived the
+// restart.  Nil without a disk tier.
+func (c *ClientCache) RecoveredHexKeys() []string {
+	if c.disk == nil {
+		return nil
+	}
+	return c.disk.RecoveredHexKeys()
+}
+
+// Sync blocks until every acknowledged store is durable on disk
+// (trivially true without a disk tier).
+func (c *ClientCache) Sync() bool {
+	if c.disk == nil {
+		return true
+	}
+	return c.disk.Sync()
+}
+
+// Close drains the disk tier's write-behind queue and closes its
+// files; a daemon without a disk tier needs no teardown.  Call after
+// the HTTP listener has drained, so every acknowledged /store is
+// journaled before exit.
+func (c *ClientCache) Close() error {
+	if c.disk == nil {
+		return nil
+	}
+	return c.disk.Close()
+}

@@ -48,6 +48,7 @@ const ServedByHeader = "X-Served-By"
 // peer-* pair appears only on the inter-proxy /peer-lookup channel.
 const (
 	TierProxy       = "proxy"        // local proxy cache hit
+	TierProxyDisk   = "proxy-disk"   // local proxy's persistent disk tier
 	TierClientCache = "client-cache" // own P2P client cache, via the directory
 	TierRemoteProxy = "remote-proxy" // served through a cooperating proxy
 	TierOrigin      = "origin"       // fetched from the origin server

@@ -68,9 +68,13 @@ func (p *Proxy) publishStats() {
 	g("diverted_hits", st.DivertedHits)
 	g("pushes_in", st.PushesIn)
 	g("swept_caches", st.SweptCaches)
+	g("disk_hits", st.DiskHits)
 	g("directory_entries", st.DirEntries)
 	g("client_caches", p.ring.size())
 	p.store.PublishMetrics()
+	if p.disk != nil {
+		p.disk.PublishMetrics()
+	}
 }
 
 func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -92,7 +96,11 @@ func (c *ClientCache) publishStats() {
 	g("misses", st.Misses)
 	g("stores", st.Stores)
 	g("pushes", st.Pushes)
+	g("disk_hits", st.DiskHits)
 	c.store.PublishMetrics()
+	if c.disk != nil {
+		c.disk.PublishMetrics()
+	}
 }
 
 func (c *ClientCache) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -15,6 +15,7 @@ import (
 	"webcache/internal/obs"
 	"webcache/internal/pastry"
 	"webcache/internal/store"
+	"webcache/internal/store/disk"
 )
 
 // bytesReader avoids importing bytes in two files.
@@ -43,8 +44,11 @@ type ProxyStats struct {
 	// SweptCaches counts client-cache daemons the liveness sweep
 	// deregistered after a failed probe.
 	SweptCaches int `json:"swept_caches"`
-	DirEntries  int `json:"directory_entries"`
-	ClientPool  int `json:"client_caches"`
+	// DiskHits counts requests served from the proxy's persistent disk
+	// tier after a memory miss (always 0 without Options.DiskDir).
+	DiskHits   int `json:"disk_hits"`
+	DirEntries int `json:"directory_entries"`
+	ClientPool int `json:"client_caches"`
 }
 
 // proxyCounters is the lock-free backing for ProxyStats: every
@@ -53,14 +57,18 @@ type ProxyStats struct {
 type proxyCounters struct {
 	requests, proxyHits, clientHits, remoteHits, originFetch,
 	coalesced, passDowns, diversions, divertedHits, pushesIn,
-	swept atomic.Int64
+	swept, diskHits atomic.Int64
 }
 
 // Proxy is the caching forward proxy of the paper's architecture: a
 // sharded cache whose evictions destage into the registered client
 // caches, with a lookup directory and inter-proxy cooperation.
 type Proxy struct {
-	store  *store.Store
+	store *store.Store // memory tier
+	disk  *disk.Store  // persistent tier; nil without Options.DiskDir
+	// tier is the serving surface: store alone, or the Tiered layering
+	// when a disk tier is configured.
+	tier   store.Interface
 	ring   *ring
 	client *http.Client
 	// probeClient is the liveness sweep's short-deadline client; a
@@ -97,17 +105,20 @@ func NewProxy(capacityBytes uint64) *Proxy {
 // NewProxyOpts creates a proxy with explicit data-plane options; it
 // fails only on an unknown policy name or a bad shard count.
 func NewProxyOpts(o Options) (*Proxy, error) {
-	st, err := o.newStore("proxy")
+	st, dsk, tier, err := o.newTier("proxy")
 	if err != nil {
 		return nil, err
 	}
-	return &Proxy{
+	p := &Proxy{
 		store:       st,
+		disk:        dsk,
+		tier:        tier,
 		ring:        newRing(),
 		dir:         directory.NewExact(),
 		client:      newHTTPClient(10 * time.Second),
 		probeClient: newHTTPClient(2 * time.Second),
-	}, nil
+	}
+	return p, nil
 }
 
 // SetSelf tells the proxy its own externally reachable base URL
@@ -122,8 +133,32 @@ func (p *Proxy) SetPeers(urls []string) {
 	p.peers = append([]string(nil), urls...)
 }
 
-// Store exposes the proxy's sharded store (tests and telemetry).
+// Store exposes the proxy's sharded memory store (tests and
+// telemetry).
 func (p *Proxy) Store() *store.Store { return p.store }
+
+// Disk exposes the persistent tier (nil without Options.DiskDir).
+func (p *Proxy) Disk() *disk.Store { return p.disk }
+
+// Sync blocks until every acknowledged insert is durable on disk
+// (trivially true without a disk tier).
+func (p *Proxy) Sync() bool {
+	if p.disk == nil {
+		return true
+	}
+	return p.disk.Sync()
+}
+
+// Close drains the disk tier's write-behind queue and closes its
+// files; a proxy without a disk tier needs no teardown.  Call after
+// the HTTP listener has drained, so every acknowledged insert is
+// journaled before exit.
+func (p *Proxy) Close() error {
+	if p.disk == nil {
+		return nil
+	}
+	return p.disk.Close()
+}
 
 // Handler returns the proxy's HTTP interface:
 //
@@ -143,13 +178,35 @@ func (p *Proxy) Handler() http.Handler {
 	return mux
 }
 
+// registerBody is the optional JSON payload of POST /register: the
+// hex objectIds a restarting daemon's disk tier recovered, so the
+// proxy's lookup directory re-learns what the cluster still holds.
+type registerBody struct {
+	Recovered []string `json:"recovered"`
+}
+
 func (p *Proxy) handleRegister(w http.ResponseWriter, r *http.Request) {
 	addr := r.URL.Query().Get("addr")
 	if addr == "" {
 		http.Error(w, "missing addr", http.StatusBadRequest)
 		return
 	}
+	// The body is optional and best-effort: a plain registration (no
+	// body, or a non-JSON one) registers with an empty recovered set.
+	var body registerBody
+	json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&body)
 	id := p.ring.add(addr)
+	if len(body.Recovered) > 0 {
+		// Directory entries route through ring.owner, which may name a
+		// neighbour of the daemon that actually holds the object — the
+		// diversion passthrough in handleFetch probes neighbours on an
+		// owner miss, so recovered objects stay reachable either way.
+		p.mu.Lock()
+		for _, hex := range body.Recovered {
+			p.dir.Add(fold(keyFromHex(hex)))
+		}
+		p.mu.Unlock()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]string{"cacheId": id.String()})
 }
@@ -171,7 +228,8 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 	folded := fold(id)
 	st := traceStart(p.tracer, r, "fetch")
 
-	// 1. Proxy cache.
+	// 1. Proxy cache: memory, then the persistent disk tier (which
+	// promotes the hit back into a free memory slot).
 	probe := st.StartSpan("proxy.cache", "Tl")
 	if obj, ok := p.store.Get(folded); ok {
 		probe.End()
@@ -181,6 +239,17 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	probe.End()
+	if p.disk != nil {
+		dsp := st.StartSpan("proxy.disk", "Tl")
+		if obj, ok := p.tier.Get(folded); ok {
+			dsp.End()
+			p.stats.diskHits.Add(1)
+			serve(w, obj.Body, TierProxyDisk)
+			st.FinishWall(TierProxyDisk)
+			return
+		}
+		dsp.EndWasted()
+	}
 
 	// 2. Own P2P client cache, per the lookup directory (§4.2).
 	p.mu.Lock()
@@ -241,7 +310,7 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 	// share a single origin fetch (the winner inserts and destages;
 	// every waiter serves the winner's body).
 	org := st.StartSpan("origin.fetch", "Ts")
-	view, err := p.store.GetOrLoad(folded, func() (store.Object, string, error) {
+	view, err := p.tier.GetOrLoad(folded, func() (store.Object, string, error) {
 		body, ferr := p.originFetch(url)
 		if ferr != nil {
 			return store.Object{}, "", ferr
@@ -271,8 +340,15 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 		for _, ev := range view.Evicted {
 			p.passDown(ev)
 		}
-		serve(w, view.Object.Body, TierOrigin)
-		st.FinishWall(TierOrigin)
+		// The tier reports where the flight's load actually came from:
+		// TierOrigin from the loader, or TierProxyDisk when the tiered
+		// store satisfied the flight from its log (a disk-resident key
+		// that raced past the step-1 probe).
+		if view.Tag == TierProxyDisk {
+			p.stats.diskHits.Add(1)
+		}
+		serve(w, view.Object.Body, view.Tag)
+		st.FinishWall(view.Tag)
 	}
 }
 
@@ -355,7 +431,7 @@ func (p *Proxy) lanFetch(addr string, id pastry.ID, traceID string) ([]byte, boo
 // Empty bodies are served without caching (store.ErrEmptyObject).
 func (p *Proxy) insertAndDestage(url string, body []byte, cost float64) {
 	id := keyOf(url)
-	evicted, _, err := p.store.Put(fold(id), store.Object{HexKey: id.String(), Body: body, Cost: cost})
+	evicted, _, err := p.tier.Put(fold(id), store.Object{HexKey: id.String(), Body: body, Cost: cost})
 	if err != nil {
 		return
 	}
@@ -494,7 +570,9 @@ func (p *Proxy) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
 	folded := fold(id)
 	st := traceStart(p.tracer, r, "peer-lookup")
 	probe := st.StartSpan("proxy.cache", "Tl")
-	if obj, ok := p.store.Get(folded); ok {
+	// The serving surface includes the disk tier: a peer's request for
+	// a disk-resident object is still a local serve (TierPeerProxy).
+	if obj, ok := p.tier.Get(folded); ok {
 		probe.End()
 		serve(w, obj.Body, TierPeerProxy)
 		st.FinishWall(TierPeerProxy)
@@ -602,6 +680,7 @@ func (p *Proxy) snapshotStats() ProxyStats {
 		DivertedHits:     int(p.stats.divertedHits.Load()),
 		PushesIn:         int(p.stats.pushesIn.Load()),
 		SweptCaches:      int(p.stats.swept.Load()),
+		DiskHits:         int(p.stats.diskHits.Load()),
 		DirEntries:       dirLen,
 	}
 }

@@ -1,0 +1,75 @@
+package invariant
+
+// Memory-index ↔ disk-log agreement for the persistent tier
+// (internal/store/disk): the disk store serves Gets from an in-memory
+// index rebuilt at boot from the journal, so the index, the journal,
+// and the policy accounting must never drift.  The store snapshots its
+// index under lock and independently replays its journal from disk;
+// this check compares the two and validates every surviving entry
+// against the segment extents.
+
+// DiskEntry is one indexed object's location, as seen by either the
+// in-memory index or an independent journal replay.
+type DiskEntry struct {
+	Key  uint64
+	Seg  uint32
+	Off  uint64
+	RLen uint32
+	Size uint32
+}
+
+// DiskSegment is one log segment's identity and valid extent.
+type DiskSegment struct {
+	ID   uint32
+	Size int64
+}
+
+// CheckDiskAgreement verifies the persistent tier's crash-consistency
+// invariant:
+//
+//   - the in-memory index and an independent journal replay agree on
+//     the exact live set (same keys, same segment/offset/length for
+//     each);
+//   - every indexed record lies within an existing segment's valid
+//     extent (off+rlen ≤ segment size);
+//   - the policy's byte accounting reconciles with the index
+//     (Σ Size == policyUsed ≤ capacity).
+//
+// label distinguishes multiple stores in violation details.
+func (c *Checker) CheckDiskAgreement(label string, mem, journal []DiskEntry, segs []DiskSegment, policyUsed, capacity uint64) {
+	if c == nil {
+		return
+	}
+	segSize := make(map[uint32]int64, len(segs))
+	for _, s := range segs {
+		segSize[s.ID] = s.Size
+	}
+	jnl := make(map[uint64]DiskEntry, len(journal))
+	for _, e := range journal {
+		jnl[e.Key] = e
+	}
+	c.assertf(len(mem) == len(jnl), "disk", "index-journal-cardinality",
+		"%s: index holds %d objects, journal replay %d", label, len(mem), len(jnl))
+	var sumSize uint64
+	for _, e := range mem {
+		sumSize += uint64(e.Size)
+		je, ok := jnl[e.Key]
+		if !c.assertf(ok, "disk", "index-journal-key",
+			"%s: key %016x indexed but absent from journal replay", label, e.Key) {
+			continue
+		}
+		c.assertf(je == e, "disk", "index-journal-location",
+			"%s: key %016x index %+v disagrees with journal %+v", label, e.Key, e, je)
+		size, ok := segSize[e.Seg]
+		if c.assertf(ok, "disk", "segment-exists",
+			"%s: key %016x points at missing segment %d", label, e.Key, e.Seg) {
+			c.assertf(e.Off+uint64(e.RLen) <= uint64(size), "disk", "segment-extent",
+				"%s: key %016x record [%d,%d) exceeds segment %d size %d",
+				label, e.Key, e.Off, e.Off+uint64(e.RLen), e.Seg, size)
+		}
+	}
+	c.assertf(sumSize == policyUsed, "disk", "used-sum",
+		"%s: indexed sizes sum to %d, policy accounts %d", label, sumSize, policyUsed)
+	c.assertf(policyUsed <= capacity, "disk", "capacity",
+		"%s: policy used %d exceeds capacity %d", label, policyUsed, capacity)
+}

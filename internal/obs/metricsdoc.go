@@ -137,10 +137,18 @@ func MetricNamespaces(md []byte) []string {
 }
 
 // inNamespaces reports whether name falls under one of the given
-// dotted prefixes.
+// dotted prefixes.  A "-"-prefixed namespace excludes its subtree
+// even when a broader prefix includes it, so a parent namespace and a
+// nested one can be owned by different tests ("store" vs
+// "-store.disk").
 func inNamespaces(name string, namespaces []string) bool {
 	for _, ns := range namespaces {
-		if strings.HasPrefix(name, ns+".") {
+		if strings.HasPrefix(ns, "-") && strings.HasPrefix(name, ns[1:]+".") {
+			return false
+		}
+	}
+	for _, ns := range namespaces {
+		if !strings.HasPrefix(ns, "-") && strings.HasPrefix(name, ns+".") {
 			return true
 		}
 	}
@@ -149,7 +157,8 @@ func inNamespaces(name string, namespaces []string) bool {
 
 // CheckMetricsDoc cross-checks the registered metric names of a smoke
 // run against the documented patterns, restricted to the given
-// namespaces (each tool's test owns its own).  It fails in both
+// namespaces (each tool's test owns its own; a "-"-prefixed namespace
+// carves its subtree out of a broader one).  It fails in both
 // directions: a registered name no pattern documents, or a documented
 // pattern no registration exercises.
 func CheckMetricsDoc(md []byte, registered []string, namespaces ...string) error {

@@ -89,4 +89,17 @@ func TestCheckMetricsDoc(t *testing.T) {
 	if err := CheckMetricsDoc([]byte(docFixture), registered, "loadgen"); err != nil {
 		t.Fatalf("namespace filter leaked: %v", err)
 	}
+
+	// Exclusion namespaces: "-sim.serves" carves the nested subtree out
+	// of "sim", so its names neither count as registered nor as
+	// documented there — even undocumented ones.
+	carved := []string{"sim.runs", "sim.serves.local_proxy", "sim.serves.p2p",
+		"sim.serves.mystery", "check.violations.cache", "loadgen.request"}
+	err = CheckMetricsDoc([]byte(docFixture), carved, "sim", "check", "loadgen")
+	if err == nil || !strings.Contains(err.Error(), "sim.serves.mystery") {
+		t.Fatalf("control run should flag sim.serves.mystery: %v", err)
+	}
+	if err := CheckMetricsDoc([]byte(docFixture), carved, "sim", "-sim.serves", "check", "loadgen"); err != nil {
+		t.Fatalf("exclusion namespace leaked: %v", err)
+	}
 }

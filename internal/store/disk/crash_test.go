@@ -1,0 +1,157 @@
+package disk
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"webcache/internal/invariant"
+	"webcache/internal/trace"
+)
+
+// The crash test re-executes this test binary as a writer child
+// (crashChildEnv carries the store directory), SIGKILLs it mid-write,
+// and then recovers the directory in-process.  The child prints each
+// key to stdout only after a Sync barrier covering it, so every key
+// the parent reads off the pipe was acknowledged as durable before
+// the kill — the zero-acknowledged-loss contract.
+const crashChildEnv = "DISK_CRASH_CHILD_DIR"
+
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(crashChildEnv); dir != "" {
+		crashChild(dir)
+		return // unreachable: crashChild runs until killed
+	}
+	os.Exit(m.Run())
+}
+
+// crashChild writes objects forever, printing "acked <key>" after the
+// Sync barrier that made each batch durable.  It never exits on its
+// own; the parent SIGKILLs it.
+func crashChild(dir string) {
+	d, err := Open(Config{Dir: dir, CapacityBytes: 1 << 30, QueueDepth: 64})
+	if err != nil {
+		fmt.Println("open-error", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	var key uint64
+	for {
+		batch := make([]uint64, 0, 16)
+		for i := 0; i < 16; i++ {
+			key++
+			if !d.Put(trace.ObjectID(key), testObj(key, 512)) {
+				fmt.Println("put-rejected", key)
+				os.Exit(1)
+			}
+			batch = append(batch, key)
+		}
+		if !d.Sync() {
+			os.Exit(1)
+		}
+		for _, k := range batch {
+			fmt.Fprintln(w, "acked", k)
+		}
+		w.Flush() // the pipe write lands in the parent even if we die next instant
+	}
+}
+
+// lockedBuffer lets the parent poll the child's output while the
+// exec.Cmd copier goroutine is still appending to it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+func (b *lockedBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Bytes()
+}
+
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a subprocess")
+	}
+	dir := t.TempDir()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run=^$")
+	cmd.Env = append(os.Environ(), crashChildEnv+"="+dir)
+	var out lockedBuffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let it write for a while, then kill it mid-flight — no warning,
+	// no drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for out.Len() < 1<<14 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+
+	// Every key the child acknowledged before dying must recover.
+	var acked []uint64
+	sc := bufio.NewScanner(bytes.NewReader(out.Bytes()))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 || fields[0] != "acked" {
+			t.Fatalf("child reported: %s", sc.Text())
+		}
+		k, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked = append(acked, k)
+	}
+	if len(acked) == 0 {
+		t.Fatal("child acknowledged nothing before the kill")
+	}
+	t.Logf("child acknowledged %d objects before SIGKILL", len(acked))
+
+	check := invariant.New(nil)
+	d := mustOpen(t, Config{Dir: dir, CapacityBytes: 1 << 30, Check: check})
+	if err := check.Err(); err != nil {
+		t.Fatalf("post-crash invariants: %v", err)
+	}
+	for _, k := range acked {
+		obj, ok := d.Get(trace.ObjectID(k))
+		if !ok {
+			t.Fatalf("acknowledged key %d lost in the crash", k)
+		}
+		if !bytes.Equal(obj.Body, testBody(k, 512)) || obj.HexKey != hexKey(k) {
+			t.Fatalf("acknowledged key %d recovered with wrong contents", k)
+		}
+	}
+	// The agreement check must also hold on the recovered, serving
+	// store.
+	d.CheckInvariants(check)
+	if err := check.Err(); err != nil {
+		t.Fatalf("post-recovery agreement: %v", err)
+	}
+}

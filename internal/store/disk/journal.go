@@ -1,0 +1,163 @@
+package disk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// Journal entry layout (little-endian), one per index mutation:
+//
+//	u32 magic    jnlMagic
+//	u8  op       opPut or opDelete
+//	u8  hexLen   hex objectId length (opPut; 0 for opDelete)
+//	u64 key      folded 64-bit policy key
+//	u32 seg      log segment number (opPut)
+//	u64 off      record offset within the segment (opPut)
+//	u32 rlen     full record length (opPut)
+//	u32 size     object body length (opPut)
+//	f64 cost     greedy-dual fetch cost (opPut)
+//	hexLen bytes hex objectId
+//	u32 crc      CRC-32C over everything above
+//
+// Puts supersede earlier puts of the same key; deletes drop it.  The
+// journal carries the hex objectId so recovery is journal-only — the
+// rebuilt index can re-register recovered contents with the lookup
+// directory without touching a single log body.
+const (
+	jnlMagic     = 0x4A4E4C31 // "JNL1"
+	jnlHeaderLen = 4 + 1 + 1 + 8 + 4 + 8 + 4 + 4 + 8
+	jnlTrailLen  = 4
+)
+
+const (
+	opPut    = 1
+	opDelete = 2
+)
+
+// JournalName is the index journal's file name within a store
+// directory.
+const JournalName = "journal.log"
+
+// journalEntry is one decoded index mutation.
+type journalEntry struct {
+	op     byte
+	key    uint64
+	seg    uint32
+	off    uint64
+	rlen   uint32
+	size   uint32
+	cost   float64
+	hexKey string
+}
+
+// appendJournalEntry encodes one entry onto buf.
+func appendJournalEntry(buf []byte, e journalEntry) []byte {
+	start := len(buf)
+	var hdr [jnlHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], jnlMagic)
+	hdr[4] = e.op
+	hdr[5] = byte(len(e.hexKey))
+	binary.LittleEndian.PutUint64(hdr[6:], e.key)
+	binary.LittleEndian.PutUint32(hdr[14:], e.seg)
+	binary.LittleEndian.PutUint64(hdr[18:], e.off)
+	binary.LittleEndian.PutUint32(hdr[26:], e.rlen)
+	binary.LittleEndian.PutUint32(hdr[30:], e.size)
+	binary.LittleEndian.PutUint64(hdr[34:], math.Float64bits(e.cost))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, e.hexKey...)
+	crc := crc32.Checksum(buf[start:], castagnoli)
+	var trail [jnlTrailLen]byte
+	binary.LittleEndian.PutUint32(trail[:], crc)
+	return append(buf, trail[:]...)
+}
+
+// decodeJournalEntry parses one entry from the front of b, returning
+// the entry and its encoded length.  Same error contract as
+// decodeRecord: ErrTruncated for a clean tail, ErrCorrupt for bad
+// bytes; the hexLen bound is checked before any allocation.
+func decodeJournalEntry(b []byte) (e journalEntry, n int, err error) {
+	if len(b) < jnlHeaderLen {
+		return journalEntry{}, 0, ErrTruncated
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != jnlMagic {
+		return journalEntry{}, 0, fmt.Errorf("%w: bad journal magic", ErrCorrupt)
+	}
+	e.op = b[4]
+	hexLen := int(b[5])
+	if e.op != opPut && e.op != opDelete {
+		return journalEntry{}, 0, fmt.Errorf("%w: journal op %d", ErrCorrupt, e.op)
+	}
+	if hexLen > MaxHexKey {
+		return journalEntry{}, 0, fmt.Errorf("%w: journal hexLen %d", ErrCorrupt, hexLen)
+	}
+	e.key = binary.LittleEndian.Uint64(b[6:])
+	e.seg = binary.LittleEndian.Uint32(b[14:])
+	e.off = binary.LittleEndian.Uint64(b[18:])
+	e.rlen = binary.LittleEndian.Uint32(b[26:])
+	e.size = binary.LittleEndian.Uint32(b[30:])
+	e.cost = math.Float64frombits(binary.LittleEndian.Uint64(b[34:]))
+	n = jnlHeaderLen + hexLen + jnlTrailLen
+	if len(b) < n {
+		return journalEntry{}, 0, ErrTruncated
+	}
+	want := binary.LittleEndian.Uint32(b[n-jnlTrailLen:])
+	if crc32.Checksum(b[:n-jnlTrailLen], castagnoli) != want {
+		return journalEntry{}, 0, fmt.Errorf("%w: journal checksum", ErrCorrupt)
+	}
+	e.hexKey = string(b[jnlHeaderLen : jnlHeaderLen+hexLen])
+	return e, n, nil
+}
+
+// replayJournal streams every decodable entry from r into emit, in
+// order.  It returns the byte length of the valid prefix: decoding
+// stops without error at a truncated or corrupt tail (a crash can
+// tear the final batch; everything before it is intact because
+// entries are only ever appended).  Read errors other than EOF are
+// returned.
+func replayJournal(r io.Reader, emit func(journalEntry)) (valid int64, err error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	for {
+		hdr, err := br.Peek(jnlHeaderLen)
+		if err != nil {
+			if len(hdr) == 0 || errors.Is(err, io.EOF) {
+				return valid, nil
+			}
+			return valid, err
+		}
+		hexLen := int(hdr[5])
+		if binary.LittleEndian.Uint32(hdr[0:]) != jnlMagic || hexLen > MaxHexKey {
+			return valid, nil // corrupt tail: stop at the valid prefix
+		}
+		n := jnlHeaderLen + hexLen + jnlTrailLen
+		full, err := br.Peek(n)
+		if err != nil {
+			return valid, nil // truncated tail
+		}
+		e, _, derr := decodeJournalEntry(full)
+		if derr != nil {
+			return valid, nil
+		}
+		br.Discard(n)
+		valid += int64(n)
+		emit(e)
+	}
+}
+
+// replayJournalFile replays the journal at path (absent = empty).
+func replayJournalFile(path string, emit func(journalEntry)) (valid int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	return replayJournal(f, emit)
+}

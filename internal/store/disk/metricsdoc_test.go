@@ -1,0 +1,35 @@
+package disk
+
+import (
+	"os"
+	"testing"
+
+	"webcache/internal/obs"
+	"webcache/internal/trace"
+)
+
+// TestMetricsDocDisk holds the store.disk.* namespace in METRICS.md
+// against what the disk tier registers, in both directions.  Open
+// creates the live instruments (including the replay counters, before
+// recovery), a put/get/sync cycle exercises the write and read paths,
+// and PublishMetrics writes the occupancy gauges.
+func TestMetricsDocDisk(t *testing.T) {
+	md, err := os.ReadFile("../../../METRICS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry("doc-smoke-disk")
+	d := mustOpen(t, Config{Dir: t.TempDir(), CapacityBytes: 1 << 20, Metrics: reg})
+	d.Put(1, testObj(1, 64))
+	d.Sync()
+	d.Get(trace.ObjectID(1))
+	d.PublishMetrics()
+
+	var names []string
+	for _, m := range reg.Snapshot() {
+		names = append(names, m.Name)
+	}
+	if err := obs.CheckMetricsDoc(md, names, "store.disk"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -296,6 +296,14 @@ func (s *Store) Put(key trace.ObjectID, obj Object) (evicted []Object, stored bo
 	return evicted, true, nil
 }
 
+// Contains reports presence without touching replacement metadata.
+func (s *Store) Contains(key trace.ObjectID) bool {
+	sh := s.shardFor(key)
+	s.lock(sh)
+	defer sh.mu.Unlock()
+	return sh.policy.Contains(key)
+}
+
 // FreeFor reports whether size bytes fit in key's shard without
 // eviction — the diversion probe (§4.3).  A zero size trivially fits;
 // empty bodies are rejected by Put, not here.
