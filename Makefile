@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench vet fuzz-smoke bench-smoke bench-diff store-bench disk-bench trace-alloc
+.PHONY: all build test check race bench vet fuzz-smoke bench-smoke bench-diff store-bench disk-bench chaos-smoke chaos-bench trace-alloc
 
 all: build test
 
@@ -88,6 +88,27 @@ disk-bench:
 	$(GO) run ./cmd/hiergdd bench -disk -objects 2000 -object-bytes 1024 \
 		-disk-ops 20000 -disk-workers 8 -disk-read-frac 0.9 \
 		-disk-min-recovery 20000 -disk-min-mixed 10000 -manifest BENCH_disk.json
+
+# ~10s chaos smoke: the two headline adversarial scenarios (slow-peer
+# tail amplification, mass flash-churn) run live and simulated, with
+# the httpcache defenses off and on, the conservation accountant
+# attached to every run.  Fails if any run breaks conservation or if
+# the per-hop deadlines + hedged requests cut the live slow-peer p999
+# by less than 1.3x; writes the BENCH_chaos.json manifest (diffable
+# run-to-run via cmd/benchdiff).
+chaos-smoke:
+	$(GO) run ./cmd/hiergdd bench -chaos -chaos-scenarios slow-peer,flash-churn \
+		-requests 1500 -objects 200 -clients 40 -proxies 2 -caches 3 \
+		-object-bytes 512 -rate 750 -chaos-min-p999-cut 1.3 \
+		-manifest BENCH_chaos.json
+
+# ~30s full chaos suite: every scenario (baseline, slow-peer,
+# flash-churn, byzantine, poison), same gates as chaos-smoke.
+chaos-bench:
+	$(GO) run ./cmd/hiergdd bench -chaos \
+		-requests 1500 -objects 200 -clients 40 -proxies 2 -caches 3 \
+		-object-bytes 512 -rate 750 -chaos-min-p999-cut 1.3 \
+		-manifest BENCH_chaos.json
 
 # The disabled-tracer cost gate: the nil tracer must stay zero-alloc
 # on the request path (also asserted by TestDisabledTracerZeroAlloc;

@@ -78,8 +78,35 @@ func runBench(args []string) error {
 	diskWorkers := fs.Int("disk-workers", 8, "mixed-phase concurrency (disk mode)")
 	diskMinRecovery := fs.Float64("disk-min-recovery", 0, "fail unless recovery replays at least this many objects/sec (0 = report only)")
 	diskMinMixed := fs.Float64("disk-min-mixed", 0, "fail unless the mixed phase sustains at least this many ops/sec (0 = report only)")
+	// Chaos suite mode (-chaos): run the adversarial scenarios live and
+	// simulated, defenses off and on, gated on conservation and the
+	// slow-peer tail cut (internal/chaos).
+	chaosMode := fs.Bool("chaos", false, "run the chaos scenario suite: fault injection live + simulated, defenses off and on")
+	chaosScenariosFlag := fs.String("chaos-scenarios", "", "comma-separated scenario names (empty = whole suite; chaos mode)")
+	chaosMinP999Cut := fs.Float64("chaos-min-p999-cut", 0, "fail unless slow-peer defenses cut live p999 by this factor (0 = report only; chaos mode)")
 	fs.Parse(args)
 	startPprof(*pprofAddr)
+
+	if *chaosMode {
+		w := *warmup
+		if w < 0 {
+			w = *requests / 10
+		}
+		return runChaosBench(chaosBenchConfig{
+			scenarios:    *chaosScenariosFlag,
+			requests:     *requests,
+			objects:      *objects,
+			clients:      *clients,
+			proxies:      *proxies,
+			caches:       *caches,
+			objectBytes:  *objectBytes,
+			rate:         *rate,
+			warmup:       w,
+			seed:         *seed,
+			minP999Cut:   *chaosMinP999Cut,
+			manifestPath: *manifestPath,
+		})
+	}
 
 	if *diskMode {
 		return runDiskBench(diskBenchConfig{
@@ -221,7 +248,9 @@ func runBench(args []string) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
-	res, err := loadgen.Run(context.Background(), sched, loadgen.NewHTTPTarget(*timeout), opts)
+	tgt := loadgen.NewHTTPTarget(*timeout)
+	res, err := loadgen.Run(context.Background(), sched, tgt, opts)
+	tgt.CloseIdleConnections() // pre-dialed pool conns would stall the drain
 	if err != nil {
 		return err
 	}

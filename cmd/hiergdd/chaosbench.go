@@ -1,0 +1,188 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"webcache/internal/chaos"
+	"webcache/internal/invariant"
+	"webcache/internal/obs"
+	"webcache/internal/prowgen"
+	"webcache/internal/trace"
+)
+
+// chaosBenchConfig sizes the chaos suite run (bench -chaos).
+type chaosBenchConfig struct {
+	scenarios    string // comma-separated names, empty = whole suite
+	requests     int
+	objects      int
+	clients      int
+	proxies      int
+	caches       int
+	objectBytes  int
+	rate         float64
+	warmup       int
+	seed         int64
+	minP999Cut   float64 // slow-peer gate: p999(off)/p999(on) floor
+	manifestPath string
+}
+
+// runChaosBench runs every requested scenario four ways — live and
+// simulated, defenses off and on — with the conservation accountant
+// attached to each run, and gates on two things: zero accountant
+// violations anywhere, and (for slow-peer) the hedged+deadline
+// defenses cutting the live p999 by at least -chaos-min-p999-cut.
+func runChaosBench(cfg chaosBenchConfig) error {
+	scns, err := chaosScenarios(cfg.scenarios)
+	if err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry("hiergdd-chaos")
+	var man *obs.Manifest
+	if cfg.manifestPath != "" {
+		man = obs.NewManifest("hiergdd-chaos")
+	}
+
+	var rows []chaos.Row
+	for _, scn := range scns {
+		fmt.Printf("chaos: scenario %-12s %s\n", scn.Name, scn.Description)
+		row := chaos.Row{Scenario: scn.Name, Description: scn.Description}
+
+		// Each of the four runs gets its own checker so a violation is
+		// attributable to one (scenario, side, defenses) cell.
+		for _, on := range []bool{false, true} {
+			chk := invariant.New(reg)
+			rep, err := chaos.RunLive(chaos.LiveConfig{
+				Scenario:       scn,
+				Requests:       cfg.requests,
+				Objects:        cfg.objects,
+				Clients:        cfg.clients,
+				ObjectBytes:    cfg.objectBytes,
+				Rate:           cfg.rate,
+				Warmup:         cfg.warmup,
+				Seed:           cfg.seed,
+				Proxies:        cfg.proxies,
+				CachesPerProxy: cfg.caches,
+				DefensesOn:     on,
+				Check:          chk,
+				Registry:       reg,
+			})
+			if err != nil {
+				return fmt.Errorf("chaos %s live defenses=%v: %w", scn.Name, on, err)
+			}
+			if on {
+				row.LiveOn = rep
+			} else {
+				row.LiveOff = rep
+			}
+		}
+		for _, on := range []bool{false, true} {
+			chk := invariant.New(reg)
+			rep, err := chaos.RunSim(chaos.SimConfig{
+				Scenario:       scn,
+				Requests:       cfg.requests,
+				Objects:        cfg.objects,
+				Clients:        cfg.clients,
+				Proxies:        cfg.proxies,
+				CachesPerProxy: cfg.caches,
+				Warmup:         cfg.warmup,
+				Seed:           cfg.seed,
+				DefensesOn:     on,
+				Check:          chk,
+			})
+			if err != nil {
+				return fmt.Errorf("chaos %s sim defenses=%v: %w", scn.Name, on, err)
+			}
+			if on {
+				row.SimOn = rep
+			} else {
+				row.SimOff = rep
+			}
+		}
+
+		fmt.Printf("  live: hit %.3f -> %.3f  p999 %7.1fms -> %7.1fms (cut %.2fx)  errors %d -> %d\n",
+			row.LiveOff.HitRatio, row.LiveOn.HitRatio,
+			row.LiveOff.P999Ms, row.LiveOn.P999Ms, row.P999Cut(),
+			row.LiveOff.Errors, row.LiveOn.Errors)
+		fmt.Printf("  sim:  hit %.3f -> %.3f  mean %6.3f -> %6.3f  p999 %6.1f -> %6.1f (model units as ms)\n",
+			row.SimOff.HitRatio, row.SimOn.HitRatio,
+			row.SimOff.MeanMs, row.SimOn.MeanMs, row.SimOff.P999Ms, row.SimOn.P999Ms)
+		fmt.Printf("  defense activity (on): hedged %d (won %d), breaker-skipped %d, digests %d/%d failed, swept %d, timeouts %d\n",
+			row.LiveOn.Defense.HedgedRequests, row.LiveOn.Defense.HedgedWins,
+			row.LiveOn.Defense.BreakerSkipped,
+			row.LiveOn.Defense.DigestFailures, row.LiveOn.Defense.DigestChecks,
+			row.LiveOn.Defense.ContribSwept, row.LiveOn.Defense.PeerTimeouts)
+		if v := row.Violations(); v > 0 {
+			return fmt.Errorf("chaos %s: %d conservation violations — an attack or a defense broke the accountant",
+				scn.Name, v)
+		}
+		rows = append(rows, row)
+	}
+
+	// The headline gate: under slow peers, the hedged requests and
+	// per-hop deadlines must actually cut the live tail.
+	for _, row := range rows {
+		if row.Scenario != "slow-peer" || cfg.minP999Cut <= 0 {
+			continue
+		}
+		if cut := row.P999Cut(); cut < cfg.minP999Cut {
+			return fmt.Errorf("chaos slow-peer: defenses cut p999 only %.2fx (off %.1fms / on %.1fms), gate requires >= %.2fx",
+				cut, row.LiveOff.P999Ms, row.LiveOn.P999Ms, cfg.minP999Cut)
+		}
+		fmt.Printf("chaos: slow-peer p999 cut %.2fx >= %.2fx gate\n", row.P999Cut(), cfg.minP999Cut)
+	}
+
+	if man != nil {
+		// The same workload every run replays (each RunLive/RunSim
+		// regenerates it from these parameters), fingerprinted so
+		// benchdiff refuses to compare manifests of different traces.
+		if tr, err := prowgen.Generate(prowgen.Config{
+			NumRequests: cfg.requests,
+			NumObjects:  cfg.objects,
+			NumClients:  cfg.clients,
+			Seed:        cfg.seed,
+		}); err == nil {
+			man.Trace = map[string]any{
+				"fingerprint": trace.Fingerprint(tr),
+				"requests":    tr.Len(),
+			}
+		}
+		man.SetConfig("requests", cfg.requests)
+		man.SetConfig("objects", cfg.objects)
+		man.SetConfig("clients", cfg.clients)
+		man.SetConfig("proxies", cfg.proxies)
+		man.SetConfig("caches_per_proxy", cfg.caches)
+		man.SetConfig("object_bytes", cfg.objectBytes)
+		man.SetConfig("rate", cfg.rate)
+		man.SetConfig("warmup", cfg.warmup)
+		man.SetConfig("seed", cfg.seed)
+		man.SetConfig("min_p999_cut", cfg.minP999Cut)
+		man.SetNote("scenarios", rows)
+		man.Finish(reg)
+		if err := man.WriteFile(cfg.manifestPath); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+		if _, err := obs.ReadManifestFile(cfg.manifestPath); err != nil {
+			return fmt.Errorf("manifest self-check: %w", err)
+		}
+		fmt.Printf("manifest: %s\n", cfg.manifestPath)
+	}
+	return nil
+}
+
+// chaosScenarios resolves the -chaos-scenarios list (empty = suite).
+func chaosScenarios(list string) ([]chaos.Scenario, error) {
+	if strings.TrimSpace(list) == "" {
+		return chaos.Scenarios(), nil
+	}
+	var out []chaos.Scenario
+	for _, name := range strings.Split(list, ",") {
+		scn, err := chaos.Lookup(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, scn)
+	}
+	return out, nil
+}

@@ -11,6 +11,7 @@
 //	hiergdd bench -trace t.bin -rate 500 -duration 10s   # live load + calibration
 //	hiergdd bench -store             # store microbench: sharded vs single-mutex
 //	hiergdd bench -disk              # disk tier: write-behind, mixed load, recovery
+//	hiergdd bench -chaos             # adversarial scenarios, defenses off vs on
 //
 // Both daemons take -policy (any internal/cache registry name) and
 // -shards (lock stripes of the internal/store data plane, 0 = auto);

@@ -1,0 +1,81 @@
+// Package chaos is the fault-injection layer of the adversarial
+// scenario suite (ROADMAP item 4, DESIGN.md §11): a shared scenario
+// vocabulary that runs against both the live loopback topology
+// (internal/loadgen + internal/httpcache, via handler-wrapping fault
+// adapters) and the simulator (internal/sim's chaos knobs), reporting
+// hit-ratio degradation and tail latency (p999) per scenario with and
+// without the httpcache defenses.  invariant.ClusterAccountant rides
+// along as the oracle that no attack — and no defense — breaks cache
+// conservation.
+package chaos
+
+import (
+	"fmt"
+	"time"
+)
+
+// Scenario names one attack shape in terms both sides understand.
+// Zero-valued fields mean that fault is absent from the scenario.
+type Scenario struct {
+	Name        string
+	Description string
+	// SlowPeerDelay holds SlowPeerFraction of each proxy's client-cache
+	// daemons (and every proxy's /peer-lookup) for this long per
+	// request — the slow-peer tail-amplification attack.
+	SlowPeerDelay    time.Duration
+	SlowPeerFraction float64
+	// ChurnFraction flash-disconnects this fraction of the client-cache
+	// overlay mid-run — the mass-churn storm.
+	ChurnFraction float64
+	// ByzantineFraction turns this fraction of each proxy's daemons
+	// byzantine: alternating corrupt-servers (bodies bit-flipped on the
+	// way out) and receipt-fabricators (claim "stored" without
+	// storing).
+	ByzantineFraction float64
+	// PoisonKeys plants this many bogus directory entries per proxy
+	// before the run (keys of real upcoming objects the cluster does
+	// not hold) — the directory-poisoning attack.
+	PoisonKeys int
+}
+
+// Scenarios is the suite: every entry runs live and simulated, with
+// defenses off and on, under make chaos-bench.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "baseline",
+			Description: "no faults injected — the control row",
+		},
+		{
+			Name:             "slow-peer",
+			Description:      "a third of each proxy's daemons answer 250ms late; peer lookups stall too",
+			SlowPeerDelay:    250 * time.Millisecond,
+			SlowPeerFraction: 0.34,
+		},
+		{
+			Name:          "flash-churn",
+			Description:   "half the client-cache overlay disconnects at once mid-run",
+			ChurnFraction: 0.5,
+		},
+		{
+			Name:              "byzantine",
+			Description:       "half the daemons lie: corrupted bodies and fabricated store receipts",
+			ByzantineFraction: 0.5,
+		},
+		{
+			Name:        "poison",
+			Description: "bogus directory entries planted for objects the cluster does not hold",
+			PoisonKeys:  64,
+		},
+	}
+}
+
+// Lookup resolves a scenario by name.
+func Lookup(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("chaos: unknown scenario %q", name)
+}

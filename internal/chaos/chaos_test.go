@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"webcache/internal/invariant"
+	"webcache/internal/obs"
+)
+
+func TestLookup(t *testing.T) {
+	for _, s := range Scenarios() {
+		got, err := Lookup(s.Name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", s.Name, err)
+		}
+		if got.Name != s.Name {
+			t.Fatalf("Lookup(%q) = %q", s.Name, got.Name)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup of unknown scenario succeeded")
+	}
+}
+
+// TestInjectorAffected pins the deterministic fault placement: the
+// first round(fraction*n) daemons of each proxy, at least one whenever
+// the fraction is set at all.
+func TestInjectorAffected(t *testing.T) {
+	tests := []struct {
+		caches   int
+		fraction float64
+		want     []bool // per daemon index
+	}{
+		{3, 0.34, []bool{true, false, false}}, // round(1.02) = 1
+		{3, 0.5, []bool{true, true, false}},   // round(1.5) = 2
+		{4, 0.5, []bool{true, true, false, false}},
+		{3, 0.01, []bool{true, false, false}}, // floor is 1, never 0
+		{3, 0, []bool{false, false, false}},   // fraction unset: fault absent
+	}
+	for _, tc := range tests {
+		in := NewInjector(Scenario{}, tc.caches, nil)
+		for i, want := range tc.want {
+			if got := in.affected(i, tc.fraction); got != want {
+				t.Errorf("caches=%d fraction=%g affected(%d) = %v, want %v",
+					tc.caches, tc.fraction, i, got, want)
+			}
+		}
+	}
+}
+
+// TestCorruptingWriter pins the corrupt-server byzantine mode: 200
+// object bodies are bit-flipped, while non-200 control responses (404
+// misses, 507 ifFree rejections) pass through honest.
+func TestCorruptingWriter(t *testing.T) {
+	scn := Scenario{ByzantineFraction: 1}
+	in := NewInjector(scn, 2, nil)
+
+	// Even cache index: the corrupt-server mode.
+	handler := in.WrapCache(0, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("miss") != "" {
+			http.Error(w, "no such object", http.StatusNotFound)
+			return
+		}
+		w.Write([]byte{0x00, 0xFF, 0x42})
+	}))
+
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/object?key=k", nil))
+	if got := rec.Body.Bytes(); got[0] != 0xFF || got[1] != 0x00 || got[2] != 0x42^0xFF {
+		t.Fatalf("200 body not flipped: % x", got)
+	}
+
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/object?key=k&miss=1", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("miss status = %d", rec.Code)
+	}
+	if got := rec.Body.String(); got != "no such object\n" {
+		t.Fatalf("404 body was corrupted: %q", got)
+	}
+
+	// Odd cache index: the receipt fabricator answers /store itself.
+	fab := in.WrapCache(0, 1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Fatal("fabricating daemon let the store through")
+	}))
+	rec = httptest.NewRecorder()
+	fab.ServeHTTP(rec, httptest.NewRequest("POST", "/store?key=k", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != `{"stored":true,"evicted":null,"reason":""}` {
+		t.Fatalf("fabricated receipt: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestChurnStormE2E is the mass-churn end-to-end: half the overlay
+// flash-disconnects mid-drive with the hardened defenses on, and the
+// run must finish with zero request errors (degraded, not failed) and
+// a clean conservation ledger.
+func TestChurnStormE2E(t *testing.T) {
+	scn, err := Lookup("flash-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := invariant.New(nil)
+	rep, err := RunLive(LiveConfig{
+		Scenario:       scn,
+		Requests:       600,
+		Objects:        100,
+		Clients:        20,
+		ObjectBytes:    256,
+		Rate:           600,
+		Warmup:         50,
+		Seed:           1,
+		Proxies:        2,
+		CachesPerProxy: 3,
+		DefensesOn:     true,
+		Check:          chk,
+		Registry:       obs.NewRegistry("churn-e2e"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors during flash churn; want graceful degradation", rep.Errors)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("%d conservation violations during flash churn", rep.Violations)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Churned != 3 {
+		t.Fatalf("churned %d caches, want 3 (half of 2x3)", rep.Churned)
+	}
+	if rep.HitRatio <= 0 {
+		t.Fatal("zero hit ratio: the surviving overlay served nothing")
+	}
+}
+
+// TestMetricsDocChaos holds the chaos.* namespace in METRICS.md
+// against what the injector and live runner register, in both
+// directions.
+func TestMetricsDocChaos(t *testing.T) {
+	md, err := os.ReadFile("../../METRICS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry("chaos-doc-smoke")
+	NewInjector(Scenario{}, 1, reg)
+	// The two counters the live runner owns (poisoning, churn).
+	reg.Counter("chaos.poisoned_keys").Add(0)
+	reg.Counter("chaos.churned_caches").Add(0)
+
+	var names []string
+	for _, m := range reg.Snapshot() {
+		names = append(names, m.Name)
+	}
+	if err := obs.CheckMetricsDoc(md, names, "chaos"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package chaos
+
+// Row is one scenario's BENCH_chaos.json record: the scenario run
+// live and simulated, each with defenses off and on, plus the derived
+// deltas the gate reads.
+type Row struct {
+	Scenario    string      `json:"scenario"`
+	Description string      `json:"description"`
+	LiveOff     *LiveReport `json:"live_off"`
+	LiveOn      *LiveReport `json:"live_on"`
+	SimOff      *SimReport  `json:"sim_off"`
+	SimOn       *SimReport  `json:"sim_on"`
+}
+
+// P999Cut is how much the defenses cut the live tail:
+// p999(off) / p999(on).  >1 means the defenses helped.
+func (r Row) P999Cut() float64 {
+	if r.LiveOff == nil || r.LiveOn == nil || r.LiveOn.P999Ms == 0 {
+		return 0
+	}
+	return r.LiveOff.P999Ms / r.LiveOn.P999Ms
+}
+
+// HitRatioDelta is the live hit-ratio change defenses-on minus
+// defenses-off (positive = defenses recovered hits).
+func (r Row) HitRatioDelta() float64 {
+	if r.LiveOff == nil || r.LiveOn == nil {
+		return 0
+	}
+	return r.LiveOn.HitRatio - r.LiveOff.HitRatio
+}
+
+// Violations sums accountant violations across every run of the row —
+// the acceptance gate requires zero.
+func (r Row) Violations() int64 {
+	var v int64
+	if r.LiveOff != nil {
+		v += r.LiveOff.Violations
+	}
+	if r.LiveOn != nil {
+		v += r.LiveOn.Violations
+	}
+	if r.SimOff != nil {
+		v += r.SimOff.Violations
+	}
+	if r.SimOn != nil {
+		v += r.SimOn.Violations
+	}
+	return v
+}

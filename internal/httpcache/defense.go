@@ -1,0 +1,375 @@
+package httpcache
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"webcache/internal/invariant"
+	"webcache/internal/p2p"
+	"webcache/internal/pastry"
+	"webcache/internal/trace"
+)
+
+// Defenses bundles the proxy's request-path protections against the
+// failure and attack modes the paper's federation has no answer to
+// (it trusts client caches completely and assumes peers answer
+// promptly — see DESIGN.md §11):
+//
+//   - per-call deadlines: every lanFetch / peerLookup carries the
+//     requester's context bounded by PeerTimeout, so one slow peer
+//     cannot stall the whole fetch chain;
+//   - hedged LAN fetches: after a p99-derived delay, a second request
+//     races a ring neighbour against a slow owner (tail-latency
+//     hedging a la "The Tail at Scale");
+//   - receipt-verification sampling: every VerifyEvery-th client-cache
+//     serve is digest-checked against the body the proxy passed down,
+//     catching byzantine daemons that serve corrupted objects;
+//   - contribution accounting: per-client serve/timeout/digest-failure
+//     counters feed the liveness sweeper, which evicts clients whose
+//     strikes outweigh their contribution;
+//   - a per-peer circuit breaker: BreakerFailures consecutive
+//     transport failures open the breaker and the proxy degrades to
+//     origin until BreakerCooldown permits a half-open probe.
+//
+// The zero value means "deadlines only, everything else off"; defaults
+// are filled by SetDefenses (and by NewProxyOpts for proxies that
+// never call it).
+type Defenses struct {
+	// PeerTimeout is the per-call deadline on lanFetch and peerLookup
+	// (default 2s).  It layers under the shared client timeout: the
+	// context is derived from the inbound request, so a disconnected
+	// requester also cancels the downstream call.
+	PeerTimeout time.Duration
+	// Hedge enables the hedged second LAN fetch to a ring neighbour.
+	Hedge bool
+	// HedgeDelay is how long the primary LAN fetch runs before the
+	// hedge fires; 0 derives it from the observed p99 of successful
+	// LAN fetches (clamped to [minHedgeDelay, PeerTimeout/2]).
+	HedgeDelay time.Duration
+	// VerifyEvery digest-checks every Nth client-cache serve against
+	// the body digest recorded at pass-down (0 = off).  A mismatch is
+	// treated as a miss and strikes the serving client.
+	VerifyEvery int
+	// BreakerFailures is the consecutive transport-failure count that
+	// opens a cooperating proxy's circuit breaker (0 = off);
+	// BreakerCooldown is how long an open breaker rejects before
+	// allowing a half-open probe (default 5s).
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// SweepStrikes is the strike budget (timeouts + 4x digest
+	// failures) past which the sweeper deregisters a client cache
+	// regardless of liveness (default 8).
+	SweepStrikes int64
+	// PushTimeout bounds the peer-lookup wait for a client-cache push
+	// (default 3s, the old hardcoded value).
+	PushTimeout time.Duration
+}
+
+// Hedge-delay clamp: never hedge sooner than this (a hedge below the
+// LAN RTT floor just doubles traffic), never later than half the
+// per-call deadline (or it cannot win before the primary times out).
+const minHedgeDelay = 2 * time.Millisecond
+
+func (d *Defenses) fillDefaults() {
+	if d.PeerTimeout <= 0 {
+		d.PeerTimeout = 2 * time.Second
+	}
+	if d.BreakerCooldown <= 0 {
+		d.BreakerCooldown = 5 * time.Second
+	}
+	if d.SweepStrikes <= 0 {
+		d.SweepStrikes = 8
+	}
+	if d.PushTimeout <= 0 {
+		d.PushTimeout = 3 * time.Second
+	}
+}
+
+// SetDefenses configures the proxy's request-path protections.  Zero
+// fields take their defaults.  Not safe to call after Serve starts.
+func (p *Proxy) SetDefenses(d Defenses) {
+	d.fillDefaults()
+	p.defenses = d
+}
+
+// hedgeDelay resolves the hedge trigger: the configured delay, or the
+// p99 of observed successful LAN fetches, clamped.
+func (p *Proxy) hedgeDelay() time.Duration {
+	if d := p.defenses.HedgeDelay; d > 0 {
+		return d
+	}
+	d := p.lanLat.Quantile(0.99)
+	if d < minHedgeDelay {
+		d = minHedgeDelay
+	}
+	if max := p.defenses.PeerTimeout / 2; d > max {
+		d = max
+	}
+	return d
+}
+
+// hedgedLanFetch fetches from the owner, racing a ring neighbour
+// after the hedge delay when hedging is enabled.  The first success
+// wins; a losing leg's goroutine delivers into a buffered channel and
+// exits (no leak).
+func (p *Proxy) hedgedLanFetch(ctx context.Context, addr string, id pastry.ID, traceID string) ([]byte, bool) {
+	if !p.defenses.Hedge {
+		return p.lanFetch(ctx, addr, id, traceID)
+	}
+	alts := p.ringNeighbours(addr)
+	if len(alts) == 0 {
+		return p.lanFetch(ctx, addr, id, traceID)
+	}
+	type leg struct {
+		body []byte
+		addr string
+		ok   bool
+	}
+	results := make(chan leg, 2)
+	launch := func(a string) {
+		go func() {
+			body, ok := p.lanFetch(ctx, a, id, traceID)
+			results <- leg{body, a, ok}
+		}()
+	}
+	launch(addr)
+	timer := time.NewTimer(p.hedgeDelay())
+	defer timer.Stop()
+	hedged := false
+	pending := 1
+	for {
+		select {
+		case r := <-results:
+			pending--
+			if r.ok {
+				if hedged && r.addr != addr {
+					p.stats.hedgedWins.Add(1)
+				}
+				return r.body, true
+			}
+			if pending == 0 || !hedged {
+				// Both legs missed, or the primary missed before the
+				// hedge fired — the caller's diversion probes take over.
+				return nil, false
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				pending++
+				p.stats.hedged.Add(1)
+				launch(alts[0])
+			}
+		}
+	}
+}
+
+// bodyDigest is the FNV-1a 64-bit hash of an object body — cheap
+// enough to compute at pass-down time and on sampled serves.
+func bodyDigest(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// recordDigest remembers the digest of a body passed down to the
+// client caches (only when verification sampling is on — the map
+// tracks the directory's resident set, so dropDigest mirrors every
+// dir.Remove site).
+func (p *Proxy) recordDigest(folded trace.ObjectID, body []byte) {
+	if p.defenses.VerifyEvery > 0 {
+		p.digests.Store(folded, bodyDigest(body))
+	}
+}
+
+func (p *Proxy) dropDigest(folded trace.ObjectID) {
+	if p.defenses.VerifyEvery > 0 {
+		p.digests.Delete(folded)
+	}
+}
+
+// verifyBody samples client-cache serves and digest-checks them
+// against the body recorded at pass-down.  It reports false on a
+// mismatch — a byzantine (or bit-flipping) client cache; the caller
+// treats the serve as a miss.
+func (p *Proxy) verifyBody(folded trace.ObjectID, body []byte) bool {
+	n := p.defenses.VerifyEvery
+	if n <= 0 {
+		return true
+	}
+	if int(p.verifySeq.Add(1))%n != 0 {
+		return true
+	}
+	want, ok := p.digests.Load(folded)
+	if !ok {
+		return true // nothing recorded for this object (pre-defense store)
+	}
+	p.stats.digestChecks.Add(1)
+	if want.(uint64) != bodyDigest(body) {
+		p.stats.digestFailures.Add(1)
+		return false
+	}
+	return true
+}
+
+// contribution is one client cache's serve-vs-strike ledger; the
+// sweeper evicts clients whose strikes exhaust the budget.
+type contribution struct {
+	serves      atomic.Int64
+	timeouts    atomic.Int64
+	digestFails atomic.Int64
+}
+
+func (c *contribution) strikes() int64 {
+	return c.timeouts.Load() + 4*c.digestFails.Load()
+}
+
+func (p *Proxy) contribFor(addr string) *contribution {
+	if c, ok := p.contrib.Load(addr); ok {
+		return c.(*contribution)
+	}
+	c, _ := p.contrib.LoadOrStore(addr, &contribution{})
+	return c.(*contribution)
+}
+
+// contribCondemned reports whether addr's strike ledger warrants
+// eviction: the strike budget is spent and the client has not earned
+// it back with serves.
+func (p *Proxy) contribCondemned(addr string) bool {
+	v, ok := p.contrib.Load(addr)
+	if !ok {
+		return false
+	}
+	c := v.(*contribution)
+	s := c.strikes()
+	return s >= p.defenses.SweepStrikes && s > c.serves.Load()/4
+}
+
+// breaker is a per-peer circuit breaker: consecutive transport
+// failures open it; after the cooldown one half-open probe is
+// admitted, and a success closes it again.
+type breaker struct {
+	failures atomic.Int64
+	openedAt atomic.Int64 // unixnano; 0 = closed
+}
+
+func (p *Proxy) breakerFor(peer string) *breaker {
+	if b, ok := p.breakers.Load(peer); ok {
+		return b.(*breaker)
+	}
+	b, _ := p.breakers.LoadOrStore(peer, &breaker{})
+	return b.(*breaker)
+}
+
+// peerAllowed reports whether the breaker admits a call to peer.
+func (p *Proxy) peerAllowed(peer string) bool {
+	if p.defenses.BreakerFailures <= 0 {
+		return true
+	}
+	b := p.breakerFor(peer)
+	opened := b.openedAt.Load()
+	if opened == 0 {
+		return true
+	}
+	now := time.Now().UnixNano()
+	if now-opened < int64(p.defenses.BreakerCooldown) {
+		return false
+	}
+	// Half-open: exactly one prober wins the CAS and carries the probe;
+	// everyone else keeps degrading until it reports back.
+	return b.openedAt.CompareAndSwap(opened, now)
+}
+
+// peerFailed records a transport failure against peer, opening the
+// breaker at the threshold.
+func (p *Proxy) peerFailed(peer string) {
+	if p.defenses.BreakerFailures <= 0 {
+		return
+	}
+	b := p.breakerFor(peer)
+	if int(b.failures.Add(1)) >= p.defenses.BreakerFailures {
+		if b.openedAt.CompareAndSwap(0, time.Now().UnixNano()) {
+			p.stats.breakerOpens.Add(1)
+		}
+	}
+}
+
+// peerOK records a successful round trip (a miss answer counts —
+// the peer is healthy), closing the breaker.
+func (p *Proxy) peerOK(peer string) {
+	if p.defenses.BreakerFailures <= 0 {
+		return
+	}
+	b := p.breakerFor(peer)
+	b.failures.Store(0)
+	b.openedAt.Store(0)
+}
+
+// EnableAccounting threads a live conservation oracle through the
+// proxy's pass-down receipt stream (invariant.ClusterAccountant, in
+// lenient mode — live receipts do not cover crash losses or races the
+// way the simulator's do, so only the ledger identity and the
+// receipt-shape assertions apply).  Call before Serve starts;
+// ReconcileAccounting asserts the ledger at any quiescent point.
+func (p *Proxy) EnableAccounting(chk *invariant.Checker) {
+	p.acctMu.Lock()
+	defer p.acctMu.Unlock()
+	p.acct = invariant.NewClusterAccountant(chk, "live")
+	p.acct.Lenient()
+}
+
+// ReconcileAccounting checks the conservation ledger (no-op without
+// EnableAccounting).
+func (p *Proxy) ReconcileAccounting() {
+	p.acctMu.Lock()
+	defer p.acctMu.Unlock()
+	p.acct.Reconcile(nil)
+}
+
+// recordReceipt feeds one pass-down store receipt into the live
+// accountant.
+func (p *Proxy) recordReceipt(hexKey string, rec *StoreReceipt, diverted bool) {
+	if p.acct == nil {
+		return
+	}
+	r := p2p.Receipt{
+		Stored:   fold(keyFromHex(hexKey)),
+		StoredOK: rec.Stored,
+		Diverted: diverted,
+	}
+	for _, ev := range rec.Evicted {
+		r.Evicted = append(r.Evicted, fold(keyFromHex(ev)))
+	}
+	p.acctMu.Lock()
+	p.acct.RecordStore(r)
+	p.acctMu.Unlock()
+}
+
+// DefenseStats is the defense-counter slice of ProxyStats, kept as a
+// named struct so chaos reports can aggregate it without pulling the
+// whole stats payload apart.
+type DefenseStats struct {
+	HedgedRequests int `json:"hedged_requests"`
+	HedgedWins     int `json:"hedged_wins"`
+	BreakerSkipped int `json:"breaker_skipped"`
+	BreakerOpens   int `json:"breaker_opens"`
+	DigestChecks   int `json:"digest_checks"`
+	DigestFailures int `json:"digest_failures"`
+	ContribSwept   int `json:"contrib_swept"`
+	PeerTimeouts   int `json:"peer_timeouts"`
+}
+
+// Add accumulates another proxy's defense counters (chaos reports).
+func (d *DefenseStats) Add(o DefenseStats) {
+	d.HedgedRequests += o.HedgedRequests
+	d.HedgedWins += o.HedgedWins
+	d.BreakerSkipped += o.BreakerSkipped
+	d.BreakerOpens += o.BreakerOpens
+	d.DigestChecks += o.DigestChecks
+	d.DigestFailures += o.DigestFailures
+	d.ContribSwept += o.ContribSwept
+	d.PeerTimeouts += o.PeerTimeouts
+}

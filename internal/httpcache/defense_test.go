@@ -1,0 +1,318 @@
+package httpcache
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeDaemon is a scriptable stand-in for a client-cache daemon: it
+// serves a fixed body on /object, optionally stalling first, and
+// accepts /push without ever delivering (the byzantine push pattern).
+type fakeDaemon struct {
+	srv   *httptest.Server
+	addr  string
+	delay atomic.Int64 // nanoseconds of stall before answering /object
+	body  []byte
+}
+
+func newFakeDaemon(t *testing.T, body []byte) *fakeDaemon {
+	t.Helper()
+	d := &fakeDaemon{body: body}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /object", func(w http.ResponseWriter, r *http.Request) {
+		if s := time.Duration(d.delay.Load()); s > 0 {
+			select {
+			case <-time.After(s):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		w.Write(d.body)
+	})
+	mux.HandleFunc("POST /push", func(w http.ResponseWriter, r *http.Request) {
+		// Accept the push (204) but never deliver the object to
+		// /accept-push: the handler's push wait must time out on its
+		// own, not hang on this daemon's goodwill.
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{}"))
+	})
+	d.srv = httptest.NewServer(mux)
+	t.Cleanup(d.srv.Close)
+	d.addr = strings.TrimPrefix(d.srv.URL, "http://")
+	return d
+}
+
+// defenseProxy wires a served proxy whose ring holds the given fake
+// daemons, with the object's directory entry pre-planted.
+func defenseProxy(t *testing.T, d Defenses, daemons ...*fakeDaemon) (*Proxy, *httptest.Server) {
+	t.Helper()
+	px := NewProxy(1 << 20)
+	px.SetDefenses(d)
+	srv := httptest.NewServer(px.Handler())
+	t.Cleanup(srv.Close)
+	px.SetSelf(srv.URL)
+	for _, fd := range daemons {
+		px.ring.add(fd.addr)
+	}
+	return px, srv
+}
+
+func plantDir(px *Proxy, objURL string) {
+	px.mu.Lock()
+	px.dir.Add(fold(keyOf(objURL)))
+	px.mu.Unlock()
+}
+
+// TestSlowPeerDeadline is the slow-peer regression test: a client
+// cache that stalls far past the per-call deadline must cost at most
+// PeerTimeout before the request degrades to origin — not the shared
+// 10s client timeout the pre-defense code paid.
+func TestSlowPeerDeadline(t *testing.T) {
+	origin := newTestOrigin()
+	t.Cleanup(origin.srv.Close)
+	daemon := newFakeDaemon(t, []byte("stale"))
+	daemon.delay.Store(int64(500 * time.Millisecond))
+
+	px, srv := defenseProxy(t, Defenses{PeerTimeout: 50 * time.Millisecond}, daemon)
+	objURL := origin.srv.URL + "/slow"
+	plantDir(px, objURL)
+
+	start := time.Now()
+	status, tier := get(t, fmt.Sprintf("%s/fetch?url=%s", srv.URL, url.QueryEscape(objURL)))
+	elapsed := time.Since(start)
+	if status != http.StatusOK || tier != TierOrigin {
+		t.Fatalf("slow-peer fetch: status %d tier %q, want 200 %q", status, tier, TierOrigin)
+	}
+	// Budget: one bounded LAN probe (~50ms) plus the origin round trip,
+	// with slack for CI.  The old behaviour was the full 500ms stall.
+	if elapsed > 300*time.Millisecond {
+		t.Fatalf("slow-peer fetch took %v, deadline is not bounding the LAN hop", elapsed)
+	}
+	st := px.snapshotStats()
+	if st.Defense.PeerTimeouts == 0 {
+		t.Fatal("no peer timeout recorded")
+	}
+	// A timeout is a strike, not a death: the daemon stays in the ring
+	// (only connection-level failures evict) and its ledger carries the
+	// strike for the sweeper to judge.
+	found := false
+	for _, a := range px.ring.addresses() {
+		if a == daemon.addr {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("timed-out daemon was evicted from the ring; timeouts must only strike")
+	}
+	if c := px.contribFor(daemon.addr); c.timeouts.Load() == 0 {
+		t.Fatal("timeout did not land on the contribution ledger")
+	}
+}
+
+// TestHedgedFetchWins pins the hedge's win path: with the ring owner
+// stalling and a neighbour holding a (diverted) copy, the hedged
+// second request must serve the object fast from the neighbour and
+// count a hedged win — the response still attributed to the
+// client-cache tier.
+func TestHedgedFetchWins(t *testing.T) {
+	origin := newTestOrigin()
+	t.Cleanup(origin.srv.Close)
+	objURL := origin.srv.URL + "/hedged"
+	body := []byte("content-of:/hedged")
+	a := newFakeDaemon(t, body)
+	b := newFakeDaemon(t, body)
+
+	px, srv := defenseProxy(t, Defenses{
+		Hedge:       true,
+		HedgeDelay:  5 * time.Millisecond,
+		PeerTimeout: 2 * time.Second,
+	}, a, b)
+	plantDir(px, objURL)
+
+	owner, ok := px.ring.owner(keyOf(objURL))
+	if !ok {
+		t.Fatal("no ring owner")
+	}
+	slow := a
+	if owner == b.addr {
+		slow = b
+	}
+	slow.delay.Store(int64(300 * time.Millisecond))
+
+	start := time.Now()
+	status, tier := get(t, fmt.Sprintf("%s/fetch?url=%s", srv.URL, url.QueryEscape(objURL)))
+	elapsed := time.Since(start)
+	if status != http.StatusOK || tier != TierClientCache {
+		t.Fatalf("hedged fetch: status %d tier %q, want 200 %q", status, tier, TierClientCache)
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Fatalf("hedged fetch took %v; the hedge should win well before the owner's 300ms stall", elapsed)
+	}
+	st := px.snapshotStats()
+	if st.Defense.HedgedRequests != 1 {
+		t.Fatalf("hedged requests = %d, want 1", st.Defense.HedgedRequests)
+	}
+	if st.Defense.HedgedWins != 1 {
+		t.Fatalf("hedged wins = %d, want 1", st.Defense.HedgedWins)
+	}
+}
+
+// TestRegisterBodyCap pins the /register size cap: an attacker
+// streaming an unbounded recovered-key list gets 413 before the proxy
+// buffers it; plain registrations (no body, junk body) still succeed.
+func TestRegisterBodyCap(t *testing.T) {
+	_, srv := defenseProxy(t, Defenses{})
+
+	huge := `{"recovered":["` + strings.Repeat("a", registerBodyMax+1024) + `"]}`
+	resp, err := http.Post(srv.URL+"/register?addr=10.0.0.1:999", "application/json",
+		strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize register: status %d, want 413", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL+"/register?addr=10.0.0.2:999", "text/plain",
+		strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain register: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestPushTimeoutNoGoroutineLeak pins the push wait's cleanup: a
+// daemon that accepts a push (204) but never delivers must cost one
+// bounded 504, a late /accept-push must get 410 Gone (the waiter is
+// unregistered), and repeated occurrences must not accrete goroutines.
+func TestPushTimeoutNoGoroutineLeak(t *testing.T) {
+	daemon := newFakeDaemon(t, nil) // /push accepts, never delivers
+	px, srv := defenseProxy(t, Defenses{PushTimeout: 100 * time.Millisecond}, daemon)
+	objURL := "http://origin.test/pushed"
+	plantDir(px, objURL)
+	key := keyOf(objURL).String()
+
+	before := runtime.NumGoroutine()
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		// Each round re-plants the directory entry (the 504 path
+		// repairs it away as stale).
+		plantDir(px, objURL)
+		resp, err := http.Get(srv.URL + "/peer-lookup?key=" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("round %d: status %d, want 504", i, resp.StatusCode)
+		}
+	}
+
+	// The first round's waiter was pushID 1; it is long unregistered.
+	resp, err := http.Post(srv.URL+"/accept-push?id=1", "application/octet-stream",
+		strings.NewReader("too late"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("late accept-push: status %d, want 410", resp.StatusCode)
+	}
+
+	// Server keep-alive goroutines settle asynchronously; poll.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d (was %d before %d timed-out pushes): push waits are leaking",
+				runtime.NumGoroutine(), before, rounds)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestBreakerDegradesToOrigin pins the per-peer circuit breaker and
+// the breaker-open serving path's X-Served-By attribution: a peer
+// failing at the transport level is consulted BreakerFailures times,
+// then skipped — every request still answered 200 from origin.
+func TestBreakerDegradesToOrigin(t *testing.T) {
+	origin := newTestOrigin()
+	t.Cleanup(origin.srv.Close)
+	badPeer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "broken peer", http.StatusInternalServerError)
+	}))
+	t.Cleanup(badPeer.Close)
+
+	px, srv := defenseProxy(t, Defenses{
+		BreakerFailures: 2,
+		BreakerCooldown: time.Minute, // stays open for the whole test
+	})
+	px.SetPeers([]string{badPeer.URL})
+
+	// Distinct cold objects so every request walks the peer step.
+	for i := 0; i < 6; i++ {
+		u := fmt.Sprintf("%s/fetch?url=%s", srv.URL,
+			url.QueryEscape(fmt.Sprintf("%s/breaker%d", origin.srv.URL, i)))
+		status, tier := get(t, u)
+		if status != http.StatusOK || tier != TierOrigin {
+			t.Fatalf("request %d: status %d tier %q, want 200 %q (degrade to origin, never 5xx)",
+				i, status, tier, TierOrigin)
+		}
+	}
+	st := px.snapshotStats()
+	if st.Defense.BreakerOpens != 1 {
+		t.Fatalf("breaker opens = %d, want 1", st.Defense.BreakerOpens)
+	}
+	// 6 requests, 2 admitted before the breaker opened: 4 skips.
+	if st.Defense.BreakerSkipped != 4 {
+		t.Fatalf("breaker skipped = %d, want 4", st.Defense.BreakerSkipped)
+	}
+}
+
+// TestContributionSweep pins the strike ledger end-to-end: a daemon
+// whose timeouts exhaust the strike budget is deregistered by the next
+// sweep even though it still answers probes.
+func TestContributionSweep(t *testing.T) {
+	origin := newTestOrigin()
+	t.Cleanup(origin.srv.Close)
+	daemon := newFakeDaemon(t, []byte("x"))
+	daemon.delay.Store(int64(200 * time.Millisecond))
+
+	px, srv := defenseProxy(t, Defenses{
+		PeerTimeout:  20 * time.Millisecond,
+		SweepStrikes: 3,
+	}, daemon)
+
+	for i := 0; i < 3; i++ {
+		objURL := fmt.Sprintf("%s/strike%d", origin.srv.URL, i)
+		plantDir(px, objURL)
+		if status, _ := get(t, fmt.Sprintf("%s/fetch?url=%s", srv.URL, url.QueryEscape(objURL))); status != http.StatusOK {
+			t.Fatalf("fetch %d: status %d", i, status)
+		}
+	}
+	if c := px.contribFor(daemon.addr); c.strikes() < 3 {
+		t.Fatalf("strikes = %d, want >= 3", c.strikes())
+	}
+	removed := px.SweepClientCaches()
+	if len(removed) != 1 || removed[0] != daemon.addr {
+		t.Fatalf("sweep removed %v, want [%s]", removed, daemon.addr)
+	}
+	if st := px.snapshotStats(); st.Defense.ContribSwept != 1 {
+		t.Fatalf("contrib swept = %d, want 1", st.Defense.ContribSwept)
+	}
+}

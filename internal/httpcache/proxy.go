@@ -2,7 +2,9 @@ package httpcache
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"webcache/internal/directory"
+	"webcache/internal/invariant"
 	"webcache/internal/obs"
 	"webcache/internal/pastry"
 	"webcache/internal/store"
@@ -49,6 +52,10 @@ type ProxyStats struct {
 	DiskHits   int `json:"disk_hits"`
 	DirEntries int `json:"directory_entries"`
 	ClientPool int `json:"client_caches"`
+	// Defense holds the chaos-defense counters (defense.go): hedged
+	// LAN fetches, breaker activity, digest verification, contribution
+	// sweeps, and per-hop peer timeouts.
+	Defense DefenseStats `json:"defense"`
 }
 
 // proxyCounters is the lock-free backing for ProxyStats: every
@@ -58,6 +65,9 @@ type proxyCounters struct {
 	requests, proxyHits, clientHits, remoteHits, originFetch,
 	coalesced, passDowns, diversions, divertedHits, pushesIn,
 	swept, diskHits atomic.Int64
+	// Defense counters (defense.go).
+	hedged, hedgedWins, breakerSkipped, breakerOpens,
+	digestChecks, digestFailures, contribSwept, peerTimeouts atomic.Int64
 }
 
 // Proxy is the caching forward proxy of the paper's architecture: a
@@ -85,6 +95,22 @@ type Proxy struct {
 
 	pushSeq     atomic.Uint64
 	pushWaiters sync.Map // pushID string -> chan []byte
+
+	// Defense state (defense.go): knobs, per-peer breakers, per-client
+	// contribution ledgers, sampled body digests, and the LAN-fetch
+	// latency histogram the hedge delay derives from.
+	defenses  Defenses
+	breakers  sync.Map // peer URL -> *breaker
+	contrib   sync.Map // cache addr -> *contribution
+	digests   sync.Map // trace.ObjectID -> uint64 body digest
+	verifySeq atomic.Int64
+	lanLat    *obs.Histogram
+
+	// acct is the live conservation oracle over pass-down receipts
+	// (EnableAccounting); acctMu serializes it — the accountant itself
+	// is not thread-safe.
+	acctMu sync.Mutex
+	acct   *invariant.ClusterAccountant
 
 	// tracer and metrics are the observability hooks (obs.go); both nil
 	// by default and nil-safe throughout.
@@ -117,7 +143,9 @@ func NewProxyOpts(o Options) (*Proxy, error) {
 		dir:         directory.NewExact(),
 		client:      newHTTPClient(10 * time.Second),
 		probeClient: newHTTPClient(2 * time.Second),
+		lanLat:      &obs.Histogram{},
 	}
+	p.defenses.fillDefaults()
 	return p, nil
 }
 
@@ -185,6 +213,10 @@ type registerBody struct {
 	Recovered []string `json:"recovered"`
 }
 
+// registerBodyMax caps the /register payload: 1 MiB holds ~30k
+// recovered keys, far beyond any real daemon's disk tier.
+const registerBodyMax = 1 << 20
+
 func (p *Proxy) handleRegister(w http.ResponseWriter, r *http.Request) {
 	addr := r.URL.Query().Get("addr")
 	if addr == "" {
@@ -193,8 +225,18 @@ func (p *Proxy) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	// The body is optional and best-effort: a plain registration (no
 	// body, or a non-JSON one) registers with an empty recovered set.
+	// It is still size-capped — a byzantine client streaming an
+	// unbounded recovered list is rejected with 413 instead of being
+	// buffered into proxy memory.
 	var body registerBody
-	json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&body)
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, registerBodyMax)).Decode(&body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "registration body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		// Non-JSON or empty body: plain registration.
+	}
 	id := p.ring.add(addr)
 	if len(body.Recovered) > 0 {
 		// Directory entries route through ring.owner, which may name a
@@ -251,27 +293,37 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 		dsp.EndWasted()
 	}
 
-	// 2. Own P2P client cache, per the lookup directory (§4.2).
+	// 2. Own P2P client cache, per the lookup directory (§4.2).  Every
+	// LAN hop is bounded by the per-call deadline and derives from the
+	// requester's context, so a disconnected client cancels the chain.
 	p.mu.Lock()
 	inDir := p.dir.MayContain(folded)
 	p.mu.Unlock()
 	if inDir {
 		if addr, ok := p.ring.owner(id); ok {
 			lan := st.StartSpan("client.fetch", "Tp2p")
-			if body, ok := p.lanFetch(addr, id, st.TraceID()); ok {
-				lan.End()
-				p.stats.clientHits.Add(1)
-				serve(w, body, TierClientCache)
-				st.FinishWall(TierClientCache)
-				return
+			if body, ok := p.hedgedLanFetch(r.Context(), addr, id, st.TraceID()); ok {
+				if p.verifyBody(folded, body) {
+					lan.End()
+					p.stats.clientHits.Add(1)
+					serve(w, body, TierClientCache)
+					st.FinishWall(TierClientCache)
+					return
+				}
+				// Digest mismatch: a byzantine serve.  Strike the
+				// owner's ledger, treat as a miss, and let the
+				// diversion probes / origin take over.
+				p.contribFor(addr).digestFails.Add(1)
+				lan.EndWasted()
+			} else {
+				lan.EndWasted()
 			}
-			lan.EndWasted()
 			// Diversion passthrough: an ifFree store may have landed
 			// the object on a ring neighbour instead of its owner
 			// (§4.3); probe them before declaring the entry stale.
 			for _, alt := range p.ringNeighbours(addr) {
 				div := st.StartSpan("client.fetch.divert", "Tp2p")
-				if body, ok := p.lanFetch(alt, id, st.TraceID()); ok {
+				if body, ok := p.lanFetch(r.Context(), alt, id, st.TraceID()); ok && p.verifyBody(folded, body) {
 					div.End()
 					p.stats.clientHits.Add(1)
 					p.stats.divertedHits.Add(1)
@@ -286,15 +338,27 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 		p.mu.Lock()
 		p.dir.Remove(folded)
 		p.mu.Unlock()
+		p.dropDigest(folded)
 	}
 
-	// 3. Cooperating proxies.
+	// 3. Cooperating proxies, each behind its error-rate breaker: a
+	// peer that keeps failing at the transport level is skipped (the
+	// request degrades toward origin) until its cooldown expires.
 	p.mu.Lock()
 	peers := p.peers
 	p.mu.Unlock()
 	for _, peer := range peers {
+		if !p.peerAllowed(peer) {
+			p.stats.breakerSkipped.Add(1)
+			continue
+		}
 		look := st.StartSpan("peer.lookup", "Tc")
-		body, ok := p.peerLookup(peer, id, st.TraceID())
+		body, ok, err := p.peerLookup(r.Context(), peer, id, st.TraceID())
+		if err != nil {
+			p.peerFailed(peer)
+		} else {
+			p.peerOK(peer)
+		}
 		if ok {
 			look.End()
 			p.stats.remoteHits.Add(1)
@@ -367,25 +431,41 @@ func (p *Proxy) originFetch(url string) ([]byte, error) {
 }
 
 // peerLookup asks one cooperating proxy for an object, forwarding the
-// request's trace id so the peer's spans join the same trace.
-func (p *Proxy) peerLookup(peer string, id pastry.ID, traceID string) ([]byte, bool) {
-	req, err := http.NewRequest("GET", fmt.Sprintf("%s/peer-lookup?key=%s", peer, id), nil)
+// request's trace id so the peer's spans join the same trace.  The
+// call is bounded by the per-hop deadline layered on the caller's
+// context.  The error return discriminates peer *health* from a plain
+// miss: a 404 is (nil, false, nil) — the peer answered, it just does
+// not have the object — while transport failures and unexpected
+// statuses return an error that feeds the peer's circuit breaker.
+func (p *Proxy) peerLookup(ctx context.Context, peer string, id pastry.ID, traceID string) ([]byte, bool, error) {
+	ctx, cancel := context.WithTimeout(ctx, p.defenses.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", fmt.Sprintf("%s/peer-lookup?key=%s", peer, id), nil)
 	if err != nil {
-		return nil, false
+		return nil, false, err
 	}
 	if traceID != "" {
 		req.Header.Set(TraceHeader, traceID)
 	}
 	resp, err := p.client.Do(req)
 	if err != nil {
-		return nil, false
+		if ctx.Err() != nil {
+			p.stats.peerTimeouts.Add(1)
+		}
+		return nil, false, err
 	}
 	body, rerr := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if rerr != nil || resp.StatusCode != http.StatusOK {
-		return nil, false
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, false, nil
 	}
-	return body, true
+	if rerr != nil {
+		return nil, false, rerr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("peer status %d", resp.StatusCode)
+	}
+	return body, true, nil
 }
 
 // Greedy-dual costs mirror the latency model: origin fetches are the
@@ -398,9 +478,13 @@ const (
 // lanFetch pulls an object from one of this proxy's own client caches
 // (same intranet — direct connections are allowed here; it is only
 // *cross-organization* inbound connections the firewall forbids, which
-// is why cooperating proxies use the push path instead).
-func (p *Proxy) lanFetch(addr string, id pastry.ID, traceID string) ([]byte, bool) {
-	req, err := http.NewRequest("GET", fmt.Sprintf("http://%s/object?key=%s", addr, id), nil)
+// is why cooperating proxies use the push path instead).  The call is
+// bounded by the per-hop deadline layered on the caller's context.
+func (p *Proxy) lanFetch(ctx context.Context, addr string, id pastry.ID, traceID string) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(ctx, p.defenses.PeerTimeout)
+	defer cancel()
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, "GET", fmt.Sprintf("http://%s/object?key=%s", addr, id), nil)
 	if err != nil {
 		return nil, false
 	}
@@ -409,6 +493,14 @@ func (p *Proxy) lanFetch(addr string, id pastry.ID, traceID string) ([]byte, boo
 	}
 	resp, err := p.client.Do(req)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Deadline, not death: the daemon may just be slow (or the
+			// requester hung up).  Strike its contribution ledger but
+			// keep it in the ring — the sweeper evicts repeat offenders.
+			p.stats.peerTimeouts.Add(1)
+			p.contribFor(addr).timeouts.Add(1)
+			return nil, false
+		}
 		// Connection-level failure: the daemon is gone; its keys
 		// re-home to the ring neighbours on the next pass-down.
 		p.ring.remove(addr)
@@ -422,6 +514,8 @@ func (p *Proxy) lanFetch(addr string, id pastry.ID, traceID string) ([]byte, boo
 	if err != nil {
 		return nil, false
 	}
+	p.lanLat.Observe(time.Since(start))
+	p.contribFor(addr).serves.Add(1)
 	return body, true
 }
 
@@ -469,11 +563,13 @@ func (p *Proxy) passDown(obj store.Object) {
 		}
 		return &rec, true
 	}
+	diverted := false
 	rec, ok := tryStore(addr, true)
 	if !ok {
 		for _, alt := range p.ringNeighbours(addr) {
 			if rec, ok = tryStore(alt, true); ok {
 				p.stats.diversions.Add(1)
+				diverted = true
 				break
 			}
 		}
@@ -486,6 +582,7 @@ func (p *Proxy) passDown(obj store.Object) {
 		}
 	}
 	p.stats.passDowns.Add(1)
+	p.recordReceipt(obj.HexKey, rec, diverted)
 	p.mu.Lock()
 	if rec.Stored {
 		p.dir.Add(fold(keyFromHex(obj.HexKey)))
@@ -494,6 +591,12 @@ func (p *Proxy) passDown(obj store.Object) {
 		p.dir.Remove(fold(keyFromHex(evHex)))
 	}
 	p.mu.Unlock()
+	if rec.Stored {
+		p.recordDigest(fold(keyFromHex(obj.HexKey)), obj.Body)
+	}
+	for _, evHex := range rec.Evicted {
+		p.dropDigest(fold(keyFromHex(evHex)))
+	}
 }
 
 // ringNeighbours returns up to two other cache addresses (the
@@ -521,6 +624,17 @@ func (p *Proxy) ringNeighbours(exclude string) []string {
 func (p *Proxy) SweepClientCaches() []string {
 	var removed []string
 	for _, addr := range p.ring.addresses() {
+		// Contribution condemnation first: a daemon whose strike
+		// ledger (timeouts + weighted digest failures) outweighs its
+		// serves is evicted even if it still answers probes — a
+		// byzantine or tail-amplifying client is worse than a dead one.
+		if p.contribCondemned(addr) {
+			p.ring.remove(addr)
+			p.contrib.Delete(addr)
+			p.stats.contribSwept.Add(1)
+			removed = append(removed, addr)
+			continue
+		}
 		resp, err := p.probeClient.Get(fmt.Sprintf("http://%s/stats", addr))
 		if err != nil {
 			p.ring.remove(addr)
@@ -631,16 +745,26 @@ func (p *Proxy) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	timer := time.NewTimer(p.defenses.PushTimeout)
+	defer timer.Stop()
 	select {
 	case body := <-ch:
 		push.End()
 		p.stats.pushesIn.Add(1)
 		serve(w, body, TierPeerP2P)
 		st.FinishWall(TierPeerP2P)
-	case <-time.After(3 * time.Second):
+	case <-timer.C:
 		push.EndWasted()
 		st.FinishWall("error")
 		http.Error(w, "push timed out", http.StatusGatewayTimeout)
+	case <-r.Context().Done():
+		// The peer gave up (its per-hop deadline fired, or it
+		// disconnected).  Without this arm the handler pins the
+		// connection active for the full push timeout after the caller
+		// is gone — every graceful drain then stalls behind abandoned
+		// push waits.
+		push.EndWasted()
+		st.FinishWall("error")
 	}
 }
 
@@ -682,6 +806,16 @@ func (p *Proxy) snapshotStats() ProxyStats {
 		SweptCaches:      int(p.stats.swept.Load()),
 		DiskHits:         int(p.stats.diskHits.Load()),
 		DirEntries:       dirLen,
+		Defense: DefenseStats{
+			HedgedRequests: int(p.stats.hedged.Load()),
+			HedgedWins:     int(p.stats.hedgedWins.Load()),
+			BreakerSkipped: int(p.stats.breakerSkipped.Load()),
+			BreakerOpens:   int(p.stats.breakerOpens.Load()),
+			DigestChecks:   int(p.stats.digestChecks.Load()),
+			DigestFailures: int(p.stats.digestFailures.Load()),
+			ContribSwept:   int(p.stats.contribSwept.Load()),
+			PeerTimeouts:   int(p.stats.peerTimeouts.Load()),
+		},
 	}
 }
 

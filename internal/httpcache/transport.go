@@ -29,3 +29,14 @@ func NewTransport() *http.Transport {
 func newHTTPClient(timeout time.Duration) *http.Client {
 	return &http.Client{Timeout: timeout, Transport: NewTransport()}
 }
+
+// CloseIdleConnections drops the proxy's pooled outbound connections.
+// Shutdown paths call this before draining servers: a connection the
+// transport dialed but never used sits in StateNew on the server side,
+// and http.Server.Shutdown only reaps those after a hard-coded 5s
+// grace — every graceful drain would stall that long otherwise.
+func (p *Proxy) CloseIdleConnections() { p.client.CloseIdleConnections() }
+
+// CloseIdleConnections drops the daemon's pooled outbound connections
+// (push deliveries to proxies); see Proxy.CloseIdleConnections.
+func (c *ClientCache) CloseIdleConnections() { c.client.CloseIdleConnections() }

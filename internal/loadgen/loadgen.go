@@ -147,6 +147,13 @@ func NewHTTPTarget(timeout time.Duration) *HTTPTarget {
 	return &HTTPTarget{Client: &http.Client{Timeout: timeout, Transport: httpcache.NewTransport()}}
 }
 
+// CloseIdleConnections drops the driver's pooled connections.  Bench
+// runs call this between Run and Topology.Close: connections the
+// transport dialed but never used are StateNew to the daemons, and
+// http.Server.Shutdown reaps those only after a 5s grace — an undropped
+// driver pool stalls every topology drain by that long.
+func (t *HTTPTarget) CloseIdleConnections() { t.Client.CloseIdleConnections() }
+
 // Do implements Target.
 func (t *HTTPTarget) Do(r ScheduledRequest) Outcome {
 	req, err := http.NewRequest("GET", r.URL, nil)

@@ -4,12 +4,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"webcache/internal/httpcache"
+	"webcache/internal/invariant"
 	"webcache/internal/obs"
 )
 
@@ -40,6 +44,17 @@ type TopologyConfig struct {
 	// Shared: a scrape of daemon D refreshes D's gauges synchronously
 	// before exposition, so each response reflects the scraped daemon.
 	Metrics *obs.Registry
+	// Defenses, when non-nil, configures every proxy's chaos defenses
+	// (per-hop deadlines, hedging, digest sampling, breakers).
+	Defenses *httpcache.Defenses
+	// Check, when non-nil, attaches a live conservation accountant to
+	// every proxy (httpcache.Proxy.EnableAccounting).
+	Check *invariant.Checker
+	// WrapProxy / WrapCache, when non-nil, wrap each daemon's handler —
+	// the chaos fault-injection hook (internal/chaos).  They receive
+	// the daemon's topology indices and must return a handler.
+	WrapProxy func(proxy int, h http.Handler) http.Handler
+	WrapCache func(proxy, cache int, h http.Handler) http.Handler
 }
 
 // Topology is a running loopback deployment.  Everything listens on
@@ -48,8 +63,19 @@ type Topology struct {
 	OriginURL string
 	ProxyURLs []string
 	Proxies   []*httpcache.Proxy
+	// CacheAddrs[p] lists proxy p's client-cache daemon addresses
+	// (host:port, registration order) — the chaos layer's churn and
+	// poison targets.
+	CacheAddrs [][]string
 
 	servers []*http.Server
+	caches  []*httpcache.ClientCache
+	// cacheServers[addr] maps a client-cache address to its server so
+	// FlashDisconnect can kill it; closed remembers what died so Close
+	// does not double-close.
+	cacheServers map[string]*http.Server
+	closedMu     sync.Mutex
+	closed       map[*http.Server]bool
 }
 
 // pick resolves a per-index capacity from a one-or-per-index slice.
@@ -73,7 +99,10 @@ func StartLoopback(cfg TopologyConfig) (*Topology, error) {
 	if cfg.ObjectBytes < 1 {
 		return nil, fmt.Errorf("loadgen: object size %d bytes", cfg.ObjectBytes)
 	}
-	t := &Topology{}
+	t := &Topology{
+		cacheServers: make(map[string]*http.Server),
+		closed:       make(map[*http.Server]bool),
+	}
 	ok := false
 	defer func() {
 		if !ok {
@@ -109,11 +138,21 @@ func StartLoopback(cfg TopologyConfig) (*Topology, error) {
 		}
 		px.SetTracer(cfg.Tracer)
 		px.SetMetrics(cfg.Metrics)
+		if cfg.Defenses != nil {
+			px.SetDefenses(*cfg.Defenses)
+		}
+		if cfg.Check != nil {
+			px.EnableAccounting(cfg.Check)
+		}
 		ln, err := listen()
 		if err != nil {
 			return nil, err
 		}
-		t.serve(ln, px.Handler())
+		ph := http.Handler(px.Handler())
+		if cfg.WrapProxy != nil {
+			ph = cfg.WrapProxy(p, ph)
+		}
+		t.serve(ln, ph)
 		u := "http://" + ln.Addr().String()
 		px.SetSelf(u)
 		t.Proxies = append(t.Proxies, px)
@@ -123,6 +162,7 @@ func StartLoopback(cfg TopologyConfig) (*Topology, error) {
 		if err != nil {
 			return nil, err
 		}
+		var addrs []string
 		for c := 0; c < cfg.CachesPerProxy; c++ {
 			cc, err := httpcache.NewClientCacheOpts(httpcache.Options{
 				CapacityBytes: cacheBytes, Policy: cfg.Policy, Shards: cfg.Shards,
@@ -136,14 +176,22 @@ func StartLoopback(cfg TopologyConfig) (*Topology, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.serve(cln, cc.Handler())
-			resp, err := http.Post(fmt.Sprintf("%s/register?addr=%s", u, cln.Addr().String()),
+			ch := http.Handler(cc.Handler())
+			if cfg.WrapCache != nil {
+				ch = cfg.WrapCache(p, c, ch)
+			}
+			addr := cln.Addr().String()
+			t.caches = append(t.caches, cc)
+			t.cacheServers[addr] = t.serve(cln, ch)
+			resp, err := http.Post(fmt.Sprintf("%s/register?addr=%s", u, addr),
 				"text/plain", nil)
 			if err != nil {
 				return nil, fmt.Errorf("loadgen: registering cache with %s: %w", u, err)
 			}
 			resp.Body.Close()
+			addrs = append(addrs, addr)
 		}
+		t.CacheAddrs = append(t.CacheAddrs, addrs)
 	}
 	// Cooperating full mesh.
 	for p, px := range t.Proxies {
@@ -164,18 +212,69 @@ func listen() (net.Listener, error) {
 }
 
 // serve runs an http.Server on ln and tracks it for shutdown.
-func (t *Topology) serve(ln net.Listener, h http.Handler) {
+func (t *Topology) serve(ln net.Listener, h http.Handler) *http.Server {
 	srv := &http.Server{Handler: h}
 	t.servers = append(t.servers, srv)
 	go srv.Serve(ln)
+	return srv
+}
+
+// FlashDisconnect hard-closes a fraction of the client-cache daemons —
+// the mass-churn chaos scenario (50% of the overlay vanishing at
+// once).  The victims are a deterministic shuffle of the flat daemon
+// list under seed; the closed servers are remembered so Close skips
+// them.  Returns the downed addresses.
+func (t *Topology) FlashDisconnect(fraction float64, seed int64) []string {
+	var all []string
+	for _, addrs := range t.CacheAddrs {
+		all = append(all, addrs...)
+	}
+	sort.Strings(all)
+	n := int(float64(len(all))*fraction + 0.5)
+	if n <= 0 {
+		return nil
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	victims := all[:n]
+	t.closedMu.Lock()
+	defer t.closedMu.Unlock()
+	for _, addr := range victims {
+		if srv := t.cacheServers[addr]; srv != nil && !t.closed[srv] {
+			srv.Close()
+			t.closed[srv] = true
+		}
+	}
+	return victims
 }
 
 // Close drains every server through http.Server.Shutdown under ctx's
 // deadline (the graceful path bench runs rely on to stop topologies
 // cleanly); servers still busy past the deadline are closed hard.
+// Servers already killed by FlashDisconnect are skipped.
 func (t *Topology) Close(ctx context.Context) error {
+	// Drop every pooled client-side connection first.  A connection a
+	// transport dialed but never sent a request on is StateNew to its
+	// server, and Shutdown only reaps StateNew conns after a 5s grace —
+	// leaving them open stalls every drain by exactly that long.
+	for _, px := range t.Proxies {
+		px.CloseIdleConnections()
+	}
+	for _, cc := range t.caches {
+		cc.CloseIdleConnections()
+	}
+	http.DefaultClient.CloseIdleConnections() // registration + /stats probes
 	var firstErr error
 	for i := len(t.servers) - 1; i >= 0; i-- {
+		t.closedMu.Lock()
+		skip := t.closed[t.servers[i]]
+		t.closedMu.Unlock()
+		if skip {
+			continue
+		}
 		if err := t.servers[i].Shutdown(ctx); err != nil {
 			t.servers[i].Close()
 			if firstErr == nil {

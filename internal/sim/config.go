@@ -122,6 +122,27 @@ type Config struct {
 	// client after each crash.
 	FailEvery     int
 	ReplaceFailed bool
+	// Chaos scenario knobs (Hier-GD only; all zero = off; see
+	// internal/chaos for the scenario vocabulary shared with the live
+	// topology).  FlashChurnAt fails FlashChurnFraction (default 0.5)
+	// of every cluster's live clients at that request index — the
+	// mass-churn storm.  PoisonEvery injects PoisonBatch (default 8)
+	// bogus directory entries every N requests, drawn from recently
+	// requested objects the cluster does not hold — the directory-
+	// poisoning attack (each re-request pays a wasted Tp2p probe).
+	// DirSweepEvery is the defense: a periodic directory sweep that
+	// drops entries the cluster cannot back.  ByzantineFraction
+	// corrupts that fraction of P2P client-cache serves;
+	// VerifyFraction is the digest-sampling defense — the fraction of
+	// corrupt serves detected (a detected serve pays the wasted P2P
+	// fetch and falls through toward peers/origin).
+	FlashChurnAt       int
+	FlashChurnFraction float64
+	PoisonEvery        int
+	PoisonBatch        int
+	DirSweepEvery      int
+	ByzantineFraction  float64
+	VerifyFraction     float64
 	// LFUInCache switches NC/SC/NC-EC/SC-EC from perfect-frequency
 	// LFU (default) to in-cache LFU.  Shorthand for
 	// BasePolicy == BaseLFUInCache.
@@ -220,6 +241,12 @@ func (c *Config) fillDefaults() {
 	if c.LFUInCache && c.BasePolicy == BasePerfectLFU {
 		c.BasePolicy = BaseLFUInCache
 	}
+	if c.FlashChurnAt > 0 && c.FlashChurnFraction == 0 {
+		c.FlashChurnFraction = 0.5
+	}
+	if c.PoisonEvery > 0 && c.PoisonBatch == 0 {
+		c.PoisonBatch = 8
+	}
 }
 
 // Validate reports configuration errors (after defaulting).
@@ -253,6 +280,18 @@ func (c Config) Validate() error {
 	}
 	if c.DigestFPRate <= 0 || c.DigestFPRate >= 1 {
 		return fmt.Errorf("sim: digest FP rate %g outside (0,1)", c.DigestFPRate)
+	}
+	if c.FlashChurnAt < 0 || c.PoisonEvery < 0 || c.PoisonBatch < 0 || c.DirSweepEvery < 0 {
+		return fmt.Errorf("sim: negative chaos period")
+	}
+	if c.FlashChurnFraction < 0 || c.FlashChurnFraction > 1 {
+		return fmt.Errorf("sim: flash churn fraction %g outside [0,1]", c.FlashChurnFraction)
+	}
+	if c.ByzantineFraction < 0 || c.ByzantineFraction > 1 {
+		return fmt.Errorf("sim: byzantine fraction %g outside [0,1]", c.ByzantineFraction)
+	}
+	if c.VerifyFraction < 0 || c.VerifyFraction > 1 {
+		return fmt.Errorf("sim: verify fraction %g outside [0,1]", c.VerifyFraction)
 	}
 	if err := c.Net.Validate(); err != nil {
 		return err

@@ -35,6 +35,14 @@ type hierGDEngine struct {
 	// shareable with a live registry; folded into the Result at
 	// finish).
 	staleProbes obs.Counter
+	// recent is a ring buffer of recently requested objects — the
+	// directory-poisoning attack's candidate pool (only maintained
+	// when PoisonEvery > 0, so the default run's state is untouched).
+	recent    []trace.ObjectID
+	recentIdx int
+	// Chaos telemetry (folded into the Result at finish).
+	flashChurned, poisonInjected, poisonSwept int
+	byzantineServes, byzantineDetected        int
 }
 
 type hierGDProxy struct {
@@ -138,6 +146,17 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int,
 	// is finally found.
 	extra := 0.0
 
+	// The directory-poisoning attack draws its bogus entries from
+	// recently requested objects, so re-requests actually pay for them.
+	if e.cfg.PoisonEvery > 0 {
+		if len(e.recent) < 256 {
+			e.recent = append(e.recent, obj)
+		} else {
+			e.recent[e.recentIdx%len(e.recent)] = obj
+			e.recentIdx++
+		}
+	}
+
 	// 2. Own P2P client cache, if the lookup directory says so (§4.2).
 	//    The object is served from the client cache and stays there —
 	//    the proxy redirects the request, the response does not flow
@@ -152,16 +171,35 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int,
 				px.dir.Remove(gone) // hot-object replica displaced these
 			}
 			lat := e.net.LatencyHops(netmodel.SrcP2P, lr.Hops)
-			st.Span("p2p.fetch", string(netmodel.CompTp2p), lat-e.net.Tl)
-			return netmodel.SrcP2P, lat
+			// Byzantine clients corrupt a fraction of P2P serves.  A
+			// detected corruption (the digest-sampling defense) wastes
+			// the P2P fetch and falls through toward peers/origin — the
+			// object *is* resident, so the directory entry stands.  An
+			// undetected one is served to the client as if it were good.
+			if e.cfg.ByzantineFraction > 0 && e.rng.Float64() < e.cfg.ByzantineFraction {
+				e.byzantineServes++
+				if e.cfg.VerifyFraction > 0 && e.rng.Float64() < e.cfg.VerifyFraction {
+					e.byzantineDetected++
+					st.WastedSpan("p2p.corrupt", string(netmodel.CompTp2p), lat-e.net.Tl)
+					extra += lat - e.net.Tl
+				} else {
+					st.Span("p2p.fetch", string(netmodel.CompTp2p), lat-e.net.Tl)
+					return netmodel.SrcP2P, lat + extra
+				}
+			} else {
+				st.Span("p2p.fetch", string(netmodel.CompTp2p), lat-e.net.Tl)
+				return netmodel.SrcP2P, lat + extra
+			}
+		} else {
+			// False positive (Bloom aliasing, poisoning, or object lost
+			// to churn): repair the directory and fall through.  The
+			// wasted LAN lookup is charged on top of wherever the object
+			// is finally found.
+			px.dir.Remove(obj)
+			px.dirFP.Inc()
+			st.WastedSpan("dir.false_positive", string(netmodel.CompTp2p), e.net.Tp2p)
+			extra += e.net.Tp2p
 		}
-		// False positive (Bloom) or object lost to churn: repair the
-		// directory and fall through.  The wasted LAN lookup is charged
-		// on top of wherever the object is finally found.
-		px.dir.Remove(obj)
-		px.dirFP.Inc()
-		st.WastedSpan("dir.false_positive", string(netmodel.CompTp2p), e.net.Tp2p)
-		extra += e.net.Tp2p
 	}
 
 	// 3. Cooperating proxies: their proxy caches first, then their P2P
@@ -233,13 +271,27 @@ func (e *hierGDEngine) serve(obj trace.ObjectID, size uint32, proxy, member int,
 }
 
 // maintain rebuilds inter-proxy digests and injects client-cache
-// failures (and optional replacements) on their respective periods.
+// failures (and optional replacements) on their respective periods,
+// plus the chaos scenarios: the flash-churn storm, directory
+// poisoning, and the periodic directory sweep that defends against it.
 func (e *hierGDEngine) maintain(reqIdx int, res *Result) {
 	if e.cfg.DigestInterval > 0 && reqIdx > 0 && reqIdx%e.cfg.DigestInterval == 0 {
 		res.MaintenanceTicks++
 		for _, px := range e.proxies {
 			px.digest.rebuild()
 		}
+	}
+	if e.cfg.FlashChurnAt > 0 && reqIdx == e.cfg.FlashChurnAt {
+		res.MaintenanceTicks++
+		e.flashChurn(res)
+	}
+	if e.cfg.PoisonEvery > 0 && reqIdx > 0 && reqIdx%e.cfg.PoisonEvery == 0 {
+		res.MaintenanceTicks++
+		e.poisonDirectories()
+	}
+	if e.cfg.DirSweepEvery > 0 && reqIdx > 0 && reqIdx%e.cfg.DirSweepEvery == 0 {
+		res.MaintenanceTicks++
+		e.sweepDirectories()
 	}
 	if e.cfg.FailEvery <= 0 || reqIdx == 0 || reqIdx%e.cfg.FailEvery != 0 {
 		return
@@ -273,7 +325,81 @@ func (e *hierGDEngine) maintain(reqIdx int, res *Result) {
 	}
 }
 
+// flashChurn fails FlashChurnFraction of every cluster's live clients
+// at once — the mass-disconnect storm.  Victims are the lowest-index
+// live clients (deterministic: no rng draw, so enabling the scenario
+// does not perturb FailEvery's stream).  At least one client per
+// cluster survives.
+func (e *hierGDEngine) flashChurn(res *Result) {
+	for _, px := range e.proxies {
+		kill := int(float64(px.cluster.LiveClients()) * e.cfg.FlashChurnFraction)
+		for i := 0; i < e.cfg.P2PClientCaches && kill > 0; i++ {
+			if px.cluster.LiveClients() <= 1 {
+				break
+			}
+			if px.cluster.IsDead(i) {
+				continue
+			}
+			lost, err := px.cluster.FailClient(i)
+			if err != nil {
+				continue
+			}
+			px.acct.RecordFailure(lost)
+			for _, obj := range lost {
+				px.dir.Remove(obj)
+			}
+			kill--
+			e.failed++
+			e.flashChurned++
+			res.FailedClients++
+		}
+	}
+}
+
+// poisonDirectories injects PoisonBatch bogus entries per round into a
+// random proxy's directory: recently requested objects the cluster
+// does not hold, so Zipf re-requests pay the wasted Tp2p probe before
+// the serve path repairs the entry.
+func (e *hierGDEngine) poisonDirectories() {
+	if len(e.recent) == 0 {
+		return
+	}
+	px := e.proxies[e.rng.Intn(len(e.proxies))]
+	for n := 0; n < e.cfg.PoisonBatch; n++ {
+		obj := e.recent[e.rng.Intn(len(e.recent))]
+		if !px.cluster.Contains(obj) && !px.dir.MayContain(obj) {
+			px.dir.Add(obj)
+			e.poisonInjected++
+		}
+	}
+}
+
+// sweepDirectories is the poisoning defense: drop every directory
+// entry the cluster cannot back (ground-truth audit, the simulator
+// stand-in for the live proxy's receipt-fed repair).
+func (e *hierGDEngine) sweepDirectories() {
+	for _, px := range e.proxies {
+		for _, obj := range px.dir.Objects() {
+			if !px.cluster.Contains(obj) {
+				px.dir.Remove(obj)
+				e.poisonSwept++
+			}
+		}
+	}
+}
+
 func (e *hierGDEngine) finish(res *Result) {
+	// Unswept poison at end of run would trip the strict directory
+	// reconciliation (by design: the oracle is exact); a final sweep is
+	// part of the scenario's defense contract.
+	if e.cfg.PoisonEvery > 0 {
+		e.sweepDirectories()
+	}
+	res.FlashChurned += e.flashChurned
+	res.PoisonInjected += e.poisonInjected
+	res.PoisonSwept += e.poisonSwept
+	res.ByzantineServes += e.byzantineServes
+	res.ByzantineDetected += e.byzantineDetected
 	res.DigestStaleProbes += int(e.staleProbes.Value())
 	if chk := e.cfg.Check; chk != nil {
 		for p, px := range e.proxies {

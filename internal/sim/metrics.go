@@ -35,6 +35,17 @@ type Result struct {
 	ClientCapacity     uint64
 	// FailedClients counts injected client-cache crashes.
 	FailedClients int
+	// Chaos-scenario telemetry (all zero outside chaos runs).
+	// FlashChurned counts clients killed by the flash-churn storm;
+	// PoisonInjected / PoisonSwept count bogus directory entries
+	// planted and removed; ByzantineServes counts corrupted P2P serves
+	// and ByzantineDetected the ones the digest-sampling defense
+	// caught.
+	FlashChurned      int
+	PoisonInjected    int
+	PoisonSwept       int
+	ByzantineServes   int
+	ByzantineDetected int
 	// Inter-proxy digest telemetry (Config.DigestInterval > 0).
 	DigestStaleProbes int    // wasted Tc probes on stale digest entries
 	DigestMemoryBytes uint64 // advertised digest footprint per rebuild
@@ -132,6 +143,11 @@ func (r *Result) PublishMetrics(reg *obs.Registry) {
 	reg.Counter("sim.proxy.evictions").Add(int64(r.ProxyEvictions))
 	reg.Counter("sim.maintenance.ticks").Add(int64(r.MaintenanceTicks))
 	reg.Counter("sim.failed_clients").Add(int64(r.FailedClients))
+	reg.Counter("sim.chaos.flash_churned").Add(int64(r.FlashChurned))
+	reg.Counter("sim.chaos.poison_injected").Add(int64(r.PoisonInjected))
+	reg.Counter("sim.chaos.poison_swept").Add(int64(r.PoisonSwept))
+	reg.Counter("sim.chaos.byzantine_serves").Add(int64(r.ByzantineServes))
+	reg.Counter("sim.chaos.byzantine_detected").Add(int64(r.ByzantineDetected))
 	reg.Counter("sim.directory.false_positives").Add(int64(r.DirectoryFalsePositives))
 	reg.Gauge("sim.directory.memory_bytes").SetMax(float64(r.DirectoryMemoryBytes))
 	reg.Counter("sim.digest.stale_probes").Add(int64(r.DigestStaleProbes))

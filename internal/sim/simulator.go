@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"webcache/internal/cache"
 	"webcache/internal/netmodel"
@@ -79,6 +80,11 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		ClientCapacity:     sz.clientCap[0],
 	}
 	mnt, hasMaintenance := eng.(maintainer)
+	// latHist records the per-request latency distribution (1 model
+	// latency unit observed as 1ms), so chaos runs can read a simulated
+	// p999 the same way live runs read the loadgen histogram.  Nil
+	// registry = nil histogram = no-ops.
+	latHist := cfg.Obs.Histogram("sim.latency")
 	// simClock is the tracer's virtual time base: requests are replayed
 	// sequentially, so cumulative charged latency lays sampled traces
 	// end-to-end on the Perfetto timeline.
@@ -95,6 +101,7 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		if i < cfg.WarmupRequests {
 			continue // warm the caches without measuring
 		}
+		latHist.Observe(time.Duration(lat * float64(time.Millisecond)))
 		res.Requests++
 		res.Sources[src]++
 		res.Bytes[src] += uint64(r.Size)
