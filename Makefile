@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench vet fuzz-smoke bench-smoke bench-diff store-bench disk-bench chaos-smoke chaos-bench trace-alloc
+.PHONY: all build test check race bench vet fuzz-smoke bench-smoke bench-diff store-bench disk-bench chaos-smoke chaos-bench fleet-bench trace-alloc
 
 all: build test
 
@@ -38,6 +38,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzBinaryCodec -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzRecord -fuzztime=$(FUZZTIME) ./internal/store/disk
 	$(GO) test -run='^$$' -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/store/disk
+	$(GO) test -run='^$$' -fuzz=FuzzFleetRingChurn -fuzztime=$(FUZZTIME) ./internal/fleet
 
 race:
 	$(GO) test -race ./...
@@ -103,12 +104,27 @@ chaos-smoke:
 		-manifest BENCH_chaos.json
 
 # ~30s full chaos suite: every scenario (baseline, slow-peer,
-# flash-churn, byzantine, poison), same gates as chaos-smoke.
+# flash-churn, byzantine, poison, fleet-partition), same gates as
+# chaos-smoke.
 chaos-bench:
 	$(GO) run ./cmd/hiergdd bench -chaos \
 		-requests 1500 -objects 200 -clients 40 -proxies 2 -caches 3 \
 		-object-bytes 512 -rate 750 -chaos-min-p999-cut 1.3 \
 		-manifest BENCH_chaos.json
+
+# ~10s fleet scale sweep: the same ProWGen workload and the same TOTAL
+# proxy budget (split evenly) driven closed-loop against 1, 2, 4, and 8
+# consistent-hash fleet members, each behind a 2-slot x 1ms service
+# gate standing in for member CPU.  Fails unless throughput strictly
+# increases with fleet size, 8 members sustain >= 3x the single
+# member's rate, and every size's hit ratio stays within 2pp of the
+# single member's (partitioning must not cost hits); writes the
+# BENCH_fleet.json manifest (diffable run-to-run via cmd/benchdiff).
+fleet-bench:
+	$(GO) run ./cmd/hiergdd bench -fleet -requests 8000 -objects 800 \
+		-clients 80 -object-bytes 512 -workers 64 -warmup 800 \
+		-fleet-sizes 1,2,4,8 -fleet-min-speedup 3 -fleet-max-hit-delta 0.02 \
+		-manifest BENCH_fleet.json
 
 # The disabled-tracer cost gate: the nil tracer must stay zero-alloc
 # on the request path (also asserted by TestDisabledTracerZeroAlloc;

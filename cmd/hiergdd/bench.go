@@ -84,8 +84,49 @@ func runBench(args []string) error {
 	chaosMode := fs.Bool("chaos", false, "run the chaos scenario suite: fault injection live + simulated, defenses off and on")
 	chaosScenariosFlag := fs.String("chaos-scenarios", "", "comma-separated scenario names (empty = whole suite; chaos mode)")
 	chaosMinP999Cut := fs.Float64("chaos-min-p999-cut", 0, "fail unless slow-peer defenses cut live p999 by this factor (0 = report only; chaos mode)")
+	// Fleet scale sweep mode (-fleet): the same workload and total cache
+	// budget driven closed-loop against consistent-hash fleets of
+	// increasing size, each member behind a concurrency+service-time
+	// gate (internal/fleet via httpcache.EnableFleet).
+	fleetMode := fs.Bool("fleet", false, "run the fleet scale sweep: same workload and total budget across increasing fleet sizes")
+	fleetSizes := fs.String("fleet-sizes", "1,2,4,8", "comma-separated ascending fleet sizes (fleet mode)")
+	fleetReplication := fs.Int("fleet-replication", 1, "hot-object copy count k (fleet mode)")
+	fleetTotalFrac := fs.Float64("fleet-total-frac", 0.2, "TOTAL proxy budget as a fraction of distinct objects, split across members (fleet mode)")
+	fleetService := fs.Duration("fleet-service", time.Millisecond, "modeled per-request service time at each member (fleet mode)")
+	fleetConcurrency := fs.Int("fleet-concurrency", 2, "service slots per member (fleet mode)")
+	fleetMinSpeedup := fs.Float64("fleet-min-speedup", 0, "fail unless the largest fleet sustains this multiple of the single member's throughput (0 = report only; fleet mode)")
+	fleetMaxHitDelta := fs.Float64("fleet-max-hit-delta", 0, "fail if any size's hit ratio drifts more than this from the single member's (0 = report only; fleet mode)")
 	fs.Parse(args)
 	startPprof(*pprofAddr)
+
+	if *fleetMode {
+		sizes, err := parseSizesList(*fleetSizes)
+		if err != nil {
+			return err
+		}
+		w := *warmup
+		if w < 0 {
+			w = *requests / 10
+		}
+		return runFleetBench(fleetBenchConfig{
+			requests:     *requests,
+			objects:      *objects,
+			clients:      *clients,
+			objectBytes:  *objectBytes,
+			sizes:        sizes,
+			replication:  *fleetReplication,
+			totalFrac:    *fleetTotalFrac,
+			serviceTime:  *fleetService,
+			concurrency:  *fleetConcurrency,
+			workers:      *workers,
+			warmup:       w,
+			seed:         *seed,
+			timeout:      *timeout,
+			minSpeedup:   *fleetMinSpeedup,
+			maxHitDelta:  *fleetMaxHitDelta,
+			manifestPath: *manifestPath,
+		})
+	}
 
 	if *chaosMode {
 		w := *warmup

@@ -12,6 +12,15 @@
 //	hiergdd bench -store             # store microbench: sharded vs single-mutex
 //	hiergdd bench -disk              # disk tier: write-behind, mixed load, recovery
 //	hiergdd bench -chaos             # adversarial scenarios, defenses off vs on
+//	hiergdd bench -fleet             # fleet scale sweep: 1 -> 8 members, same budget
+//
+// A proxy started with -fleet-members joins a consistent-hash fleet
+// instead of the -peers mesh: each key has one owner member (plus
+// -fleet-replication hot copies), a miss routes to the owner before
+// origin, -fleet-join announces a newcomer (the keys whose ownership
+// moved migrate to it), -fleet-heartbeat probes the roster and demotes
+// dead members, and a graceful shutdown leaves the fleet first so the
+// departing member's objects migrate to their new owners.
 //
 // Both daemons take -policy (any internal/cache registry name) and
 // -shards (lock stripes of the internal/store data plane, 0 = auto);
@@ -219,6 +228,26 @@ func bindBase(addr string) (net.Listener, string, error) {
 	return ln, fmt.Sprintf("http://%s:%d", host, bound.Port), nil
 }
 
+// normalizeBaseURLs canonicalizes a comma-split roster so operator
+// shorthand ("host:port", stray spaces, trailing slashes) produces the
+// exact base-URL strings the ring keys members by — otherwise a
+// scheme-less roster entry and the derived self URL would coexist as
+// two distinct ring members.
+func normalizeBaseURLs(in []string) []string {
+	out := in[:0]
+	for _, m := range in {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		if !strings.Contains(m, "://") {
+			m = "http://" + m
+		}
+		out = append(out, strings.TrimRight(m, "/"))
+	}
+	return out
+}
+
 func runProxy(args []string) error {
 	fs := flag.NewFlagSet("proxy", flag.ExitOnError)
 	listen := fs.String("listen", ":8080", "listen address")
@@ -228,6 +257,11 @@ func runProxy(args []string) error {
 	sweep := fs.Duration("sweep", 0, "probe registered client caches this often and deregister dead ones (0 = passive detection only)")
 	self := fs.String("self", "", "externally reachable base URL (default derived from the bound address)")
 	peers := fs.String("peers", "", "comma-separated cooperating proxy base URLs")
+	fleetMembers := fs.String("fleet-members", "", "comma-separated fleet member base URLs: enables consistent-hash fleet routing instead of the -peers mesh (self is added automatically)")
+	fleetReplication := fs.Int("fleet-replication", 1, "hot-object copy count k across the fleet")
+	fleetHotAfter := fs.Int("fleet-hot-after", 0, "per-key access count that triggers replication (0 = default)")
+	fleetJoin := fs.Bool("fleet-join", false, "announce this member to the roster on startup (POST /fleet/join), triggering rebalance toward it")
+	fleetHeartbeat := fs.Duration("fleet-heartbeat", 0, "probe fleet members this often, demoting dead ones from the ring (0 = off)")
 	diskDir := fs.String("disk-dir", "", "enable the persistent disk tier under this directory (recovered on boot)")
 	diskCap := fs.Uint64("disk-cap", 0, "disk-tier capacity in bytes (0 = 16x -capacity)")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
@@ -268,6 +302,24 @@ func runProxy(args []string) error {
 		stop := p.StartSweeper(*sweep)
 		defer stop()
 	}
+	fleetOn := *fleetMembers != ""
+	if fleetOn {
+		p.EnableFleet(httpcache.FleetOptions{
+			Self:         base,
+			Members:      normalizeBaseURLs(strings.Split(*fleetMembers, ",")),
+			Replication:  *fleetReplication,
+			HotThreshold: *fleetHotAfter,
+		})
+		if *fleetJoin {
+			fmt.Printf("hiergdd proxy: fleet join announced to %d members\n", p.JoinFleet())
+		}
+		if *fleetHeartbeat > 0 {
+			stop := p.StartFleetHeartbeat(*fleetHeartbeat)
+			defer stop()
+		}
+		fmt.Printf("hiergdd proxy: fleet member among %d (replication k=%d)\n",
+			p.FleetRing().Size(), *fleetReplication)
+	}
 	fmt.Printf("hiergdd proxy: listening on %s (self=%s, %d-byte cache, %s policy, %d shards)\n",
 		ln.Addr(), base, *capacity, p.Store().PolicyName(), p.Store().NumShards())
 	if *diskDir != "" {
@@ -275,8 +327,13 @@ func runProxy(args []string) error {
 			*diskDir, p.Disk().Capacity(), p.Disk().Recovered())
 	}
 	// The disk drain runs after the HTTP drain, so every insert an
-	// in-flight request acknowledged is journaled before exit.
+	// in-flight request acknowledged is journaled before exit.  A fleet
+	// member leaves first: the departure is announced and the keys it
+	// owned migrate to their new owners while the peers still accept.
 	return serveDaemon(ln, p.Handler(), *drain, func() {
+		if fleetOn {
+			fmt.Printf("hiergdd proxy: fleet leave migrated %d objects\n", p.LeaveFleet())
+		}
 		flush()
 		if err := p.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "hiergdd: disk close:", err)

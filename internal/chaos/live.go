@@ -53,9 +53,12 @@ type LiveReport struct {
 	HitRatio   float64                `json:"hit_ratio"`
 	P999Ms     float64                `json:"p999_ms"`
 	Defense    httpcache.DefenseStats `json:"defense"`
-	Churned    int                    `json:"churned_caches"`
-	Poisoned   int                    `json:"poisoned_keys"`
-	Violations int64                  `json:"invariant_violations"`
+	// Fleet aggregates every member's fleet counters (fleet-partition
+	// scenario; zero when the topology runs the cooperating mesh).
+	Fleet      httpcache.FleetStats `json:"fleet"`
+	Churned    int                  `json:"churned_caches"`
+	Poisoned   int                  `json:"poisoned_keys"`
+	Violations int64                `json:"invariant_violations"`
 }
 
 // hardened is the defenses-on tuning for loopback chaos runs: per-hop
@@ -64,12 +67,13 @@ type LiveReport struct {
 // fast breaker so degradation to origin happens within the run.
 func hardened() *httpcache.Defenses {
 	return &httpcache.Defenses{
-		PeerTimeout:     75 * time.Millisecond,
-		Hedge:           true,
-		VerifyEvery:     2,
-		BreakerFailures: 3,
-		BreakerCooldown: 500 * time.Millisecond,
-		PushTimeout:     time.Second,
+		PeerTimeout:         75 * time.Millisecond,
+		AdaptivePeerTimeout: true,
+		Hedge:               true,
+		VerifyEvery:         2,
+		BreakerFailures:     3,
+		BreakerCooldown:     500 * time.Millisecond,
+		PushTimeout:         time.Second,
 	}
 }
 
@@ -79,6 +83,11 @@ func hardened() *httpcache.Defenses {
 func RunLive(cfg LiveConfig) (*LiveReport, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
+	}
+	// A fleet scenario dictates its own proxy count: the ring IS the
+	// topology, so the configured Proxies yields to FleetSize.
+	if cfg.Scenario.FleetSize > 1 {
+		cfg.Proxies = cfg.Scenario.FleetSize
 	}
 	tr, err := prowgen.Generate(prowgen.Config{
 		NumRequests: cfg.Requests,
@@ -122,6 +131,9 @@ func RunLive(cfg LiveConfig) (*LiveReport, error) {
 		Check:              cfg.Check,
 		WrapProxy:          inj.WrapProxy,
 		WrapCache:          inj.WrapCache,
+		Fleet:              cfg.Scenario.FleetSize > 1,
+		FleetReplication:   cfg.Scenario.FleetReplication,
+		FleetHotAfter:      8,
 	})
 	if err != nil {
 		return nil, err
@@ -167,6 +179,22 @@ func RunLive(cfg LiveConfig) (*LiveReport, error) {
 		defer churnTimer.Stop()
 	}
 
+	// Mid-run partition: the victim member's fleet-internal endpoints
+	// start answering 503 halfway through the drive (same midpoint the
+	// churn storm uses), so the healthy members' breakers get live
+	// traffic both before and after the cut.
+	var partitionTimer *time.Timer
+	if cfg.Scenario.FleetPartition {
+		after := time.Duration(float64(cfg.Requests) / cfg.Rate / 2 * float64(time.Second))
+		partitionTimer = time.AfterFunc(after, inj.StartPartition)
+		defer partitionTimer.Stop()
+	}
+
+	// Fleet runs front requests at the client's home proxy too — NOT at
+	// the object's ring members (that ring-aware balancer is
+	// loadgen.BuildScheduleFleet, the fleet bench's front): chaos wants
+	// the proxy-miss -> owner hop and its partition fallback exercised,
+	// which a holder-fronted schedule would route around entirely.
 	sched, err := loadgen.BuildSchedule(tr, topo.ProxyURLs, topo.OriginURL, simCfg.ProxyFor)
 	if err != nil {
 		return nil, err
@@ -213,6 +241,7 @@ func RunLive(cfg LiveConfig) (*LiveReport, error) {
 			return nil, err
 		}
 		rep.Defense.Add(st.Defense)
+		rep.Fleet.Add(st.Fleet)
 	}
 	for _, px := range topo.Proxies {
 		px.ReconcileAccounting()

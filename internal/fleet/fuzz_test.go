@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"webcache/internal/trace"
+)
+
+// FuzzFleetRingChurn drives the ring through a byte-scripted churn
+// sequence (each byte: low 5 bits pick a member, top bit picks
+// add/remove) and checks the ownership invariants after every step:
+// owners and replicas are always current members, replicas are
+// distinct with the owner first, and a membership change never moves
+// a key between two uninvolved members.
+func FuzzFleetRingChurn(f *testing.F) {
+	f.Add([]byte{0x80, 0x81, 0x82, 0x01, 0x83})
+	f.Add([]byte{0x80, 0x00, 0x80, 0x00})
+	f.Add([]byte{0x9f, 0x8a, 0x0a, 0x85, 0x9f, 0x1f})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		// Few vnodes keeps each step cheap under the fuzzer.
+		ring := NewRing(16)
+		keys := make([]trace.ObjectID, 64)
+		for i := range keys {
+			keys[i] = trace.ObjectID(uint64(i)*0x9e3779b97f4a7c15 + 1)
+		}
+		owner := make(map[trace.ObjectID]string)
+		for _, op := range script {
+			m := fmt.Sprintf("m%02d", op&0x1f)
+			var changed string
+			if op&0x80 != 0 {
+				if ring.Add(m) {
+					changed = m
+				}
+			} else {
+				if ring.Remove(m) {
+					changed = m
+				}
+			}
+			mem := map[string]bool{}
+			for _, name := range ring.Members() {
+				mem[name] = true
+			}
+			if ring.Size() != len(mem) {
+				t.Fatalf("Size=%d but %d members listed", ring.Size(), len(mem))
+			}
+			for _, k := range keys {
+				o, ok := ring.OwnerOf(k)
+				if !ok {
+					if ring.Size() != 0 {
+						t.Fatalf("no owner for %x on non-empty ring", k)
+					}
+					delete(owner, k)
+					continue
+				}
+				if !mem[o] {
+					t.Fatalf("owner %q of %x is not a member", o, k)
+				}
+				reps := ring.ReplicasOf(k, 3)
+				if len(reps) == 0 || reps[0] != o {
+					t.Fatalf("replicas %v of %x do not lead with owner %q", reps, k, o)
+				}
+				seen := map[string]bool{}
+				for _, r := range reps {
+					if !mem[r] || seen[r] {
+						t.Fatalf("bad replica set %v for %x", reps, k)
+					}
+					seen[r] = true
+				}
+				// Minimal-disruption invariant: a key may change owner
+				// only if the changed member is its old or new owner.
+				if prev, had := owner[k]; had && changed != "" && prev != o {
+					if prev != changed && o != changed {
+						t.Fatalf("key %x moved %q->%q on churn of %q", k, prev, o, changed)
+					}
+				}
+				owner[k] = o
+			}
+		}
+	})
+}

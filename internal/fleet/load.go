@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+
+	"webcache/internal/trace"
+)
+
+// LoadTracker estimates per-key request load at one member with a
+// bounded counter table.  When the table fills, every counter is
+// halved and zeroed entries dropped (the classic TinyLFU-style aging
+// trick), so sustained traffic cannot grow it without bound and stale
+// hot keys decay instead of pinning replicas forever.
+type LoadTracker struct {
+	mu    sync.Mutex
+	max   int
+	count map[trace.ObjectID]uint32
+}
+
+// DefaultLoadKeys bounds the tracker table; 4096 hot-key slots cover
+// the head of a Zipf popularity curve many times over.
+const DefaultLoadKeys = 4096
+
+// NewLoadTracker creates a tracker holding at most max keys
+// (0 = DefaultLoadKeys).
+func NewLoadTracker(max int) *LoadTracker {
+	if max <= 0 {
+		max = DefaultLoadKeys
+	}
+	return &LoadTracker{max: max, count: make(map[trace.ObjectID]uint32)}
+}
+
+// Touch records one request for key and returns its updated count.
+func (t *LoadTracker) Touch(key trace.ObjectID) uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.count[key]; !ok && len(t.count) >= t.max {
+		for k, c := range t.count {
+			c /= 2
+			if c == 0 {
+				delete(t.count, k)
+			} else {
+				t.count[k] = c
+			}
+		}
+	}
+	t.count[key]++
+	return t.count[key]
+}
+
+// Count returns the current estimate for key.
+func (t *LoadTracker) Count(key trace.ObjectID) uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count[key]
+}
+
+// Total returns the sum of all counters — the member's aggregate load
+// estimate, reported over heartbeats for load-aware placement.
+func (t *LoadTracker) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var s uint64
+	for _, c := range t.count {
+		s += uint64(c)
+	}
+	return s
+}
+
+// Len returns the tracked-key count.
+func (t *LoadTracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.count)
+}
+
+// MemberLoads holds the last load figure heard from each fleet member
+// (via heartbeats live, or direct reads in the simulator) plus a local
+// in-flight count, and orders replica candidates least-loaded first.
+type MemberLoads struct {
+	mu       sync.Mutex
+	reported map[string]uint64
+	inflight map[string]int64
+}
+
+// NewMemberLoads creates an empty load view.
+func NewMemberLoads() *MemberLoads {
+	return &MemberLoads{
+		reported: make(map[string]uint64),
+		inflight: make(map[string]int64),
+	}
+}
+
+// Report records a member's self-reported load.
+func (l *MemberLoads) Report(member string, load uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reported[member] = load
+}
+
+// Acquire marks one request in flight to member; call the returned
+// release when it completes.  In-flight weight breaks ties between
+// members whose heartbeat loads are equal or stale.
+func (l *MemberLoads) Acquire(member string) (release func()) {
+	l.mu.Lock()
+	l.inflight[member]++
+	l.mu.Unlock()
+	return func() {
+		l.mu.Lock()
+		l.inflight[member]--
+		l.mu.Unlock()
+	}
+}
+
+// loadOf is the comparable load figure: reported load plus a strong
+// in-flight penalty (each outstanding request counts like a burst of
+// reported work, so fan-out spreads even before heartbeats refresh).
+func (l *MemberLoads) loadOf(member string) uint64 {
+	load := l.reported[member]
+	if f := l.inflight[member]; f > 0 {
+		load += uint64(f) * 64
+	}
+	return load
+}
+
+// Load returns the current figure for one member.
+func (l *MemberLoads) Load(member string) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loadOf(member)
+}
+
+// Order sorts candidates least-loaded first (stable: ring order breaks
+// ties, keeping selection deterministic when loads are equal).  The
+// input slice is not modified.
+func (l *MemberLoads) Order(candidates []string) []string {
+	out := append([]string(nil), candidates...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sort.SliceStable(out, func(a, b int) bool {
+		return l.loadOf(out[a]) < l.loadOf(out[b])
+	})
+	return out
+}

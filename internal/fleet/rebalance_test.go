@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"webcache/internal/trace"
+)
+
+// TestMigrationSetProperty is the rebalance-correctness property test:
+// across random join/leave churn, MigrationSet names exactly the keys
+// whose ownership left self — no more (wasted copies) and no fewer
+// (lost objects once the local copy is later evicted).
+func TestMigrationSetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for round := 0; round < 20; round++ {
+		n := 2 + rng.Intn(6)
+		ring := NewRingOf(0, members(n))
+		keys := make([]trace.ObjectID, 3000)
+		for i := range keys {
+			keys[i] = trace.ObjectID(rng.Uint64())
+		}
+		for step := 0; step < 8; step++ {
+			self := members(n)[rng.Intn(n)]
+			if !ring.Has(self) {
+				continue
+			}
+			before := ring.Clone()
+			// Random membership event: join a fresh member or drop an
+			// existing one (never self — a leaving member migrates its
+			// whole partition, covered below).
+			var event string
+			if rng.Intn(2) == 0 {
+				m := fmt.Sprintf("http://joiner-%d-%d:8080", round, step)
+				ring.Add(m)
+				event = "join " + m
+			} else {
+				cands := ring.Members()
+				m := cands[rng.Intn(len(cands))]
+				if m == self || ring.Size() == 1 {
+					continue
+				}
+				ring.Remove(m)
+				event = "leave " + m
+			}
+
+			migrated := map[trace.ObjectID]bool{}
+			for _, k := range MigrationSet(before, ring, self, keys) {
+				migrated[k] = true
+			}
+			for _, k := range keys {
+				was, _ := before.OwnerOf(k)
+				now, _ := ring.OwnerOf(k)
+				shouldMove := was == self && now != self
+				if shouldMove && !migrated[k] {
+					t.Fatalf("%s: key %x moved %q->%q but missing from MigrationSet (lost object)",
+						event, k, was, now)
+				}
+				if !shouldMove && migrated[k] {
+					t.Fatalf("%s: key %x (owner %q->%q, self %q) migrated needlessly",
+						event, k, was, now, self)
+				}
+			}
+		}
+	}
+}
+
+// TestMigrationSetLeaveSelf covers the departing member's own drain:
+// with self removed from the after ring, every key self owned must be
+// in the migration set (zero acknowledged-object loss on leave).
+func TestMigrationSetLeaveSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ring := NewRingOf(0, members(4))
+	self := members(4)[1]
+	keys := make([]trace.ObjectID, 5000)
+	owned := 0
+	for i := range keys {
+		keys[i] = trace.ObjectID(rng.Uint64())
+		if o, _ := ring.OwnerOf(keys[i]); o == self {
+			owned++
+		}
+	}
+	after := ring.Clone()
+	after.Remove(self)
+	set := MigrationSet(ring, after, self, keys)
+	if len(set) != owned {
+		t.Fatalf("leave migrates %d keys, self owned %d — loss window", len(set), owned)
+	}
+	for _, k := range set {
+		if o, _ := after.OwnerOf(k); o == self {
+			t.Fatalf("key %x migrated to the departed member", k)
+		}
+	}
+}

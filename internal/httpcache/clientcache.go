@@ -5,12 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/bits"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"webcache/internal/fleet"
 	"webcache/internal/obs"
 	"webcache/internal/pastry"
 	"webcache/internal/store"
@@ -21,9 +21,12 @@ import (
 // fold compresses a 128-bit objectId into the 64-bit key the
 // replacement policies use.  A birthday collision would need ~2^32
 // distinct URLs in one cache — beyond any browser cache; the full hex
-// key is kept alongside the body for exactness on the wire.
+// key is kept alongside the body for exactness on the wire.  The
+// formula lives in internal/fleet (fleet.Fold) so the consistent-hash
+// ring, the simulator, and the load generator all derive identical
+// keys.
 func fold(id pastry.ID) trace.ObjectID {
-	return trace.ObjectID(id[0] ^ bits.RotateLeft64(id[1], 31))
+	return fleet.Fold(id)
 }
 
 // Options configures a daemon's data plane beyond the capacity: the

@@ -36,11 +36,19 @@ import (
 // are filled by SetDefenses (and by NewProxyOpts for proxies that
 // never call it).
 type Defenses struct {
-	// PeerTimeout is the per-call deadline on lanFetch and peerLookup
-	// (default 2s).  It layers under the shared client timeout: the
-	// context is derived from the inbound request, so a disconnected
-	// requester also cancels the downstream call.
+	// PeerTimeout is the per-call deadline on lanFetch, peerLookup and
+	// the fleet hop (default 2s).  It layers under the shared client
+	// timeout: the context is derived from the inbound request, so a
+	// disconnected requester also cancels the downstream call.
 	PeerTimeout time.Duration
+	// AdaptivePeerTimeout auto-tunes the per-call deadline from the
+	// observed LAN p99 the same way the hedge delay is derived: once
+	// enough successful LAN fetches have been measured, the effective
+	// deadline becomes 4x their p99, clamped to [minPeerTimeout,
+	// PeerTimeout].  The configured PeerTimeout stays the ceiling (and
+	// the fallback until the histogram warms up), so a cold or
+	// recovering proxy never times peers out on a guess.
+	AdaptivePeerTimeout bool
 	// Hedge enables the hedged second LAN fetch to a ring neighbour.
 	Hedge bool
 	// HedgeDelay is how long the primary LAN fetch runs before the
@@ -71,6 +79,15 @@ type Defenses struct {
 // per-call deadline (or it cannot win before the primary times out).
 const minHedgeDelay = 2 * time.Millisecond
 
+// Adaptive-deadline clamp: never tighten the per-call deadline below
+// this floor, and never trust the histogram before it has this many
+// successful fetches (a handful of lucky early samples would otherwise
+// set an absurdly tight deadline).
+const (
+	minPeerTimeout         = 10 * time.Millisecond
+	adaptiveTimeoutSamples = 32
+)
+
 func (d *Defenses) fillDefaults() {
 	if d.PeerTimeout <= 0 {
 		d.PeerTimeout = 2 * time.Second
@@ -93,6 +110,26 @@ func (p *Proxy) SetDefenses(d Defenses) {
 	p.defenses = d
 }
 
+// peerTimeout resolves the effective per-call deadline: the configured
+// PeerTimeout, tightened to 4x the observed LAN p99 once
+// AdaptivePeerTimeout is on and the latency histogram has warmed up
+// (ROADMAP item 4: derive PeerTimeout the way the hedge delay already
+// is).  Clamped to [minPeerTimeout, PeerTimeout].
+func (p *Proxy) peerTimeout() time.Duration {
+	d := p.defenses.PeerTimeout
+	if !p.defenses.AdaptivePeerTimeout || p.lanLat.Count() < adaptiveTimeoutSamples {
+		return d
+	}
+	t := 4 * p.lanLat.Quantile(0.99)
+	if t < minPeerTimeout {
+		t = minPeerTimeout
+	}
+	if t > d {
+		t = d
+	}
+	return t
+}
+
 // hedgeDelay resolves the hedge trigger: the configured delay, or the
 // p99 of observed successful LAN fetches, clamped.
 func (p *Proxy) hedgeDelay() time.Duration {
@@ -103,7 +140,7 @@ func (p *Proxy) hedgeDelay() time.Duration {
 	if d < minHedgeDelay {
 		d = minHedgeDelay
 	}
-	if max := p.defenses.PeerTimeout / 2; d > max {
+	if max := p.peerTimeout() / 2; d > max {
 		d = max
 	}
 	return d
@@ -317,16 +354,25 @@ func (p *Proxy) peerOK(peer string) {
 func (p *Proxy) EnableAccounting(chk *invariant.Checker) {
 	p.acctMu.Lock()
 	defer p.acctMu.Unlock()
+	p.chk = chk
 	p.acct = invariant.NewClusterAccountant(chk, "live")
 	p.acct.Lenient()
+	if p.fleet != nil && p.fleet.acct == nil {
+		p.fleet.acct = invariant.NewClusterAccountant(chk, "fleet-live")
+		p.fleet.acct.Lenient()
+	}
 }
 
-// ReconcileAccounting checks the conservation ledger (no-op without
-// EnableAccounting).
+// ReconcileAccounting checks the conservation ledgers — the pass-down
+// ledger and, on a fleet member, the replica-aware fleet ledger
+// (no-op without EnableAccounting).
 func (p *Proxy) ReconcileAccounting() {
 	p.acctMu.Lock()
 	defer p.acctMu.Unlock()
 	p.acct.Reconcile(nil)
+	if p.fleet != nil {
+		p.fleet.acct.Reconcile(nil)
+	}
 }
 
 // recordReceipt feeds one pass-down store receipt into the live

@@ -316,3 +316,61 @@ func TestContributionSweep(t *testing.T) {
 		t.Fatalf("contrib swept = %d, want 1", st.Defense.ContribSwept)
 	}
 }
+
+// TestAdaptivePeerTimeout exercises the PeerTimeout auto-tuner: the
+// configured deadline holds until the LAN latency histogram warms up,
+// then the effective deadline tracks 4x the observed p99, clamped to
+// [minPeerTimeout, configured PeerTimeout].
+func TestAdaptivePeerTimeout(t *testing.T) {
+	configured := 2 * time.Second
+	px := NewProxy(1 << 20)
+	px.SetDefenses(Defenses{PeerTimeout: configured, AdaptivePeerTimeout: true})
+
+	// Cold histogram: fall back to the configured ceiling.
+	if got := px.peerTimeout(); got != configured {
+		t.Fatalf("cold peerTimeout = %v, want configured %v", got, configured)
+	}
+
+	// Warm up with sub-millisecond hops: 4x p99 would undercut the
+	// floor, so the tuner clamps up to minPeerTimeout.
+	for i := 0; i < 2*adaptiveTimeoutSamples; i++ {
+		px.lanLat.Observe(200 * time.Microsecond)
+	}
+	if got := px.peerTimeout(); got != minPeerTimeout {
+		t.Fatalf("fast-LAN peerTimeout = %v, want floor %v", got, minPeerTimeout)
+	}
+
+	// A realistic LAN p99 lands between the clamps: 4x p99.
+	px2 := NewProxy(1 << 20)
+	px2.SetDefenses(Defenses{PeerTimeout: configured, AdaptivePeerTimeout: true})
+	for i := 0; i < 2*adaptiveTimeoutSamples; i++ {
+		px2.lanLat.Observe(20 * time.Millisecond)
+	}
+	got := px2.peerTimeout()
+	if got <= minPeerTimeout || got >= configured {
+		t.Fatalf("mid-range peerTimeout = %v, want strictly inside (%v, %v)", got, minPeerTimeout, configured)
+	}
+	if want := 4 * px2.lanLat.Quantile(0.99); got != want {
+		t.Fatalf("mid-range peerTimeout = %v, want 4x p99 = %v", got, want)
+	}
+
+	// Pathological observations clamp down to the configured ceiling.
+	px3 := NewProxy(1 << 20)
+	px3.SetDefenses(Defenses{PeerTimeout: configured, AdaptivePeerTimeout: true})
+	for i := 0; i < 2*adaptiveTimeoutSamples; i++ {
+		px3.lanLat.Observe(10 * time.Second)
+	}
+	if got := px3.peerTimeout(); got != configured {
+		t.Fatalf("slow-LAN peerTimeout = %v, want ceiling %v", got, configured)
+	}
+
+	// With the flag off the histogram is ignored entirely.
+	px4 := NewProxy(1 << 20)
+	px4.SetDefenses(Defenses{PeerTimeout: configured})
+	for i := 0; i < 2*adaptiveTimeoutSamples; i++ {
+		px4.lanLat.Observe(200 * time.Microsecond)
+	}
+	if got := px4.peerTimeout(); got != configured {
+		t.Fatalf("flag-off peerTimeout = %v, want configured %v", got, configured)
+	}
+}

@@ -56,6 +56,9 @@ type ProxyStats struct {
 	// LAN fetches, breaker activity, digest verification, contribution
 	// sweeps, and per-hop peer timeouts.
 	Defense DefenseStats `json:"defense"`
+	// Fleet holds the fleet-membership counters (fleet.go); zero value
+	// with Enabled=false when the proxy is not a fleet member.
+	Fleet FleetStats `json:"fleet"`
 }
 
 // proxyCounters is the lock-free backing for ProxyStats: every
@@ -108,9 +111,15 @@ type Proxy struct {
 
 	// acct is the live conservation oracle over pass-down receipts
 	// (EnableAccounting); acctMu serializes it — the accountant itself
-	// is not thread-safe.
+	// is not thread-safe.  chk is kept so a later EnableFleet can
+	// attach its own replica-aware ledger to the same checker.
 	acctMu sync.Mutex
 	acct   *invariant.ClusterAccountant
+	chk    *invariant.Checker
+
+	// fleet is the fleet-membership runtime (fleet.go); nil unless
+	// EnableFleet was called.
+	fleet *fleetState
 
 	// tracer and metrics are the observability hooks (obs.go); both nil
 	// by default and nil-safe throughout.
@@ -195,6 +204,8 @@ func (p *Proxy) Close() error {
 //	POST /accept-push?id=N   a client cache pushing an object up
 //	POST /register?addr=A    a client cache joining the cluster
 //	GET  /stats              counters
+//	/fleet/*                 fleet membership + replication (fleet.go;
+//	                         503 until EnableFleet)
 func (p *Proxy) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /fetch", p.handleFetch)
@@ -203,6 +214,7 @@ func (p *Proxy) Handler() http.Handler {
 	mux.HandleFunc("POST /register", p.handleRegister)
 	mux.HandleFunc("GET /stats", p.handleStats)
 	mux.HandleFunc("GET /metrics", p.handleMetrics)
+	p.fleetHandlers(mux)
 	return mux
 }
 
@@ -269,6 +281,16 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 	id := keyOf(url)
 	folded := fold(id)
 	st := traceStart(p.tracer, r, "fetch")
+	if p.fleet != nil {
+		// Owner-side load accounting: hot keys this member owns
+		// replicate onto their ring successors (fleet.go).
+		p.fleetTouch(id, folded)
+		if r.Header.Get(FleetHopHeader) != "" {
+			// Counted at arrival, whatever tier ends up serving it —
+			// a hop the owner answers from cache is still a hop served.
+			p.fleet.hopServes.Add(1)
+		}
+	}
 
 	// 1. Proxy cache: memory, then the persistent disk tier (which
 	// promotes the hit back into a free memory slot).
@@ -339,6 +361,20 @@ func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
 		p.dir.Remove(folded)
 		p.mu.Unlock()
 		p.dropDigest(folded)
+	}
+
+	// 2b. Fleet routing: when this proxy is a fleet member and the key
+	// belongs to another member's partition, forward there (owner or
+	// replica, least-loaded first) behind the per-hop deadline,
+	// breaker, and hedge.  A hop that reports an origin fill is served
+	// as TierOrigin so hit accounting stays honest; the body is NOT
+	// inserted locally — ownership is the whole point of partitioning.
+	if p.fleet != nil {
+		if body, tier, ok := p.fleetRoute(r, url, folded, st); ok {
+			serve(w, body, tier)
+			st.FinishWall(tier)
+			return
+		}
 	}
 
 	// 3. Cooperating proxies, each behind its error-rate breaker: a
@@ -438,7 +474,7 @@ func (p *Proxy) originFetch(url string) ([]byte, error) {
 // not have the object — while transport failures and unexpected
 // statuses return an error that feeds the peer's circuit breaker.
 func (p *Proxy) peerLookup(ctx context.Context, peer string, id pastry.ID, traceID string) ([]byte, bool, error) {
-	ctx, cancel := context.WithTimeout(ctx, p.defenses.PeerTimeout)
+	ctx, cancel := context.WithTimeout(ctx, p.peerTimeout())
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, "GET", fmt.Sprintf("%s/peer-lookup?key=%s", peer, id), nil)
 	if err != nil {
@@ -481,7 +517,7 @@ const (
 // is why cooperating proxies use the push path instead).  The call is
 // bounded by the per-hop deadline layered on the caller's context.
 func (p *Proxy) lanFetch(ctx context.Context, addr string, id pastry.ID, traceID string) ([]byte, bool) {
-	ctx, cancel := context.WithTimeout(ctx, p.defenses.PeerTimeout)
+	ctx, cancel := context.WithTimeout(ctx, p.peerTimeout())
 	defer cancel()
 	start := time.Now()
 	req, err := http.NewRequestWithContext(ctx, "GET", fmt.Sprintf("http://%s/object?key=%s", addr, id), nil)
@@ -816,6 +852,7 @@ func (p *Proxy) snapshotStats() ProxyStats {
 			ContribSwept:   int(p.stats.contribSwept.Load()),
 			PeerTimeouts:   int(p.stats.peerTimeouts.Load()),
 		},
+		Fleet: p.snapshotFleet(),
 	}
 }
 

@@ -55,6 +55,15 @@ type TopologyConfig struct {
 	// the daemon's topology indices and must return a handler.
 	WrapProxy func(proxy int, h http.Handler) http.Handler
 	WrapCache func(proxy, cache int, h http.Handler) http.Handler
+	// Fleet wires the proxies as a consistent-hash fleet
+	// (httpcache.EnableFleet with the full member roster) instead of
+	// the cooperating full mesh (SetPeers).  FleetReplication is the
+	// hot-object copy count k (0 = 1, partitioning only) and
+	// FleetHotAfter the per-key access count that triggers replication
+	// (0 = the httpcache default).
+	Fleet            bool
+	FleetReplication int
+	FleetHotAfter    int
 }
 
 // Topology is a running loopback deployment.  Everything listens on
@@ -193,15 +202,29 @@ func StartLoopback(cfg TopologyConfig) (*Topology, error) {
 		}
 		t.CacheAddrs = append(t.CacheAddrs, addrs)
 	}
-	// Cooperating full mesh.
-	for p, px := range t.Proxies {
-		var peers []string
-		for q, u := range t.ProxyURLs {
-			if q != p {
-				peers = append(peers, u)
-			}
+	if cfg.Fleet {
+		// Consistent-hash fleet: every proxy gets the full roster (its
+		// own URL included — EnableFleet adds Self to the ring either
+		// way) instead of the peer mesh.
+		for p, px := range t.Proxies {
+			px.EnableFleet(httpcache.FleetOptions{
+				Self:         t.ProxyURLs[p],
+				Members:      t.ProxyURLs,
+				Replication:  cfg.FleetReplication,
+				HotThreshold: cfg.FleetHotAfter,
+			})
 		}
-		px.SetPeers(peers)
+	} else {
+		// Cooperating full mesh.
+		for p, px := range t.Proxies {
+			var peers []string
+			for q, u := range t.ProxyURLs {
+				if q != p {
+					peers = append(peers, u)
+				}
+			}
+			px.SetPeers(peers)
+		}
 	}
 	ok = true
 	return t, nil

@@ -143,6 +143,21 @@ type Config struct {
 	DirSweepEvery      int
 	ByzantineFraction  float64
 	VerifyFraction     float64
+	// FleetSize switches Hier-GD to the cooperating-fleet engine
+	// (internal/sim/fleet.go): that many proxy caches partitioned by a
+	// consistent-hash ring, no P2P client tier.  0 or 1 keeps the
+	// standard Hier-GD engine.  Setting it forces NumProxies ==
+	// FleetSize so the trace's client clusters map one-to-one onto
+	// fleet members.  FleetReplication is the copy count k for hot
+	// objects (default 1: partitioning only); FleetHotAfter is the
+	// per-key access count that triggers replication (default 16);
+	// FleetPartitionAt isolates the highest-indexed member at that
+	// request index (0 = never) — the sim analogue of the chaos
+	// fleet-partition scenario.
+	FleetSize        int
+	FleetReplication int
+	FleetHotAfter    int
+	FleetPartitionAt int
 	// LFUInCache switches NC/SC/NC-EC/SC-EC from perfect-frequency
 	// LFU (default) to in-cache LFU.  Shorthand for
 	// BasePolicy == BaseLFUInCache.
@@ -247,6 +262,15 @@ func (c *Config) fillDefaults() {
 	if c.PoisonEvery > 0 && c.PoisonBatch == 0 {
 		c.PoisonBatch = 8
 	}
+	if c.FleetSize > 1 {
+		c.NumProxies = c.FleetSize
+		if c.FleetReplication == 0 {
+			c.FleetReplication = 1
+		}
+		if c.FleetHotAfter == 0 {
+			c.FleetHotAfter = 16
+		}
+	}
 }
 
 // Validate reports configuration errors (after defaulting).
@@ -292,6 +316,17 @@ func (c Config) Validate() error {
 	}
 	if c.VerifyFraction < 0 || c.VerifyFraction > 1 {
 		return fmt.Errorf("sim: verify fraction %g outside [0,1]", c.VerifyFraction)
+	}
+	if c.FleetSize < 0 || c.FleetPartitionAt < 0 {
+		return fmt.Errorf("sim: negative fleet parameter")
+	}
+	if c.FleetSize > 1 {
+		if c.Scheme != HierGD {
+			return fmt.Errorf("sim: FleetSize applies to the HierGD scheme only (got %v)", c.Scheme)
+		}
+		if c.FleetReplication < 1 || c.FleetReplication > c.FleetSize {
+			return fmt.Errorf("sim: fleet replication %d outside [1,%d]", c.FleetReplication, c.FleetSize)
+		}
 	}
 	if err := c.Net.Validate(); err != nil {
 		return err

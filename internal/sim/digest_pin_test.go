@@ -17,10 +17,10 @@ import (
 // simulator change lands, re-pin by running the test and copying the
 // digest from the failure message.
 func TestResultDigestPinned(t *testing.T) {
-	// Re-pinned when Result gained the chaos-telemetry fields (new
+	// Re-pinned when Result gained the fleet-telemetry fields (new
 	// zero-valued JSON keys; every numeric outcome was verified
 	// unchanged).
-	const pinned = "43ee89b8abf96d644961ac79e0af00e748ca382d153cb81f9b6a1dc8cc331486"
+	const pinned = "99dfd9166b291c8de1f535293b5c8c1114b4d7a04fd03cc39bfd947972bf635d"
 
 	tr := testTrace(t, 1)
 	h := sha256.New()

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"os"
+	"testing"
+
+	"webcache/internal/invariant"
+	"webcache/internal/netmodel"
+	"webcache/internal/obs"
+)
+
+// TestFleetEngineChecked runs the fleet engine with the full invariant
+// harness: shadow-checked member caches plus the strict replica ledger
+// reconciled against a ground-truth scan of every cache at finish.
+func TestFleetEngineChecked(t *testing.T) {
+	tr := testTrace(t, 31)
+	chk := invariant.New(nil)
+	res := run(t, tr, Config{
+		Scheme:            HierGD,
+		ClientsPerCluster: 50,
+		FleetSize:         4,
+		FleetReplication:  2,
+		FleetHotAfter:     8,
+		ProxyCacheFrac:    0.2,
+		Seed:              1,
+		Check:             chk,
+	})
+	if chk.ViolationCount() != 0 {
+		t.Fatalf("invariant violations: %d\n%v", chk.ViolationCount(), chk.Violations())
+	}
+	if res.InvariantChecks == 0 {
+		t.Fatal("no invariant checks ran")
+	}
+	if res.FleetMembers != 4 {
+		t.Fatalf("FleetMembers = %d, want 4", res.FleetMembers)
+	}
+	if res.FleetRouted == 0 || res.FleetRoutedHits == 0 || res.FleetRoutedOrigin == 0 {
+		t.Fatalf("fleet routing never exercised: %+v", res)
+	}
+	if res.FleetReplicas == 0 {
+		t.Fatal("hot-object replication never fired")
+	}
+	if res.FleetHotKeys == 0 {
+		t.Fatal("load estimator tracked no keys")
+	}
+	if res.FleetRouteFailed != 0 || res.FleetRouteSkipped != 0 {
+		t.Fatalf("partition counters moved without a partition: %+v", res)
+	}
+	// Every request is accounted to exactly one tier and P2P stays
+	// untouched (the fleet variant has no client tier).
+	if res.Sources[netmodel.SrcP2P] != 0 {
+		t.Fatalf("fleet engine served %d requests from P2P", res.Sources[netmodel.SrcP2P])
+	}
+	if res.Requests != tr.Len() {
+		t.Fatalf("accounted %d requests, trace has %d", res.Requests, tr.Len())
+	}
+}
+
+// TestFleetReplicationSpreadsHits holds the partitioned baseline (k=1)
+// against k=2 replication on the same trace: replication must convert
+// remote fleet hops into front-local hits.
+func TestFleetReplicationSpreadsHits(t *testing.T) {
+	tr := testTrace(t, 32)
+	base := run(t, tr, Config{
+		Scheme: HierGD, ClientsPerCluster: 50, FleetSize: 4, FleetReplication: 1,
+		ProxyCacheFrac: 0.2, Seed: 1,
+	})
+	repl := run(t, tr, Config{
+		Scheme: HierGD, ClientsPerCluster: 50, FleetSize: 4, FleetReplication: 2, FleetHotAfter: 8,
+		ProxyCacheFrac: 0.2, Seed: 1,
+	})
+	if base.FleetReplicas != 0 {
+		t.Fatalf("k=1 placed %d replicas", base.FleetReplicas)
+	}
+	if repl.FleetReplicas == 0 {
+		t.Fatal("k=2 placed no replicas")
+	}
+	if repl.HitRatio(netmodel.SrcLocalProxy) <= base.HitRatio(netmodel.SrcLocalProxy) {
+		t.Fatalf("replication did not raise the front-local hit ratio: %.4f vs %.4f",
+			repl.HitRatio(netmodel.SrcLocalProxy), base.HitRatio(netmodel.SrcLocalProxy))
+	}
+}
+
+// TestFleetPartition isolates one member mid-run: routing must skip
+// it, some requests fall back to origin uncached, and the (lenient)
+// conservation ledger still balances.
+func TestFleetPartition(t *testing.T) {
+	tr := testTrace(t, 33)
+	chk := invariant.New(nil)
+	res := run(t, tr, Config{
+		Scheme: HierGD, ClientsPerCluster: 50, FleetSize: 3, FleetReplication: 2, FleetHotAfter: 8,
+		FleetPartitionAt: tr.Len() / 2,
+		ProxyCacheFrac:   0.2, Seed: 1,
+		Check: chk,
+	})
+	if chk.ViolationCount() != 0 {
+		t.Fatalf("invariant violations: %d\n%v", chk.ViolationCount(), chk.Violations())
+	}
+	if res.FleetRouteSkipped == 0 {
+		t.Fatal("partitioned member was never skipped")
+	}
+	if res.FleetRouteFailed == 0 {
+		t.Fatal("no requests fell through to origin during the partition")
+	}
+	if res.MaintenanceTicks == 0 {
+		t.Fatal("partition never ticked")
+	}
+}
+
+// TestFleetConfigValidation pins the fleet knob error paths and the
+// NumProxies coupling.
+func TestFleetConfigValidation(t *testing.T) {
+	tr := testTrace(t, 34)
+	if _, err := Run(tr, Config{Scheme: SC, FleetSize: 4}); err == nil {
+		t.Fatal("FleetSize on a non-HierGD scheme must fail validation")
+	}
+	if _, err := Run(tr, Config{Scheme: HierGD, FleetSize: 4, FleetReplication: 5}); err == nil {
+		t.Fatal("replication > fleet size must fail validation")
+	}
+	if _, err := Run(tr, Config{Scheme: HierGD, FleetSize: -1}); err == nil {
+		t.Fatal("negative fleet size must fail validation")
+	}
+	res := run(t, tr, Config{Scheme: HierGD, ClientsPerCluster: 50, FleetSize: 4, NumProxies: 2, ProxyCacheFrac: 0.2, Seed: 1})
+	if res.FleetMembers != 4 || len(res.ProxyCapacities) != 4 {
+		t.Fatalf("FleetSize did not force NumProxies: members=%d caps=%d",
+			res.FleetMembers, len(res.ProxyCapacities))
+	}
+}
+
+// TestMetricsDocSimFleet smoke-runs the fleet engine with a registry
+// and holds METRICS.md's sim.fleet.* section against the registered
+// names, both ways.
+func TestMetricsDocSimFleet(t *testing.T) {
+	md, err := os.ReadFile("../../METRICS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(t, 35)
+	reg := obs.NewRegistry("fleet-doc-smoke")
+	run(t, tr, Config{
+		Scheme: HierGD, ClientsPerCluster: 50, FleetSize: 3, FleetReplication: 2, FleetHotAfter: 8,
+		FleetPartitionAt: tr.Len() / 2,
+		ProxyCacheFrac:   0.2, Seed: 1, Obs: reg,
+	})
+	var names []string
+	for _, m := range reg.Snapshot() {
+		names = append(names, m.Name)
+	}
+	if err := obs.CheckMetricsDoc(md, names, "sim.fleet"); err != nil {
+		t.Fatal(err)
+	}
+}

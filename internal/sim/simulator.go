@@ -63,7 +63,11 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	case FC, FCEC:
 		eng, err = newFCEngine(tr, cfg, sz)
 	case HierGD:
-		eng, err = newHierGDEngine(cfg, sz)
+		if cfg.FleetSize > 1 {
+			eng, err = newFleetEngine(cfg, sz)
+		} else {
+			eng, err = newHierGDEngine(cfg, sz)
+		}
 	case Squirrel:
 		eng, err = newSquirrelEngine(cfg, sz)
 	default:

@@ -372,6 +372,30 @@ func (s *Store) Snapshot() []invariant.ShardSnapshot {
 	return out
 }
 
+// Item pairs a resident object with its folded policy key, for
+// callers that need to enumerate the store (fleet rebalancing).
+type Item struct {
+	Key    trace.ObjectID
+	Object Object
+}
+
+// Items returns every resident object, shard by shard (each shard is
+// locked only while it is copied, so the walk does not quiesce the
+// whole store).  Bodies are shared, not copied — callers must treat
+// them as read-only.
+func (s *Store) Items() []Item {
+	out := make([]Item, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.lock(sh)
+		for key, obj := range sh.bodies {
+			out = append(out, Item{Key: key, Object: obj})
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // CheckInvariants reconciles the atomic cross-shard totals against a
 // locked per-shard snapshot (invariant.CheckShardPartition); a nil
 // Checker makes it a no-op.
