@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench vet fuzz-smoke bench-smoke bench-diff store-bench disk-bench chaos-smoke chaos-bench fleet-bench trace-alloc
+.PHONY: all build test check race bench vet fuzz-smoke bench-smoke bench-diff store-bench disk-bench chaos-smoke chaos-bench fleet-bench slo-smoke trace-alloc
 
 all: build test
 
@@ -111,6 +111,22 @@ chaos-bench:
 		-requests 1500 -objects 200 -clients 40 -proxies 2 -caches 3 \
 		-object-bytes 512 -rate 750 -chaos-min-p999-cut 1.3 \
 		-manifest BENCH_chaos.json
+
+# ~15s SLO-plane smoke: class-tagged load (interactive 100ms @ 99%,
+# batch 1s @ 90%) against a 2-proxy loopback topology with per-member
+# registries and SLO trackers, under the slow-peer chaos scenario,
+# defenses off and on.  After each cell the cluster aggregator scrapes
+# every member's /metrics over HTTP and merges them.  Fails unless the
+# defenses cut the interactive class's fast-window burn rate and the
+# aggregator's cluster hit ratio agrees with the load generator's to
+# within 1pp; writes the BENCH_slo.json manifest (diffable run-to-run
+# via cmd/benchdiff).
+slo-smoke:
+	$(GO) run ./cmd/hiergdd bench -slo -requests 3000 -objects 300 -clients 40 \
+		-proxies 2 -caches 3 -object-bytes 512 -rate 400 \
+		-slo-classes "interactive:100ms:0.99:30s,batch:1s:0.9:30s" \
+		-slo-scenario slow-peer -slo-max-hit-delta 0.01 \
+		-manifest BENCH_slo.json
 
 # ~10s fleet scale sweep: the same ProWGen workload and the same TOTAL
 # proxy budget (split evenly) driven closed-loop against 1, 2, 4, and 8

@@ -84,6 +84,16 @@ func runBench(args []string) error {
 	chaosMode := fs.Bool("chaos", false, "run the chaos scenario suite: fault injection live + simulated, defenses off and on")
 	chaosScenariosFlag := fs.String("chaos-scenarios", "", "comma-separated scenario names (empty = whole suite; chaos mode)")
 	chaosMinP999Cut := fs.Float64("chaos-min-p999-cut", 0, "fail unless slow-peer defenses cut live p999 by this factor (0 = report only; chaos mode)")
+	// SLO-plane smoke mode (-slo): class-tagged load against a
+	// multi-member loopback topology under a chaos scenario, defenses
+	// off and on, gated on the defenses cutting the gated class's
+	// fast-window burn rate and on the cluster aggregator's hit ratio
+	// agreeing with the load generator's.
+	sloMode := fs.Bool("slo", false, "run the SLO-plane smoke: class-tagged load, per-member SLO trackers, cluster aggregation, defenses off vs on")
+	sloClassSpecs := fs.String("slo-classes", "interactive:100ms:0.99:30s,batch:1s:0.9:30s", `SLO classes as "name:latency:availability[:window]", comma-separated; the first class is the burn-rate gate (slo mode)`)
+	sloScenario := fs.String("slo-scenario", "slow-peer", "chaos scenario injected into both cells (slo mode)")
+	sloMaxHitDelta := fs.Float64("slo-max-hit-delta", 0.01, "fail if |aggregator - loadgen| hit ratio exceeds this (0 = report only; slo mode)")
+	sloBurnGate := fs.Bool("slo-burn-gate", true, "fail unless defenses-on cuts the gated class's fast-window burn rate (slo mode)")
 	// Fleet scale sweep mode (-fleet): the same workload and total cache
 	// budget driven closed-loop against consistent-hash fleets of
 	// increasing size, each member behind a concurrency+service-time
@@ -98,6 +108,25 @@ func runBench(args []string) error {
 	fleetMaxHitDelta := fs.Float64("fleet-max-hit-delta", 0, "fail if any size's hit ratio drifts more than this from the single member's (0 = report only; fleet mode)")
 	fs.Parse(args)
 	startPprof(*pprofAddr)
+
+	if *sloMode {
+		return runSLOBench(sloBenchConfig{
+			requests:    *requests,
+			objects:     *objects,
+			clients:     *clients,
+			proxies:     *proxies,
+			caches:      *caches,
+			objectBytes: *objectBytes,
+			rate:        *rate,
+			seed:        *seed,
+			timeout:     *timeout,
+			scenario:    *sloScenario,
+			classSpecs:  *sloClassSpecs,
+			maxHitDelta: *sloMaxHitDelta,
+			burnGate:    *sloBurnGate,
+			manifest:    *manifestPath,
+		})
+	}
 
 	if *fleetMode {
 		sizes, err := parseSizesList(*fleetSizes)

@@ -3,13 +3,25 @@ package main
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"webcache/internal/chaos"
 	"webcache/internal/invariant"
 	"webcache/internal/obs"
+	"webcache/internal/obs/slo"
 	"webcache/internal/prowgen"
 	"webcache/internal/trace"
 )
+
+// chaosSLOClass scores every live chaos run against one bench-scale
+// SLO, so each scenario row shows the defenses' error-budget effect
+// (the burn-rate delta) alongside the raw tail cut.
+var chaosSLOClass = slo.Class{
+	Name:         "chaos",
+	Latency:      100 * time.Millisecond,
+	Availability: 0.99,
+	Window:       30 * time.Second,
+}
 
 // chaosBenchConfig sizes the chaos suite run (bench -chaos).
 type chaosBenchConfig struct {
@@ -65,6 +77,7 @@ func runChaosBench(cfg chaosBenchConfig) error {
 				Proxies:        cfg.proxies,
 				CachesPerProxy: cfg.caches,
 				DefensesOn:     on,
+				SLOClass:       chaosSLOClass,
 				Check:          chk,
 				Registry:       reg,
 			})
@@ -105,6 +118,8 @@ func runChaosBench(cfg chaosBenchConfig) error {
 			row.LiveOff.HitRatio, row.LiveOn.HitRatio,
 			row.LiveOff.P999Ms, row.LiveOn.P999Ms, row.P999Cut(),
 			row.LiveOff.Errors, row.LiveOn.Errors)
+		fmt.Printf("  slo:  %s fast burn %.2f -> %.2f (delta %+.2f)\n",
+			chaosSLOClass.Name, row.LiveOff.FastBurn, row.LiveOn.FastBurn, row.BurnDelta())
 		fmt.Printf("  sim:  hit %.3f -> %.3f  mean %6.3f -> %6.3f  p999 %6.1f -> %6.1f (model units as ms)\n",
 			row.SimOff.HitRatio, row.SimOn.HitRatio,
 			row.SimOff.MeanMs, row.SimOn.MeanMs, row.SimOff.P999Ms, row.SimOn.P999Ms)

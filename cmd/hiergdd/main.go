@@ -13,6 +13,8 @@
 //	hiergdd bench -disk              # disk tier: write-behind, mixed load, recovery
 //	hiergdd bench -chaos             # adversarial scenarios, defenses off vs on
 //	hiergdd bench -fleet             # fleet scale sweep: 1 -> 8 members, same budget
+//	hiergdd bench -slo               # SLO gate: burn-rate cut + aggregator agreement
+//	hiergdd top -members a=http://h1:8080,b=http://h2:8080   # live cluster dashboard
 //
 // A proxy started with -fleet-members joins a consistent-hash fleet
 // instead of the -peers mesh: each key has one owner member (plus
@@ -47,6 +49,19 @@
 // requests carrying the X-Webcache-Trace header always join), with the
 // exports flushed during graceful shutdown after the drain completes.
 //
+// The SLO plane: both daemons serve /healthz (liveness) and /readyz
+// (readiness — 503 until recovery/registration/fleet wiring finish,
+// and 503 again the moment a drain begins, before the listener
+// closes), and -events FILE appends structured JSONL state-transition
+// events (readiness, breakers, fleet membership, recovery, SLO burn
+// crossings).  The proxy's -slo-classes declares per-class objectives
+// ("interactive:100ms:0.99:1m,..."); requests tagged X-SLO-Class are
+// accounted per class and slo.* burn-rate gauges appear on /metrics.
+// -cluster-members "name=url,..." makes a proxy scrape and merge every
+// member's /metrics into a cluster.* view on /cluster/metrics and
+// /cluster/snapshot; `hiergdd top` renders the same aggregation as a
+// live terminal dashboard.
+//
 // The demo starts an origin, two cooperating proxies with three client
 // caches each, drives a request script through them, and prints which
 // tier served every request — the paper's architecture observable
@@ -71,6 +86,8 @@ import (
 
 	"webcache/internal/httpcache"
 	"webcache/internal/obs"
+	"webcache/internal/obs/cluster"
+	"webcache/internal/obs/slo"
 )
 
 // startPprof exposes net/http/pprof on addr ("" disables).  Serve
@@ -103,6 +120,8 @@ func main() {
 		err = runDemo(os.Args[2:])
 	case "bench":
 		err = runBench(os.Args[2:])
+	case "top":
+		err = runTop(os.Args[2:])
 	default:
 		usage()
 	}
@@ -113,17 +132,27 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hiergdd proxy|cache|demo|bench [flags]")
+	fmt.Fprintln(os.Stderr, "usage: hiergdd proxy|cache|demo|bench|top [flags]")
 	os.Exit(2)
 }
 
+// drainGrace is how long a draining daemon keeps its listener open
+// after flipping /readyz to 503: http.Server.Shutdown closes the
+// listener immediately, so the readiness flip must land first and
+// load balancers need a beat to observe it and stop routing.  A
+// variable so the shutdown tests can stretch the window.
+var drainGrace = 200 * time.Millisecond
+
 // serveDaemon serves h on ln until SIGINT/SIGTERM, then drains
 // in-flight requests through http.Server.Shutdown for up to drain
-// before closing hard.  flush (nil ok) runs after the drain attempt —
+// before closing hard.  markDraining (nil ok) runs when the signal
+// lands, before the listener closes — the daemon's /readyz flips to
+// 503 "draining" and stays reachable for drainGrace so routers stop
+// sending work.  flush (nil ok) runs after the drain attempt —
 // in-flight requests have finished recording by then — so trace and
 // metrics exports capture every request the daemon served.  It
 // returns nil on a clean signal-driven exit.
-func serveDaemon(ln net.Listener, h http.Handler, drain time.Duration, flush func()) error {
+func serveDaemon(ln net.Listener, h http.Handler, drain time.Duration, markDraining, flush func()) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -138,6 +167,10 @@ func serveDaemon(ln net.Listener, h http.Handler, drain time.Duration, flush fun
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
 	fmt.Println("hiergdd: signal received, draining...")
+	if markDraining != nil {
+		markDraining()
+		time.Sleep(drainGrace)
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
@@ -264,6 +297,10 @@ func runProxy(args []string) error {
 	fleetHeartbeat := fs.Duration("fleet-heartbeat", 0, "probe fleet members this often, demoting dead ones from the ring (0 = off)")
 	diskDir := fs.String("disk-dir", "", "enable the persistent disk tier under this directory (recovered on boot)")
 	diskCap := fs.Uint64("disk-cap", 0, "disk-tier capacity in bytes (0 = 16x -capacity)")
+	sloClasses := fs.String("slo-classes", "", `SLO classes as "name:latency:availability[:window]", comma-separated (e.g. "interactive:50ms:0.99:1m,batch:500ms:0.9"): requests tagged X-SLO-Class are accounted per class and slo.* burn-rate gauges appear on /metrics`)
+	eventsPath := fs.String("events", "", "append structured JSONL state-transition events (readiness, breaker, fleet membership, SLO burn crossings) to this file")
+	clusterMembers := fs.String("cluster-members", "", `fleet members to aggregate as "name=url,..." — mounts /cluster/metrics and /cluster/snapshot on this daemon, scraping every member's /metrics + /fleet/heartbeat`)
+	clusterScrape := fs.Duration("cluster-scrape", 2*time.Second, "cluster aggregator scrape interval")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	dobs := addObsFlags(fs)
@@ -280,6 +317,12 @@ func runProxy(args []string) error {
 	// The registry is built before the proxy so the disk tier's
 	// recovery instruments (store.disk.replay.*) record boot progress.
 	tracer, reg, flush := dobs.build("proxy")
+	events, closeEvents, err := openEventLog(*eventsPath, "proxy@"+base)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer closeEvents()
 	p, err := httpcache.NewProxyOpts(httpcache.Options{
 		CapacityBytes:     *capacity,
 		Policy:            *policy,
@@ -298,6 +341,18 @@ func runProxy(args []string) error {
 	}
 	p.SetTracer(tracer)
 	p.SetMetrics(reg)
+	p.SetEvents(events)
+	if *sloClasses != "" {
+		classes, err := slo.ParseClasses(*sloClasses)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		tr := slo.NewTracker(reg, classes, slo.DefaultThresholds)
+		tr.SetEvents(events)
+		p.SetSLO(tr)
+		fmt.Printf("hiergdd proxy: tracking %d SLO classes\n", len(classes))
+	}
 	if *sweep > 0 {
 		stop := p.StartSweeper(*sweep)
 		defer stop()
@@ -325,12 +380,40 @@ func runProxy(args []string) error {
 	if *diskDir != "" {
 		fmt.Printf("hiergdd proxy: disk tier %s (%d-byte budget) recovered %d objects\n",
 			*diskDir, p.Disk().Capacity(), p.Disk().Recovered())
+		events.Emit("recovery.done", map[string]string{
+			"objects": fmt.Sprint(p.Disk().Recovered())})
 	}
+
+	// Handler stack: the aggregator's /cluster/* routes (when
+	// configured) in front of the proxy's own surface.
+	handler := http.Handler(p.Handler())
+	if *clusterMembers != "" {
+		members, err := cluster.ParseMembers(*clusterMembers)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		agg := cluster.New(members, cluster.Options{Events: events})
+		aggCtx, aggStop := context.WithCancel(context.Background())
+		defer aggStop()
+		go agg.Start(aggCtx, *clusterScrape)
+		mux := http.NewServeMux()
+		mux.Handle("/cluster/", agg.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Printf("hiergdd proxy: aggregating %d members on /cluster/metrics (every %s)\n",
+			len(members), *clusterScrape)
+	}
+
+	// Construction, recovery, registration, and fleet wiring are done:
+	// flip /readyz to 200 before the daemon takes traffic.
+	p.MarkReady()
+
 	// The disk drain runs after the HTTP drain, so every insert an
 	// in-flight request acknowledged is journaled before exit.  A fleet
 	// member leaves first: the departure is announced and the keys it
 	// owned migrate to their new owners while the peers still accept.
-	return serveDaemon(ln, p.Handler(), *drain, func() {
+	return serveDaemon(ln, handler, *drain, p.MarkDraining, func() {
 		if fleetOn {
 			fmt.Printf("hiergdd proxy: fleet leave migrated %d objects\n", p.LeaveFleet())
 		}
@@ -339,6 +422,19 @@ func runProxy(args []string) error {
 			fmt.Fprintln(os.Stderr, "hiergdd: disk close:", err)
 		}
 	})
+}
+
+// openEventLog opens path for appending and returns the daemon's
+// structured event log; an empty path returns a nil (disabled) log.
+func openEventLog(path, source string) (*obs.EventLog, func(), error) {
+	if path == "" {
+		return nil, func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return obs.NewEventLog(source, f), func() { f.Close() }, nil
 }
 
 func runCache(args []string) error {
@@ -350,6 +446,7 @@ func runCache(args []string) error {
 	proxy := fs.String("proxy", "http://localhost:8080", "local proxy base URL")
 	diskDir := fs.String("disk-dir", "", "enable the persistent disk tier under this directory (recovered on boot)")
 	diskCap := fs.Uint64("disk-cap", 0, "disk-tier capacity in bytes (0 = 16x -capacity)")
+	eventsPath := fs.String("events", "", "append structured JSONL state-transition events (readiness, recovery) to this file")
 	pprofAddr := fs.String("pprof", "", "expose net/http/pprof on this address")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	dobs := addObsFlags(fs)
@@ -375,6 +472,13 @@ func runCache(args []string) error {
 		return err
 	}
 	addr := ln.Addr().String()
+	events, closeEvents, err := openEventLog(*eventsPath, "cache@"+addr)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer closeEvents()
+	cc.SetEvents(events)
 	// A daemon restarting over its disk directory re-registers the
 	// recovered objects in the /register body, so the proxy's lookup
 	// directory re-learns what this partition still holds.
@@ -393,7 +497,9 @@ func runCache(args []string) error {
 		resp.Body.Close()
 	}
 	fmt.Printf("hiergdd cache: %s registered with %s (%d-byte partition)\n", addr, *proxy, *capacity)
-	return serveDaemon(ln, cc.Handler(), *drain, func() {
+	// Recovery and proxy registration are done: flip /readyz to 200.
+	cc.MarkReady()
+	return serveDaemon(ln, cc.Handler(), *drain, cc.MarkDraining, func() {
 		flush()
 		if err := cc.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "hiergdd: disk close:", err)

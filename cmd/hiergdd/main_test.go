@@ -28,7 +28,7 @@ func TestServeDaemonGracefulShutdown(t *testing.T) {
 	go func() {
 		done <- serveDaemon(ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			w.Write([]byte("ok"))
-		}), 2*time.Second, nil)
+		}), 2*time.Second, nil, nil)
 	}()
 
 	url := fmt.Sprintf("http://%s/", ln.Addr())
@@ -57,6 +57,82 @@ func TestServeDaemonGracefulShutdown(t *testing.T) {
 		t.Fatal("serveDaemon did not return within 5s of SIGTERM")
 	}
 	if _, err := http.Get(url); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// The readiness flip must precede the listener close: after SIGTERM,
+// /readyz answers 503 "draining" over the still-open listener (the
+// drainGrace window routers use to stop sending work), and only then
+// does the listener stop accepting.
+func TestServeDaemonReadyzFlipsBeforeClose(t *testing.T) {
+	oldGrace := drainGrace
+	drainGrace = 600 * time.Millisecond
+	defer func() { drainGrace = oldGrace }()
+
+	cc := httpcache.NewClientCache(1 << 20)
+	cc.MarkReady()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- serveDaemon(ln, cc.Handler(), 2*time.Second, cc.MarkDraining, nil) }()
+
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b := make([]byte, 64)
+		n, _ := resp.Body.Read(b)
+		return resp.StatusCode, strings.TrimSpace(string(b[:n]))
+	}
+	for i := 0; ; i++ {
+		if resp, err := http.Get(base + "/readyz"); err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if i > 100 {
+			t.Fatal("daemon never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the grace window the listener must still accept, with
+	// /readyz flipped to 503 "draining" and /healthz still healthy; a
+	// connection error here means the listener closed before the flip.
+	deadline := time.Now().Add(drainGrace)
+	for {
+		code, body := get("/readyz")
+		if code == http.StatusServiceUnavailable && body == "draining" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/readyz never flipped during the grace window (last %d %q)", code, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d while draining, want 200", code)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveDaemon returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveDaemon did not return after the drain")
+	}
+	if _, err := http.Get(base + "/readyz"); err == nil {
 		t.Fatal("listener still accepting after shutdown")
 	}
 }
@@ -90,7 +166,7 @@ func TestServeDaemonDrainFlushesExports(t *testing.T) {
 		w.Write([]byte("slow-ok"))
 	})
 	done := make(chan error, 1)
-	go func() { done <- serveDaemon(ln, handler, 2*time.Second, flush) }()
+	go func() { done <- serveDaemon(ln, handler, 2*time.Second, nil, flush) }()
 
 	url := fmt.Sprintf("http://%s/", ln.Addr())
 	for i := 0; ; i++ {
@@ -183,7 +259,7 @@ func TestServeDaemonDrainFlushesDiskQueue(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		done <- serveDaemon(ln, cc.Handler(), 2*time.Second, func() {
+		done <- serveDaemon(ln, cc.Handler(), 2*time.Second, nil, func() {
 			if err := cc.Close(); err != nil {
 				t.Errorf("disk close during flush: %v", err)
 			}

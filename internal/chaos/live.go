@@ -12,6 +12,7 @@ import (
 	"webcache/internal/invariant"
 	"webcache/internal/loadgen"
 	"webcache/internal/obs"
+	"webcache/internal/obs/slo"
 	"webcache/internal/pastry"
 	"webcache/internal/prowgen"
 	"webcache/internal/sim"
@@ -35,6 +36,11 @@ type LiveConfig struct {
 	// hedging, digest sampling, breakers); off runs the pre-defense
 	// defaults.
 	DefensesOn bool
+	// SLOClass, when named, attaches a driver-side slo.Tracker to the
+	// run: every measured request is scored against the class's latency
+	// objective and the report carries the end-of-run burn rates, so
+	// the suite can show each defense's error-budget effect.
+	SLOClass slo.Class
 	// Check, when non-nil, attaches the conservation accountant to
 	// every proxy and counts violations into the report.
 	Check *invariant.Checker
@@ -52,7 +58,11 @@ type LiveReport struct {
 	Errors     int                    `json:"errors"`
 	HitRatio   float64                `json:"hit_ratio"`
 	P999Ms     float64                `json:"p999_ms"`
-	Defense    httpcache.DefenseStats `json:"defense"`
+	// FastBurn / SlowBurn are the end-of-run error-budget burn rates
+	// against LiveConfig.SLOClass (zero when no class was configured).
+	FastBurn float64                `json:"fast_burn"`
+	SlowBurn float64                `json:"slow_burn"`
+	Defense  httpcache.DefenseStats `json:"defense"`
 	// Fleet aggregates every member's fleet counters (fleet-partition
 	// scenario; zero when the topology runs the cooperating mesh).
 	Fleet      httpcache.FleetStats `json:"fleet"`
@@ -61,11 +71,13 @@ type LiveReport struct {
 	Violations int64                `json:"invariant_violations"`
 }
 
-// hardened is the defenses-on tuning for loopback chaos runs: per-hop
+// Hardened is the defenses-on tuning for loopback chaos runs: per-hop
 // deadlines far under the injected 250ms stall, hedging from the
 // observed p99, a digest check on every second client serve, and a
-// fast breaker so degradation to origin happens within the run.
-func hardened() *httpcache.Defenses {
+// fast breaker so degradation to origin happens within the run.  The
+// SLO bench reuses it so its defenses-on cell runs the same posture
+// the chaos suite gates on.
+func Hardened() *httpcache.Defenses {
 	return &httpcache.Defenses{
 		PeerTimeout:         75 * time.Millisecond,
 		AdaptivePeerTimeout: true,
@@ -119,7 +131,7 @@ func RunLive(cfg LiveConfig) (*LiveReport, error) {
 	inj := NewInjector(cfg.Scenario, cfg.CachesPerProxy, cfg.Registry)
 	var defenses *httpcache.Defenses
 	if cfg.DefensesOn {
-		defenses = hardened()
+		defenses = Hardened()
 	}
 	topo, err := loadgen.StartLoopback(loadgen.TopologyConfig{
 		Proxies:            cfg.Proxies,
@@ -206,12 +218,17 @@ func RunLive(cfg LiveConfig) (*LiveReport, error) {
 	// The drive gets a private registry: loadgen.latency is a registry
 	// histogram, so sharing cfg.Registry across the suite's runs would
 	// pollute every later run's p999 with every earlier run's tail.
+	var sloTracker *slo.Tracker
+	if cfg.SLOClass.Name != "" {
+		sloTracker = slo.NewTracker(nil, []slo.Class{cfg.SLOClass}, slo.DefaultThresholds)
+	}
 	tgt := loadgen.NewHTTPTarget(cfg.Timeout)
 	res, err := loadgen.Run(context.Background(), sched, tgt, loadgen.Options{
 		Mode:    loadgen.OpenLoop,
 		Arrival: arrival,
 		Warmup:  cfg.Warmup,
 		Obs:     obs.NewRegistry("chaos-live"),
+		SLO:     sloTracker,
 	})
 	tgt.CloseIdleConnections() // pre-dialed pool conns would stall the drain
 	if err != nil {
@@ -235,6 +252,12 @@ func RunLive(cfg LiveConfig) (*LiveReport, error) {
 	rep.Errors = res.Errors
 	rep.HitRatio = res.AggregateHitRatio()
 	rep.P999Ms = float64(res.Overall.Quantile(0.999)) / float64(time.Millisecond)
+	if sloTracker != nil {
+		if reports := sloTracker.Report(); len(reports) > 0 {
+			rep.FastBurn = reports[0].FastBurn
+			rep.SlowBurn = reports[0].SlowBurn
+		}
+	}
 	for p := range topo.Proxies {
 		st, err := topo.ProxyStats(p)
 		if err != nil {

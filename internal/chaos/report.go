@@ -21,6 +21,16 @@ func (r Row) P999Cut() float64 {
 	return r.LiveOff.P999Ms / r.LiveOn.P999Ms
 }
 
+// BurnDelta is the live fast-window burn-rate change defenses-on
+// minus defenses-off (negative = defenses slowed the error-budget
+// burn; zero when no SLO class was configured).
+func (r Row) BurnDelta() float64 {
+	if r.LiveOff == nil || r.LiveOn == nil {
+		return 0
+	}
+	return r.LiveOn.FastBurn - r.LiveOff.FastBurn
+}
+
 // HitRatioDelta is the live hit-ratio change defenses-on minus
 // defenses-off (positive = defenses recovered hits).
 func (r Row) HitRatioDelta() float64 {

@@ -135,6 +135,9 @@ type ClientCache struct {
 	// tracer and metrics are the observability hooks (obs.go).
 	tracer  *obs.Tracer
 	metrics *obs.Registry
+
+	// readiness is the /healthz + /readyz probe surface (health.go).
+	readiness
 }
 
 // NewClientCache creates a daemon with the given cooperative-partition
@@ -172,6 +175,8 @@ func NewClientCacheOpts(o Options) (*ClientCache, error) {
 //	POST /push?key=HEX&to=URL     push the object up to the proxy for
 //	                              forwarding to a cooperating proxy
 //	GET  /stats                   counters
+//	GET  /healthz                 liveness probe (health.go)
+//	GET  /readyz                  readiness probe (health.go)
 func (c *ClientCache) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /object", c.handleObject)
@@ -179,6 +184,7 @@ func (c *ClientCache) Handler() http.Handler {
 	mux.HandleFunc("POST /push", c.handlePush)
 	mux.HandleFunc("GET /stats", c.handleStats)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.registerHealth(mux)
 	return mux
 }
 

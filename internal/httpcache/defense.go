@@ -330,6 +330,7 @@ func (p *Proxy) peerFailed(peer string) {
 	if int(b.failures.Add(1)) >= p.defenses.BreakerFailures {
 		if b.openedAt.CompareAndSwap(0, time.Now().UnixNano()) {
 			p.stats.breakerOpens.Add(1)
+			p.events.Emit("breaker.open", map[string]string{"peer": peer})
 		}
 	}
 }
@@ -342,7 +343,9 @@ func (p *Proxy) peerOK(peer string) {
 	}
 	b := p.breakerFor(peer)
 	b.failures.Store(0)
-	b.openedAt.Store(0)
+	if b.openedAt.Swap(0) != 0 {
+		p.events.Emit("breaker.close", map[string]string{"peer": peer})
+	}
 }
 
 // EnableAccounting threads a live conservation oracle through the

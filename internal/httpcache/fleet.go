@@ -594,6 +594,8 @@ func (p *Proxy) JoinFleet() int {
 			notified++
 		}
 	}
+	p.events.Emit("fleet.join", map[string]string{
+		"self": f.opts.Self, "notified": strconv.Itoa(notified)})
 	return notified
 }
 
@@ -621,6 +623,8 @@ func (p *Proxy) LeaveFleet() int {
 	}
 	f.ring.Remove(f.opts.Self)
 	f.leaves.Add(1)
+	p.events.Emit("fleet.leave", map[string]string{
+		"self": f.opts.Self, "migrated": strconv.Itoa(moved)})
 	return moved
 }
 
@@ -687,11 +691,14 @@ func (p *Proxy) HeartbeatOnce() {
 		if ok {
 			f.hbFails[m] = 0
 			f.peers.Report(m, hb.Load)
-			f.ring.Add(m) // no-op when already present; re-admits a recovered member
+			if f.ring.Add(m) { // no-op when already present
+				p.events.Emit("fleet.member.readmit", map[string]string{"peer": m})
+			}
 		} else {
 			f.hbFails[m]++
 			if f.hbFails[m] == heartbeatDropAfter && f.ring.Remove(m) {
 				f.heartbeatFails.Add(1)
+				p.events.Emit("fleet.member.drop", map[string]string{"peer": m})
 			}
 		}
 		f.hbMu.Unlock()

@@ -1,0 +1,137 @@
+package httpcache
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webcache/internal/obs"
+	"webcache/internal/obs/slo"
+)
+
+// SLOHeader tags a request with its SLO class: the load generator
+// stamps it on /fetch, and a proxy configured with an slo.Tracker
+// accounts the request against that class's error budget.
+const SLOHeader = "X-SLO-Class"
+
+// readiness is the liveness/readiness surface both daemons embed:
+//
+//	GET /healthz  liveness — 200 whenever the process can serve at all
+//	GET /readyz   readiness — 503 until the daemon is constructed,
+//	              recovered, and (when applicable) registered/joined;
+//	              503 "draining" again once graceful shutdown begins,
+//	              so load balancers stop routing before the listener
+//	              closes.
+//
+// The daemon bring-up path owns the transition: disk-tier recovery
+// runs synchronously during construction, so MarkReady is called
+// after the remaining gates (client-cache registration, fleet
+// join/migration) complete.  Transitions are emitted to the event
+// log when one is attached via SetEvents.
+type readiness struct {
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	rmu    sync.Mutex
+	reason string // why not ready ("" = "starting")
+
+	events *obs.EventLog
+}
+
+// SetEvents attaches the daemon's structured event log (events.go in
+// obs): readiness flips, breaker transitions, and fleet membership
+// changes are emitted to it.  Nil disables emission.
+func (h *readiness) SetEvents(l *obs.EventLog) { h.events = l }
+
+// MarkReady flips /readyz to 200.
+func (h *readiness) MarkReady() {
+	if h.ready.CompareAndSwap(false, true) {
+		h.events.Emit("ready.up", nil)
+	}
+}
+
+// MarkNotReady flips /readyz to 503 with a reason.
+func (h *readiness) MarkNotReady(reason string) {
+	h.rmu.Lock()
+	h.reason = reason
+	h.rmu.Unlock()
+	if h.ready.CompareAndSwap(true, false) {
+		h.events.Emit("ready.down", map[string]string{"reason": reason})
+	}
+}
+
+// MarkDraining flips /readyz to 503 "draining" for graceful shutdown;
+// /healthz stays 200 while in-flight requests finish.
+func (h *readiness) MarkDraining() {
+	if h.draining.CompareAndSwap(false, true) {
+		h.events.Emit("ready.drain", nil)
+	}
+}
+
+// Ready reports the current readiness (false while draining).
+func (h *readiness) Ready() bool { return h.ready.Load() && !h.draining.Load() }
+
+func (h *readiness) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+func (h *readiness) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if h.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if !h.ready.Load() {
+		h.rmu.Lock()
+		reason := h.reason
+		h.rmu.Unlock()
+		if reason == "" {
+			reason = "starting"
+		}
+		http.Error(w, reason, http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// registerHealth mounts the probe endpoints on a daemon mux.
+func (h *readiness) registerHealth(mux *http.ServeMux) {
+	mux.HandleFunc("GET /healthz", h.handleHealthz)
+	mux.HandleFunc("GET /readyz", h.handleReadyz)
+}
+
+// SetSLO attaches the proxy's server-side SLO tracker: every /fetch is
+// accounted against the class named by its X-SLO-Class header (the
+// tracker folds unknown classes into its first class).  Not safe to
+// call after Serve starts.
+func (p *Proxy) SetSLO(t *slo.Tracker) { p.slo = t }
+
+// statusWriter captures the response status for SLO accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// withSLO wraps the fetch handler with per-class accounting: wall
+// latency and 5xx failures spend the tagged class's error budget.
+// Fleet-hopped fetches are already accounted at the first-contact
+// member, so they are passed through untouched — the cluster rollup
+// sums per-member ledgers and must count each client request once.
+func (p *Proxy) withSLO(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if p.slo == nil || r.Header.Get(FleetHopHeader) != "" {
+			h(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		p.slo.Observe(r.Header.Get(SLOHeader), time.Since(start), sw.status >= 500)
+	}
+}

@@ -1,0 +1,137 @@
+package httpcache
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"webcache/internal/obs"
+	"webcache/internal/obs/slo"
+)
+
+func probe(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+// TestHealthReadiness walks a daemon through its lifecycle: not ready
+// at boot, ready after MarkReady, draining during shutdown — with
+// /healthz answering 200 throughout.
+func TestHealthReadiness(t *testing.T) {
+	d := deploy(t, 1, 1, 1<<20, 1<<20)
+	base := d.proxyS[0].URL
+	p := d.proxies[0]
+
+	if code, _ := probe(t, base+"/healthz"); code != 200 {
+		t.Fatalf("healthz at boot = %d", code)
+	}
+	if code, body := probe(t, base+"/readyz"); code != 503 || body != "starting\n" {
+		t.Fatalf("readyz at boot = %d %q", code, body)
+	}
+	if p.Ready() {
+		t.Fatal("Ready() true before MarkReady")
+	}
+
+	events := obs.NewEventLog("proxy-0", nil)
+	p.SetEvents(events)
+	p.MarkReady()
+	if code, _ := probe(t, base+"/readyz"); code != 200 {
+		t.Fatalf("readyz after MarkReady = %d", code)
+	}
+	if !p.Ready() {
+		t.Fatal("Ready() false after MarkReady")
+	}
+
+	p.MarkNotReady("rebuilding")
+	if code, body := probe(t, base+"/readyz"); code != 503 || body != "rebuilding\n" {
+		t.Fatalf("readyz after MarkNotReady = %d %q", code, body)
+	}
+	p.MarkReady()
+
+	p.MarkDraining()
+	if code, body := probe(t, base+"/readyz"); code != 503 || body != "draining\n" {
+		t.Fatalf("readyz while draining = %d %q", code, body)
+	}
+	if code, _ := probe(t, base+"/healthz"); code != 200 {
+		t.Fatalf("healthz while draining = %d", code)
+	}
+	if p.Ready() {
+		t.Fatal("Ready() true while draining")
+	}
+
+	types := map[string]int{}
+	for _, ev := range events.Recent(10) {
+		types[ev.Type]++
+	}
+	if types["ready.up"] != 2 || types["ready.down"] != 1 || types["ready.drain"] != 1 {
+		t.Fatalf("readiness events = %v", types)
+	}
+
+	// The client-cache daemon carries the same surface.
+	if code, _ := probe(t, d.cacheS[0][0].URL+"/healthz"); code != 200 {
+		t.Fatalf("cache healthz = %d", code)
+	}
+	d.caches[0][0].MarkReady()
+	if code, _ := probe(t, d.cacheS[0][0].URL+"/readyz"); code != 200 {
+		t.Fatalf("cache readyz = %d", code)
+	}
+}
+
+// TestProxySLOAccounting drives tagged fetches through a proxy and
+// asserts the per-class ledger: tagged requests land on their class,
+// untagged ones fold into the first, and fleet hops are not
+// double-counted.
+func TestProxySLOAccounting(t *testing.T) {
+	d := deploy(t, 1, 1, 1<<20, 1<<20)
+	p := d.proxies[0]
+	tr := slo.NewTracker(nil, []slo.Class{
+		{Name: "interactive", Latency: 5 * time.Second, Availability: 0.99, Window: time.Minute},
+		{Name: "batch", Latency: 5 * time.Second, Availability: 0.9, Window: time.Minute},
+	}, slo.DefaultThresholds)
+	p.SetSLO(tr)
+
+	get := func(path string, hdr map[string]string) {
+		t.Helper()
+		req, _ := http.NewRequest("GET", d.proxyS[0].URL+"/fetch?url="+d.origin.srv.URL+path, nil)
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	get("/a", map[string]string{SLOHeader: "interactive"})
+	get("/b", map[string]string{SLOHeader: "interactive"})
+	get("/c", map[string]string{SLOHeader: "batch"})
+	get("/d", nil)                                     // untagged: folds into first class
+	get("/e", map[string]string{FleetHopHeader: "1"})  // hop: already counted upstream
+	get("/f", map[string]string{SLOHeader: "unknown"}) // unknown: folds into first class
+
+	reports := tr.Report()
+	byName := map[string]slo.ClassReport{}
+	for _, r := range reports {
+		byName[r.Class.Name] = r
+	}
+	if got := byName["interactive"].Requests; got != 4 {
+		t.Fatalf("interactive requests = %d, want 4 (2 tagged + untagged + unknown)", got)
+	}
+	if got := byName["batch"].Requests; got != 1 {
+		t.Fatalf("batch requests = %d, want 1", got)
+	}
+	if byName["interactive"].Bad != 0 {
+		t.Fatalf("healthy fetches spent budget: %+v", byName["interactive"])
+	}
+	if byName["interactive"].Latency.Count != 4 {
+		t.Fatalf("latency ledger = %+v", byName["interactive"].Latency)
+	}
+}

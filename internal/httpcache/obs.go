@@ -103,6 +103,9 @@ func (p *Proxy) publishStats() {
 	if p.disk != nil {
 		p.disk.PublishMetrics()
 	}
+	// Refresh the slo.* gauges (and fire burn-rate threshold events) at
+	// every scrape, so the cluster aggregator reads current burn rates.
+	p.slo.Report()
 }
 
 func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -16,6 +16,7 @@ import (
 	"webcache/internal/directory"
 	"webcache/internal/invariant"
 	"webcache/internal/obs"
+	"webcache/internal/obs/slo"
 	"webcache/internal/pastry"
 	"webcache/internal/store"
 	"webcache/internal/store/disk"
@@ -125,6 +126,15 @@ type Proxy struct {
 	// by default and nil-safe throughout.
 	tracer  *obs.Tracer
 	metrics *obs.Registry
+
+	// slo is the server-side per-class error-budget tracker (health.go);
+	// nil disables the accounting.
+	slo *slo.Tracker
+
+	// readiness is the /healthz + /readyz probe surface (health.go); it
+	// also holds the structured event log both the breaker and the fleet
+	// runtime emit to.
+	readiness
 }
 
 // NewProxy creates a proxy with the given cache capacity in bytes and
@@ -204,16 +214,19 @@ func (p *Proxy) Close() error {
 //	POST /accept-push?id=N   a client cache pushing an object up
 //	POST /register?addr=A    a client cache joining the cluster
 //	GET  /stats              counters
+//	GET  /healthz            liveness probe (health.go)
+//	GET  /readyz             readiness probe (health.go)
 //	/fleet/*                 fleet membership + replication (fleet.go;
 //	                         503 until EnableFleet)
 func (p *Proxy) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /fetch", p.handleFetch)
+	mux.HandleFunc("GET /fetch", p.withSLO(p.handleFetch))
 	mux.HandleFunc("GET /peer-lookup", p.handlePeerLookup)
 	mux.HandleFunc("POST /accept-push", p.handleAcceptPush)
 	mux.HandleFunc("POST /register", p.handleRegister)
 	mux.HandleFunc("GET /stats", p.handleStats)
 	mux.HandleFunc("GET /metrics", p.handleMetrics)
+	p.registerHealth(mux)
 	p.fleetHandlers(mux)
 	return mux
 }

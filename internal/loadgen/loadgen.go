@@ -33,6 +33,7 @@ import (
 	"webcache/internal/httpcache"
 	"webcache/internal/netmodel"
 	"webcache/internal/obs"
+	"webcache/internal/obs/slo"
 )
 
 // Tier is the serving tier a live response was attributed to.
@@ -163,6 +164,9 @@ func (t *HTTPTarget) Do(r ScheduledRequest) Outcome {
 	if r.TraceID != "" {
 		req.Header.Set(httpcache.TraceHeader, r.TraceID)
 	}
+	if r.Class != "" {
+		req.Header.Set(httpcache.SLOHeader, r.Class)
+	}
 	start := time.Now()
 	resp, err := t.Client.Do(req)
 	if err != nil {
@@ -231,6 +235,15 @@ type Options struct {
 	// TraceID → httpcache.TraceHeader), and the driver records the
 	// client-observed round trip as the root trace (wall clock).
 	Tracer *obs.Tracer
+	// ClassFor, when non-nil, tags each request with an SLO class at
+	// issue time (ScheduledRequest.Class → httpcache.SLOHeader): the
+	// proxies account it server-side, and the driver keeps its own
+	// per-class ledger in Result.PerClass.
+	ClassFor func(ScheduledRequest) string
+	// SLO, when non-nil, receives every post-warmup outcome — the
+	// client-side error-budget view of the same request stream the
+	// proxies track server-side.
+	SLO *slo.Tracker
 }
 
 // Result is one driving run's measurements.
@@ -251,6 +264,10 @@ type Result struct {
 	Tiers   [numTiers]int
 	PerTier [numTiers]*Histogram
 	Overall *Histogram
+	// PerClass is the per-SLO-class ledger (nil when Options.ClassFor
+	// tagged nothing): requests, errors, hit ratio, and latency
+	// quantiles keyed by class name, "" for untagged requests.
+	PerClass map[string]*ClassResult
 }
 
 // HitRatio is the fraction of measured (post-warmup, successful)
@@ -281,6 +298,11 @@ type recorder struct {
 	tiers     [numTiers]atomic.Int64
 	perTier   [numTiers]*Histogram
 	overall   *Histogram
+	// trackClasses is set when Options.ClassFor is present: every
+	// post-warmup outcome lands in the per-class ledger, tagged or not.
+	trackClasses bool
+	classes      classRecorder
+	slo          *slo.Tracker
 
 	reg      *obs.Registry
 	reqTimer *obs.Timer
@@ -318,7 +340,7 @@ func newRecorder(warmup int, reg *obs.Registry) *recorder {
 	return rec
 }
 
-func (rec *recorder) record(idx int, o Outcome) {
+func (rec *recorder) record(idx int, class string, o Outcome) {
 	rec.issued.Add(1)
 	rec.reg.Counter("loadgen.issued").Inc()
 	rec.reqTimer.Observe(o.Latency)
@@ -327,6 +349,10 @@ func (rec *recorder) record(idx int, o Outcome) {
 		rec.reg.Counter("loadgen.warmup_discarded").Inc()
 		return
 	}
+	if rec.trackClasses {
+		rec.classes.record(class, o)
+	}
+	rec.slo.Observe(class, o.Latency, o.Tier == TierError)
 	rec.tiers[o.Tier].Add(1)
 	rec.perTier[o.Tier].Observe(o.Latency)
 	rec.reg.Counter("loadgen.serves." + o.Tier.String()).Inc()
@@ -349,6 +375,7 @@ func (rec *recorder) result(mode Mode, elapsed time.Duration, throttled int) *Re
 		Elapsed:         elapsed,
 		Overall:         rec.overall,
 	}
+	res.PerClass = rec.classes.result()
 	for i := range res.Tiers {
 		res.Tiers[i] = int(rec.tiers[i].Load())
 		res.PerTier[i] = rec.perTier[i]
@@ -377,6 +404,8 @@ func Run(ctx context.Context, sched *Schedule, tgt Target, opts Options) (*Resul
 		clock = realClock{}
 	}
 	rec := newRecorder(opts.Warmup, opts.Obs)
+	rec.trackClasses = opts.ClassFor != nil
+	rec.slo = opts.SLO
 	// issue runs one scheduled request, wrapping it in a span trace
 	// when the tracer samples it: the trace id propagates to every
 	// daemon hop, and the root trace records the client-observed RTT.
@@ -384,6 +413,9 @@ func Run(ctx context.Context, sched *Schedule, tgt Target, opts Options) (*Resul
 		req := sched.Requests[i]
 		st := opts.Tracer.StartTrace("request", 0)
 		req.TraceID = st.TraceID()
+		if opts.ClassFor != nil && req.Class == "" {
+			req.Class = opts.ClassFor(req)
+		}
 		o := tgt.Do(req)
 		comp := ""
 		if src, ok := o.Tier.Source(); ok {
@@ -391,7 +423,7 @@ func Run(ctx context.Context, sched *Schedule, tgt Target, opts Options) (*Resul
 		}
 		st.Span("fetch."+o.Tier.String(), comp, o.Latency.Seconds())
 		st.FinishWall(o.Tier.String())
-		rec.record(i, o)
+		rec.record(i, req.Class, o)
 	}
 	start := clock.Now()
 	var deadline time.Time

@@ -20,6 +20,11 @@ type ScheduledRequest struct {
 	// httpcache.TraceHeader so every daemon the fetch touches joins the
 	// same span trace.  The driver stamps it per sampled request.
 	TraceID string
+	// Class, when non-empty, rides the request as the
+	// httpcache.SLOHeader so the proxy accounts it against that SLO
+	// class's error budget; the driver keeps its own per-class ledger
+	// (Result.PerClass).  Options.ClassFor stamps it at issue time.
+	Class string
 }
 
 // Schedule is a trace rendered into issuable requests, in trace order.

@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ClassResult is one SLO class's slice of a run: how many requests the
+// class issued, how they fared, and where they were served from.  The
+// driver's view is client-side truth — the proxies' slo.* gauges
+// measure the same requests server-side, and the two must agree.
+type ClassResult struct {
+	// Requests counts post-warmup outcomes tagged with this class;
+	// Errors the failed subset; Origin the ones the cache hierarchy
+	// missed entirely.
+	Requests, Errors, Origin int
+	// Latency is the class's full latency distribution (errors
+	// included — a timeout is the latency the client experienced).
+	Latency *Histogram
+}
+
+// Measured is the successful request count.
+func (c *ClassResult) Measured() int { return c.Requests - c.Errors }
+
+// HitRatio is the fraction of the class's successful requests that any
+// cache tier absorbed.
+func (c *ClassResult) HitRatio() float64 {
+	if m := c.Measured(); m > 0 {
+		return 1 - float64(c.Origin)/float64(m)
+	}
+	return 0
+}
+
+// classRecorder accumulates per-class outcomes concurrently.  Classes
+// are discovered from the request stream (the tag set is small), so an
+// untagged run costs one map lookup of "" per request and nothing else.
+type classRecorder struct {
+	mu      sync.Mutex
+	classes map[string]*ClassResult
+}
+
+func (cr *classRecorder) record(class string, o Outcome) {
+	cr.mu.Lock()
+	c := cr.classes[class]
+	if c == nil {
+		if cr.classes == nil {
+			cr.classes = make(map[string]*ClassResult)
+		}
+		c = &ClassResult{Latency: &Histogram{}}
+		cr.classes[class] = c
+	}
+	c.Requests++
+	switch o.Tier {
+	case TierError:
+		c.Errors++
+	case TierOrigin:
+		c.Origin++
+	}
+	cr.mu.Unlock()
+	c.Latency.Observe(o.Latency)
+}
+
+// result snapshots the per-class map; nil when no request was tagged.
+func (cr *classRecorder) result() map[string]*ClassResult {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	if len(cr.classes) == 0 {
+		return nil
+	}
+	out := make(map[string]*ClassResult, len(cr.classes))
+	for name, c := range cr.classes {
+		out[name] = c
+	}
+	return out
+}
+
+// classNames returns the tagged class names in stable order, "" last
+// (the untagged remainder).
+func classNames(m map[string]*ClassResult) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		if name != "" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if _, ok := m[""]; ok {
+		names = append(names, "")
+	}
+	return names
+}
+
+// classTable renders the per-class block of Result.Table.
+func classTable(b *strings.Builder, m map[string]*ClassResult) {
+	fmt.Fprintf(b, "%-13s %8s %7s %7s  %9s %9s %9s\n",
+		"class", "requests", "hit", "errors", "p50", "p99", "max")
+	for _, name := range classNames(m) {
+		c := m[name]
+		label := name
+		if label == "" {
+			label = "(untagged)"
+		}
+		s := c.Latency.Summary()
+		fmt.Fprintf(b, "%-13s %8d %6.1f%% %7d  %9s %9s %9s\n",
+			label, c.Requests, 100*c.HitRatio(), c.Errors,
+			fmtDur(s.P50), fmtDur(s.P99), fmtDur(s.Max))
+	}
+}

@@ -1,0 +1,160 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"webcache/internal/obs"
+	"webcache/internal/obs/slo"
+	"webcache/internal/prowgen"
+	"webcache/internal/trace"
+)
+
+// TestClassTaggedRun drives a small loopback run with two SLO classes
+// and checks the whole tagging loop: the driver's per-class ledger,
+// the client-side slo.Tracker, the per-member registries the proxies
+// publish their server-side slo.* gauges to, and the JSONL event
+// stream — and that the client- and server-side request counts agree
+// exactly.
+func TestClassTaggedRun(t *testing.T) {
+	tr, err := prowgen.Generate(prowgen.Config{
+		NumRequests: 600,
+		NumObjects:  80,
+		NumClients:  12,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := []slo.Class{
+		{Name: "interactive", Latency: 5 * time.Second, Availability: 0.99, Window: time.Minute},
+		{Name: "batch", Latency: 5 * time.Second, Availability: 0.9, Window: time.Minute},
+	}
+	var eventBuf bytes.Buffer
+	topo, err := StartLoopback(TopologyConfig{
+		Proxies:            2,
+		CachesPerProxy:     1,
+		ProxyCapacityBytes: []uint64{4096},
+		CacheCapacityBytes: []uint64{4096},
+		ObjectBytes:        64,
+		MetricsPerDaemon:   true,
+		SLOClasses:         classes,
+		Events:             &eventBuf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		topo.Close(ctx)
+	}()
+	if len(topo.ProxyMetrics) != 2 {
+		t.Fatalf("per-daemon registries = %d", len(topo.ProxyMetrics))
+	}
+
+	sched, err := BuildSchedule(tr, topo.ProxyURLs, topo.OriginURL,
+		func(c trace.ClientID) int { return int(c) % 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientSLO := slo.NewTracker(nil, classes, slo.DefaultThresholds)
+	res, err := Run(context.Background(), sched, NewHTTPTarget(10*time.Second), Options{
+		Mode:    ClosedLoop,
+		Workers: 4,
+		ClassFor: func(r ScheduledRequest) string {
+			if r.Client%3 == 0 {
+				return "batch"
+			}
+			return "interactive"
+		},
+		SLO: clientSLO,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+
+	// Driver-side ledger: both classes present, counts covering the run.
+	if len(res.PerClass) != 2 {
+		t.Fatalf("classes = %v", classNames(res.PerClass))
+	}
+	total := 0
+	for _, c := range res.PerClass {
+		total += c.Requests
+		if c.Latency.Summary().Count != int64(c.Requests) {
+			t.Fatalf("class ledger latency count mismatch: %+v", c)
+		}
+	}
+	if total != res.Measured+res.Errors {
+		t.Fatalf("per-class total %d != measured+errors %d", total, res.Measured+res.Errors)
+	}
+	if hr := res.PerClass["interactive"].HitRatio(); hr <= 0 || hr > 1 {
+		t.Fatalf("interactive hit ratio = %v", hr)
+	}
+
+	// The client-side tracker saw the same stream.
+	reports := clientSLO.Report()
+	var clientTotal int64
+	for _, r := range reports {
+		clientTotal += r.Requests
+	}
+	if clientTotal != int64(total) {
+		t.Fatalf("client slo tracker total %d != %d", clientTotal, total)
+	}
+
+	// Server-side: the per-member registries hold the same requests —
+	// summed across members, the slo ledgers must equal the driver's.
+	// A /metrics scrape refreshes each member's slo.* gauges first
+	// (publishStats calls the tracker's Report).
+	for _, u := range topo.ProxyURLs {
+		resp, err := http.Get(u + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	var serverTotal float64
+	for _, reg := range topo.ProxyMetrics {
+		vals := reg.Values()
+		serverTotal += vals["slo.interactive.good"] + vals["slo.interactive.bad"] +
+			vals["slo.batch.good"] + vals["slo.batch.bad"]
+	}
+	if math.Abs(serverTotal-float64(total)) > 1e-9 {
+		t.Fatalf("server-side slo total %v != driver total %d", serverTotal, total)
+	}
+
+	// The report surfaces carry the class block.
+	if !strings.Contains(res.Table(), "interactive") {
+		t.Fatalf("table missing class rows:\n%s", res.Table())
+	}
+	note := res.SummaryNote()
+	if _, ok := note["classes"].(map[string]any)["batch"]; !ok {
+		t.Fatalf("manifest note missing classes: %v", note)
+	}
+
+	// The topology's event stream recorded the readiness flips as JSONL.
+	sawReady := false
+	for _, line := range strings.Split(strings.TrimSpace(eventBuf.String()), "\n") {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("event stream line %q: %v", line, err)
+		}
+		if ev.Type == "ready.up" {
+			sawReady = true
+		}
+	}
+	if !sawReady {
+		t.Fatalf("no ready.up events in stream:\n%s", eventBuf.String())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
@@ -15,6 +16,7 @@ import (
 	"webcache/internal/httpcache"
 	"webcache/internal/invariant"
 	"webcache/internal/obs"
+	"webcache/internal/obs/slo"
 )
 
 // TopologyConfig sizes a loopback deployment: an origin, Proxies
@@ -44,6 +46,20 @@ type TopologyConfig struct {
 	// Shared: a scrape of daemon D refreshes D's gauges synchronously
 	// before exposition, so each response reflects the scraped daemon.
 	Metrics *obs.Registry
+	// MetricsPerDaemon gives every daemon its own registry ("proxy-<i>",
+	// "cache-<p>-<c>") instead of the shared Metrics — the honest
+	// per-member layout the cluster aggregator scrapes, where each
+	// /metrics exposes only that member's counters.  The proxy
+	// registries are exposed as Topology.ProxyMetrics.
+	MetricsPerDaemon bool
+	// SLOClasses, when non-empty, attaches a server-side slo.Tracker
+	// with these classes to every proxy (httpcache.Proxy.SetSLO), so
+	// each member publishes slo.<class>.* burn-rate gauges.
+	SLOClasses []slo.Class
+	// Events, when non-nil, receives every daemon's structured JSONL
+	// event log (one obs.EventLog per daemon, sources "proxy-<i>" /
+	// "cache-<p>-<c>", writes serialized).
+	Events io.Writer
 	// Defenses, when non-nil, configures every proxy's chaos defenses
 	// (per-hop deadlines, hedging, digest sampling, breakers).
 	Defenses *httpcache.Defenses
@@ -72,6 +88,9 @@ type Topology struct {
 	OriginURL string
 	ProxyURLs []string
 	Proxies   []*httpcache.Proxy
+	// ProxyMetrics holds each proxy's registry under MetricsPerDaemon
+	// (nil otherwise) — index-aligned with Proxies/ProxyURLs.
+	ProxyMetrics []*obs.Registry
 	// CacheAddrs[p] lists proxy p's client-cache daemon addresses
 	// (host:port, registration order) — the chaos layer's churn and
 	// poison targets.
@@ -112,6 +131,11 @@ func StartLoopback(cfg TopologyConfig) (*Topology, error) {
 		cacheServers: make(map[string]*http.Server),
 		closed:       make(map[*http.Server]bool),
 	}
+	// The daemons' event logs share one writer; serialize their lines.
+	var events io.Writer
+	if cfg.Events != nil {
+		events = &lockedWriter{w: cfg.Events}
+	}
 	ok := false
 	defer func() {
 		if !ok {
@@ -146,7 +170,18 @@ func StartLoopback(cfg TopologyConfig) (*Topology, error) {
 			return nil, err
 		}
 		px.SetTracer(cfg.Tracer)
-		px.SetMetrics(cfg.Metrics)
+		pxReg := cfg.Metrics
+		if cfg.MetricsPerDaemon {
+			pxReg = obs.NewRegistry(fmt.Sprintf("proxy-%d", p))
+			t.ProxyMetrics = append(t.ProxyMetrics, pxReg)
+		}
+		px.SetMetrics(pxReg)
+		if len(cfg.SLOClasses) > 0 {
+			px.SetSLO(slo.NewTracker(pxReg, cfg.SLOClasses, slo.DefaultThresholds))
+		}
+		if events != nil {
+			px.SetEvents(obs.NewEventLog(fmt.Sprintf("proxy-%d", p), events))
+		}
 		if cfg.Defenses != nil {
 			px.SetDefenses(*cfg.Defenses)
 		}
@@ -180,7 +215,14 @@ func StartLoopback(cfg TopologyConfig) (*Topology, error) {
 				return nil, err
 			}
 			cc.SetTracer(cfg.Tracer)
-			cc.SetMetrics(cfg.Metrics)
+			if cfg.MetricsPerDaemon {
+				cc.SetMetrics(obs.NewRegistry(fmt.Sprintf("cache-%d-%d", p, c)))
+			} else {
+				cc.SetMetrics(cfg.Metrics)
+			}
+			if events != nil {
+				cc.SetEvents(obs.NewEventLog(fmt.Sprintf("cache-%d-%d", p, c), events))
+			}
 			cln, err := listen()
 			if err != nil {
 				return nil, err
@@ -226,8 +268,59 @@ func StartLoopback(cfg TopologyConfig) (*Topology, error) {
 			px.SetPeers(peers)
 		}
 	}
+	// Everything is registered and wired (fleet rings included): flip
+	// the daemons ready, then gate on every /readyz answering 200 — the
+	// drivers never race a half-started topology.
+	for _, px := range t.Proxies {
+		px.MarkReady()
+	}
+	for _, cc := range t.caches {
+		cc.MarkReady()
+	}
+	var readyURLs []string
+	readyURLs = append(readyURLs, t.ProxyURLs...)
+	for _, addrs := range t.CacheAddrs {
+		for _, addr := range addrs {
+			readyURLs = append(readyURLs, "http://"+addr)
+		}
+	}
+	for _, u := range readyURLs {
+		if err := waitReady(u, 5*time.Second); err != nil {
+			return nil, err
+		}
+	}
 	ok = true
 	return t, nil
+}
+
+// waitReady polls base's /readyz until it answers 200.
+func waitReady(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: %s/readyz not ready after %s", base, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// lockedWriter serializes the daemons' shared event-log writer.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
 }
 
 func listen() (net.Listener, error) {

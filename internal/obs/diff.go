@@ -119,11 +119,14 @@ func (d *ManifestDiff) String() string {
 			fmt.Fprintf(&b, "%-44s %16.6g %16.6g %+14.6g %9s\n", c.Name, c.A, c.B, c.Delta, ratio)
 		}
 	}
+	// One-sided names are informational, never an error: a newer run
+	// growing metric namespaces (slo.*, cluster.*) must still diff
+	// cleanly against older baselines.
 	for _, name := range d.OnlyA {
-		fmt.Fprintf(&b, "only in a: %s\n", name)
+		fmt.Fprintf(&b, "removed in b: %s\n", name)
 	}
 	for _, name := range d.OnlyB {
-		fmt.Fprintf(&b, "only in b: %s\n", name)
+		fmt.Fprintf(&b, "added in b: %s\n", name)
 	}
 	return b.String()
 }

@@ -39,7 +39,38 @@ func TestDiffManifests(t *testing.T) {
 		t.Fatalf("only = %v / %v", d.OnlyA, d.OnlyB)
 	}
 	out := d.String()
-	for _, want := range []string{"loadgen.latency.p50", "only in a: only.a", "only in b: only.b", "fnv1a:aaaa"} {
+	for _, want := range []string{"loadgen.latency.p50", "removed in b: only.a", "added in b: only.b", "fnv1a:aaaa"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A newer run growing whole metric namespaces (slo.*, cluster.*) must
+// diff cleanly against an older baseline that predates them: the new
+// names are reported as additions, never as an error.
+func TestDiffManifestsDisjointNamespaces(t *testing.T) {
+	old := diffManifest("fnv1a:aaaa", map[string]float64{
+		"loadgen.issued": 100, "httpcache.proxy.requests": 100,
+	})
+	cur := diffManifest("fnv1a:aaaa", map[string]float64{
+		"loadgen.issued": 100, "httpcache.proxy.requests": 100,
+		"slo.interactive.burn.fast": 0.4,
+		"cluster.hit_ratio":         0.7,
+		"cluster.members_up":        2,
+	})
+	d, err := DiffManifests(old, cur, false)
+	if err != nil {
+		t.Fatalf("disjoint namespaces failed the diff: %v", err)
+	}
+	if len(d.Changed) != 0 || d.Unchanged != 2 {
+		t.Fatalf("changed=%v unchanged=%d", d.Changed, d.Unchanged)
+	}
+	if len(d.OnlyB) != 3 {
+		t.Fatalf("OnlyB = %v, want the three new names", d.OnlyB)
+	}
+	out := d.String()
+	for _, want := range []string{"added in b: slo.interactive.burn.fast", "added in b: cluster.hit_ratio"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("String() missing %q:\n%s", want, out)
 		}

@@ -16,12 +16,23 @@ import (
 // OpenMetrics scrapers accept).  WritePrometheus renders a registry;
 // PrometheusHandler serves it as the daemons' /metrics endpoint;
 // ParsePrometheusText is the validating reader the acceptance test
-// scrapes with.
+// scrapes with, and ParsePrometheusSamples the value-returning parser
+// the cluster aggregator merges from.
 //
 // Name mapping: dots become underscores under a webcache_ prefix
 // (sim.serves.p2p -> webcache_sim_serves_p2p), counters gain the
 // conventional _total suffix, timers and histograms render as
 // summaries in seconds (histograms with their quantile set).
+//
+// Histograms additionally export a lossless bucket family,
+// <name>_seconds_hist, as a native Prometheus histogram: one
+// cumulative _bucket sample per non-empty bucket (le = the bucket's
+// upper bound in seconds at full float precision), the +Inf bucket,
+// _sum/_count, and _min/_max sidecar samples.  Because the bucket
+// layout is fixed (histogram.go), RestoreHistogram maps the le values
+// exactly back onto bucket indices — a scrape round-trips bucket for
+// bucket, which is what lets the cluster aggregator merge histograms
+// across fleet members without quantile distortion.
 
 // promName sanitizes a dotted metric name into a Prometheus metric
 // name.
@@ -83,9 +94,38 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 			}
 			fmt.Fprintf(bw, "%s_seconds_sum %s\n", name, promValue(h.Sum().Seconds()))
 			fmt.Fprintf(bw, "%s_seconds_count %d\n", name, h.Count())
+			writeHistBuckets(bw, name, h)
 		}
 	}
 	return bw.Flush()
+}
+
+// writeHistBuckets emits the lossless bucket family for one histogram.
+// Bucket counts are snapshotted first so the cumulative series, the
+// +Inf bucket, and _count agree with each other even while observers
+// race the scrape.
+func writeHistBuckets(w io.Writer, name string, h *Histogram) {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	fmt.Fprintf(w, "# TYPE %s_seconds_hist histogram\n", name)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := bucketBounds(i)
+		fmt.Fprintf(w, "%s_seconds_hist_bucket{le=%q} %d\n", name, promValue(hi/1e9), cum)
+	}
+	fmt.Fprintf(w, "%s_seconds_hist_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(w, "%s_seconds_hist_sum %s\n", name, promValue(h.Sum().Seconds()))
+	fmt.Fprintf(w, "%s_seconds_hist_count %d\n", name, total)
+	fmt.Fprintf(w, "%s_seconds_hist_min %s\n", name, promValue(h.Min().Seconds()))
+	fmt.Fprintf(w, "%s_seconds_hist_max %s\n", name, promValue(h.Max().Seconds()))
 }
 
 // PrometheusHandler serves the registry as a /metrics endpoint.
@@ -99,15 +139,37 @@ func PrometheusHandler(r *Registry) http.Handler {
 var (
 	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|histogram|untyped)$`)
 	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)( [0-9]+)?$`)
+	promLabelRe  = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"`)
 )
+
+// Sample is one parsed exposition sample: a metric name, its label set
+// (nil when unlabeled), and the value.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// Label returns the named label's value ("" when absent).
+func (s Sample) Label(key string) string { return s.Labels[key] }
 
 // ParsePrometheusText validates a text-format exposition and returns
 // the number of samples it carries.  It accepts the 0.0.4 grammar this
 // package emits: optional # HELP / # TYPE comments and
 // name{labels} value [timestamp] samples.
 func ParsePrometheusText(r io.Reader) (samples int, err error) {
+	ss, _, err := ParsePrometheusSamples(r)
+	return len(ss), err
+}
+
+// ParsePrometheusSamples parses a text-format exposition into its
+// samples plus the # TYPE declarations (family name -> type).  Same
+// grammar as ParsePrometheusText (which wraps it); this is the reader
+// the cluster aggregator scrapes fleet members with.
+func ParsePrometheusSamples(r io.Reader) (samples []Sample, types map[string]string, err error) {
 	sc := bufio.NewScanner(r)
-	typed := map[string]string{}
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	types = map[string]string{}
 	line := 0
 	for sc.Scan() {
 		line++
@@ -120,32 +182,105 @@ func ParsePrometheusText(r io.Reader) (samples int, err error) {
 				continue
 			}
 			if m := promTypeRe.FindStringSubmatch(text); m != nil {
-				typed[m[1]] = m[2]
+				types[m[1]] = m[2]
 				continue
 			}
 			if strings.HasPrefix(text, "# TYPE") {
-				return samples, fmt.Errorf("line %d: malformed TYPE comment: %q", line, text)
+				return samples, types, fmt.Errorf("line %d: malformed TYPE comment: %q", line, text)
 			}
 			continue // other comments are legal
 		}
 		m := promSampleRe.FindStringSubmatch(text)
 		if m == nil {
-			return samples, fmt.Errorf("line %d: malformed sample: %q", line, text)
+			return samples, types, fmt.Errorf("line %d: malformed sample: %q", line, text)
 		}
 		// Quantile labels may only appear on summary/histogram
 		// families; catch a mislabeled scalar early.
 		if strings.Contains(m[2], "quantile=") {
 			base := m[1]
-			if typed[base] != "summary" && typed[base] != "histogram" {
-				return samples, fmt.Errorf("line %d: quantile label on non-summary %q", line, base)
+			if types[base] != "summary" && types[base] != "histogram" {
+				return samples, types, fmt.Errorf("line %d: quantile label on non-summary %q", line, base)
 			}
 		}
-		samples++
+		s := Sample{Name: m[1]}
+		if m[2] != "" {
+			for _, lm := range promLabelRe.FindAllStringSubmatch(m[2], -1) {
+				if s.Labels == nil {
+					s.Labels = map[string]string{}
+				}
+				s.Labels[lm[1]] = lm[2]
+			}
+		}
+		s.Value, err = strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return samples, types, fmt.Errorf("line %d: bad value %q: %v", line, m[3], err)
+		}
+		samples = append(samples, s)
 	}
 	if err := sc.Err(); err != nil {
-		return samples, err
+		return samples, types, err
 	}
-	return samples, nil
+	return samples, types, nil
+}
+
+// bucketForUpper maps a _hist bucket's le value (seconds) back onto
+// its fixed-layout bucket index — the inverse of the hi bound
+// writeHistBuckets emitted.  Rounding absorbs the float formatting
+// round trip.
+func bucketForUpper(leSeconds float64) int {
+	hi := leSeconds * 1e9
+	if hi <= 0 {
+		return 0
+	}
+	i := int(math.Round(math.Log(hi/float64(histMin))/math.Log(histGrowth))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// RestoreHistogram rebuilds a Histogram from one scraped
+// <name>_seconds_hist family: the cumulative bucket counts keyed by
+// their le upper bound in seconds (+Inf included), plus the family's
+// sum/min/max samples in seconds.  Because the bucket layout is fixed,
+// the reconstruction is exact per bucket; the result merges losslessly
+// into other restored or live histograms via Merge.
+func RestoreHistogram(cumulative map[float64]int64, sumSeconds, minSeconds, maxSeconds float64) *Histogram {
+	h := &Histogram{}
+	les := make([]float64, 0, len(cumulative))
+	for le := range cumulative {
+		if !math.IsInf(le, 1) {
+			les = append(les, le)
+		}
+	}
+	sort.Float64s(les)
+	var prev, total int64
+	for _, le := range les {
+		c := cumulative[le]
+		if d := c - prev; d > 0 {
+			h.counts[bucketForUpper(le)].Add(d)
+			total += d
+		}
+		prev = c
+	}
+	// Any +Inf remainder past the last finite bound belongs to the
+	// final catch-all bucket.
+	if inf, ok := cumulative[math.Inf(1)]; ok && inf > prev {
+		h.counts[histBuckets-1].Add(inf - prev)
+		total += inf - prev
+	}
+	h.count.Store(total)
+	h.sum.Store(int64(math.Round(sumSeconds * 1e9)))
+	if minSeconds > 0 {
+		h.min.Store(int64(math.Round(minSeconds * 1e9)))
+	}
+	if maxSeconds > 0 {
+		h.max.Store(int64(math.Round(maxSeconds * 1e9)))
+	}
+	return h
 }
 
 // sortedNames is a tiny helper for deterministic iteration in tests.

@@ -38,6 +38,9 @@ func TestWritePrometheusParses(t *testing.T) {
 		`webcache_loadgen_latency_seconds{quantile="0.5"}`,
 		`webcache_loadgen_latency_seconds{quantile="0.999"}`,
 		"webcache_loadgen_latency_seconds_count 100",
+		"# TYPE webcache_loadgen_latency_seconds_hist histogram",
+		`webcache_loadgen_latency_seconds_hist_bucket{le="+Inf"} 100`,
+		"webcache_loadgen_latency_seconds_hist_count 100",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)
@@ -47,9 +50,50 @@ func TestWritePrometheusParses(t *testing.T) {
 	if err != nil {
 		t.Fatalf("our own exposition failed to parse: %v\n%s", err, out)
 	}
-	// counter + gauge + timer(sum,count) + histogram(4 quantiles + sum + count)
-	if n != 10 {
-		t.Fatalf("parsed %d samples, want 10:\n%s", n, out)
+	// counter + gauge + timer(sum,count) + histogram(4 quantiles + sum +
+	// count) + the lossless bucket family (at least +Inf, sum, count,
+	// min, max).
+	if n < 15 {
+		t.Fatalf("parsed %d samples, want >= 15:\n%s", n, out)
+	}
+}
+
+func TestParsePrometheusSamplesValues(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	samples, types, err := ParsePrometheusSamples(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if types["webcache_sim_requests_total"] != "counter" ||
+		types["webcache_loadgen_latency_seconds_hist"] != "histogram" {
+		t.Fatalf("types = %v", types)
+	}
+	byName := map[string]Sample{}
+	for _, s := range samples {
+		if s.Labels == nil {
+			byName[s.Name] = s
+		}
+	}
+	if got := byName["webcache_sim_requests_total"].Value; got != 42 {
+		t.Fatalf("counter value = %v", got)
+	}
+	if got := byName["webcache_loadgen_achieved_rate"].Value; got != 123.5 {
+		t.Fatalf("gauge value = %v", got)
+	}
+	var infSeen bool
+	for _, s := range samples {
+		if s.Name == "webcache_loadgen_latency_seconds_hist_bucket" && s.Label("le") == "+Inf" {
+			infSeen = true
+			if s.Value != 100 {
+				t.Fatalf("+Inf bucket = %v, want 100", s.Value)
+			}
+		}
+	}
+	if !infSeen {
+		t.Fatal("no +Inf bucket sample parsed")
 	}
 }
 
