@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench vet fuzz-smoke bench-smoke bench-diff store-bench disk-bench chaos-smoke chaos-bench fleet-bench slo-smoke trace-alloc
+.PHONY: all build test check race bench vet fuzz-smoke bench-smoke bench-diff store-bench disk-bench chaos-smoke chaos-bench fleet-bench slo-smoke trace-alloc sim-bench sim-alloc
 
 all: build test
 
@@ -24,7 +24,7 @@ vet:
 # daemons built on it).
 check: vet
 	$(GO) test -race ./internal/obs ./internal/invariant ./internal/sim \
-		./internal/store ./internal/store/disk ./internal/httpcache
+		./internal/core ./internal/store ./internal/store/disk ./internal/httpcache
 
 # Ten seconds of each fuzz target (beyond replaying the checked-in
 # seed corpora, which plain `make test` already does).  FUZZTIME=1m
@@ -98,7 +98,7 @@ disk-bench:
 # by less than 1.3x; writes the BENCH_chaos.json manifest (diffable
 # run-to-run via cmd/benchdiff).
 chaos-smoke:
-	$(GO) run ./cmd/hiergdd bench -chaos -chaos-scenarios slow-peer,flash-churn \
+	$(GO) run ./cmd/hiergdd bench -chaos -chaos-scenarios slow-peer,flash-churn,churn-during-flash-crowd \
 		-requests 1500 -objects 200 -clients 40 -proxies 2 -caches 3 \
 		-object-bytes 512 -rate 750 -chaos-min-p999-cut 1.3 \
 		-manifest BENCH_chaos.json
@@ -147,6 +147,27 @@ fleet-bench:
 # CI runs this with -benchmem so regressions show up as numbers).
 trace-alloc:
 	$(GO) test -run='^$$' -bench=BenchmarkDisabledTracer -benchmem ./internal/obs
+
+# ~5s simulator hot-path benchmark: the pin-test workload (60k
+# requests, 3k objects) decoded and replayed through both pipeline
+# shapes — the pre-refactor per-record decoder and serial 7-scheme
+# loop kept in the harness as the recorded baseline, vs the batched
+# decoder and the work-stealing sweep scheduler.  Results must be
+# bit-identical; the speedup gate is min(2, 0.8 x usable workers), so
+# multi-core CI enforces the full 2x while a one-core box only
+# checks scheduler overhead.  Writes the BENCH_sim.json manifest
+# (diffable run-to-run via cmd/benchdiff).
+sim-bench:
+	$(GO) run ./cmd/hiergdd bench -sim -requests 60000 -objects 3000 \
+		-clients 200 -sim-min-speedup 2 -manifest BENCH_sim.json
+
+# The hot-path zero-alloc gates: steady-state simulator serves (LFU
+# family + fleet engine) and the live proxy/client-cache memory-hit
+# paths must not touch the heap.  Run without -race on purpose —
+# race instrumentation allocates on paths the production build does
+# not, so these files are !race-tagged and invisible to `make check`.
+sim-alloc:
+	$(GO) test -run='ZeroAlloc|AllocsPerRun|HitPathAllocs' ./internal/sim ./internal/httpcache
 
 # One iteration of every figure bench; set WEBCACHE_BENCH_SCALE and/or
 # WEBCACHE_BENCH_MANIFEST=bench.json to scale up or record a manifest.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -106,8 +107,29 @@ func runBench(args []string) error {
 	fleetConcurrency := fs.Int("fleet-concurrency", 2, "service slots per member (fleet mode)")
 	fleetMinSpeedup := fs.Float64("fleet-min-speedup", 0, "fail unless the largest fleet sustains this multiple of the single member's throughput (0 = report only; fleet mode)")
 	fleetMaxHitDelta := fs.Float64("fleet-max-hit-delta", 0, "fail if any size's hit ratio drifts more than this from the single member's (0 = report only; fleet mode)")
+	// Simulator hot-path benchmark mode (-sim): the 7-scheme compare
+	// replay through the pre-refactor pipeline shape (per-record decode,
+	// serial scheme loop) vs the refactored one (batched decode,
+	// work-stealing sweep scheduler), cross-checked bit-identical.
+	simMode := fs.Bool("sim", false, "run the simulator hot-path benchmark: batched decode and the steal-scheduled 7-scheme replay vs the pre-refactor serial pipeline")
+	simFrac := fs.Float64("sim-frac", 0.3, "proxy cache size as a fraction of distinct objects (sim mode)")
+	simWorkers := fs.Int("sim-workers", 0, "sweep scheduler workers, 0 = GOMAXPROCS (sim mode)")
+	simMinSpeedup := fs.Float64("sim-min-speedup", 0, "fail unless scheduled/serial speedup >= min(this, 0.8 x usable workers) (0 = report only; sim mode)")
 	fs.Parse(args)
 	startPprof(*pprofAddr)
+
+	if *simMode {
+		return runSimBench(simBenchConfig{
+			requests:     *requests,
+			objects:      *objects,
+			clients:      *clients,
+			frac:         *simFrac,
+			workers:      *simWorkers,
+			seed:         *seed,
+			minSpeedup:   *simMinSpeedup,
+			manifestPath: *manifestPath,
+		})
+	}
 
 	if *sloMode {
 		return runSLOBench(sloBenchConfig{
@@ -439,7 +461,7 @@ func benchTrace(path string, requests, objects, clients int, seed int64) (*trace
 		return nil, err
 	}
 	defer f.Close()
-	tr, err := trace.ReadBinary(f)
+	tr, err := readBinaryBatched(f)
 	if err != nil {
 		if _, serr := f.Seek(0, 0); serr == nil {
 			if ttr, terr := trace.ReadText(f); terr == nil {
@@ -447,6 +469,39 @@ func benchTrace(path string, requests, objects, clients int, seed int64) (*trace
 			}
 		}
 		return nil, fmt.Errorf("reading trace %s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// readBinaryBatched loads a binary trace through the batched decoder:
+// the header's declared count sizes one clamped allocation and
+// ReadBatch fills it directly, so multi-million-request replay traces
+// load without the per-record decode overhead or append re-copies.
+func readBinaryBatched(f *os.File) (*trace.Trace, error) {
+	br, err := trace.NewBatchReader(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	// Clamp the pre-allocation like trace.ReadBinary: the declared
+	// count is untrusted until the stream delivers it.
+	pre := br.Len()
+	if pre > 1<<20 {
+		pre = 1 << 20
+	}
+	tr := &trace.Trace{
+		Requests:   make([]trace.Request, 0, pre),
+		NumClients: br.NumClients(),
+		NumObjects: br.NumObjects(),
+	}
+	for br.Remaining() > 0 {
+		if cap(tr.Requests) == len(tr.Requests) {
+			tr.Requests = append(tr.Requests, trace.Request{})[:len(tr.Requests)]
+		}
+		n, err := br.ReadBatch(tr.Requests[len(tr.Requests):cap(tr.Requests)])
+		tr.Requests = tr.Requests[:len(tr.Requests)+n]
+		if err != nil {
+			return nil, err
+		}
 	}
 	return tr, nil
 }

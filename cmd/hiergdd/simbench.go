@@ -1,0 +1,362 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"webcache/internal/core"
+	"webcache/internal/obs"
+	"webcache/internal/prowgen"
+	"webcache/internal/sim"
+	"webcache/internal/trace"
+)
+
+// The simulator hot-path benchmark (`hiergdd bench -sim`): the
+// 7-scheme compare replay driven through both the pre-refactor
+// pipeline shape and the refactored one, on the same workload.
+//
+//   - decode stage: the binary trace decoded by the kept pre-refactor
+//     per-record decoder (legacyReadBinary below) vs the batched
+//     BatchReader (internal/trace);
+//   - replay stage: every sim.AllSchemes() replay run strictly
+//     sequentially (the shape webcachesim -compare had before the
+//     refactor) vs dealt across the work-stealing sweep scheduler
+//     (internal/core.RunJobs).
+//
+// Like store-bench's single-mutex store.NewBaseline, the pre-refactor
+// baseline lives in this harness permanently, so the speedup the
+// refactor is sold on stays measurable run-to-run.  Both stages also
+// cross-check bit-identical results: the steal schedule and the batch
+// size must be invisible in the output.
+//
+// The speedup gate scales with the machine: parallelism cannot beat a
+// serial loop by 2x on one core, so the effective gate is
+// min(-sim-min-speedup, 0.8 x usable workers) — on multi-core CI the
+// full gate applies, on a one-core box it degrades to "the scheduler
+// must not cost more than its overhead margin".  The manifest records
+// cores, both throughputs, and the gate actually applied.
+type simBenchConfig struct {
+	requests     int
+	objects      int
+	clients      int
+	frac         float64
+	workers      int // 0 = GOMAXPROCS
+	seed         int64
+	minSpeedup   float64
+	manifestPath string
+}
+
+// simBenchCell is one pipeline measurement.
+type simBenchCell struct {
+	Pipeline      string  `json:"pipeline"`
+	Workers       int     `json:"workers"`
+	Requests      int     `json:"requests"` // replayed, all schemes
+	Seconds       float64 `json:"seconds"`
+	ReqPerSec     float64 `json:"req_per_sec"`
+	ReqPerSecCore float64 `json:"req_per_sec_core"`
+}
+
+// legacyReadBinary is the pre-refactor binary trace decoder, kept
+// verbatim as the decode-stage baseline: one binary.ReadUvarint —
+// an interface-typed byte-at-a-time read — per field, per record.
+// trace.ReadBinary replaced it with slice-based batch decoding; this
+// copy exists only so the bench can measure that replacement.
+func legacyReadBinary(r io.Reader) (*trace.Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != "WCTR" {
+		return nil, trace.ErrBadMagic
+	}
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	ver, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if ver != 1 {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	n, err := get()
+	if err != nil {
+		return nil, err
+	}
+	nc, err := get()
+	if err != nil {
+		return nil, err
+	}
+	no, err := get()
+	if err != nil {
+		return nil, err
+	}
+	pre := n
+	if pre > 1<<16 {
+		pre = 1 << 16
+	}
+	t := &trace.Trace{
+		Requests:   make([]trace.Request, 0, pre),
+		NumClients: int(nc),
+		NumObjects: int(no),
+	}
+	var prev uint32
+	for i := uint64(0); i < n; i++ {
+		dt, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("trace: request %d: %w", i, err)
+		}
+		var tm uint32
+		if dt&1 == 1 {
+			tm = uint32(dt >> 1)
+		} else {
+			tm = prev + uint32(dt>>1)
+		}
+		prev = tm
+		cl, err := get()
+		if err != nil {
+			return nil, err
+		}
+		ob, err := get()
+		if err != nil {
+			return nil, err
+		}
+		sz, err := get()
+		if err != nil {
+			return nil, err
+		}
+		t.Requests = append(t.Requests, trace.Request{
+			Time: tm, Client: trace.ClientID(cl), Object: trace.ObjectID(ob), Size: uint32(sz),
+		})
+	}
+	return t, nil
+}
+
+// resultsDigest hashes the JSON-marshalled Results in scheme order —
+// the bit-identity witness between the serial and scheduled replays.
+func resultsDigest(results []*sim.Result) (string, error) {
+	h := sha256.New()
+	for _, res := range results {
+		blob, err := json.Marshal(res)
+		if err != nil {
+			return "", err
+		}
+		h.Write(blob)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func runSimBench(cfg simBenchConfig) error {
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	schemes := sim.AllSchemes()
+	fmt.Printf("hiergdd bench -sim: %d requests x %d schemes at frac %.2f, %d workers\n",
+		cfg.requests, len(schemes), cfg.frac, workers)
+
+	tr, err := prowgen.Generate(prowgen.Config{
+		NumRequests:  cfg.requests,
+		NumObjects:   cfg.objects,
+		NumClients:   cfg.clients,
+		OneTimerFrac: prowgen.DefaultOneTimerFrac,
+		Alpha:        0.7,
+		StackFrac:    0.2,
+		Seed:         cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Decode stage: the same encoded bytes through both decoders, best
+	// of three (the box may be noisy); both must reproduce the trace.
+	var blob bytes.Buffer
+	if err := trace.WriteBinary(&blob, tr); err != nil {
+		return err
+	}
+	timeDecode := func(decode func(io.Reader) (*trace.Trace, error)) (time.Duration, error) {
+		best := time.Duration(1 << 62)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			got, err := decode(bytes.NewReader(blob.Bytes()))
+			if err != nil {
+				return 0, err
+			}
+			if len(got.Requests) != len(tr.Requests) || got.Requests[0] != tr.Requests[0] {
+				return 0, fmt.Errorf("decoder corrupted the trace")
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	legacyDec, err := timeDecode(legacyReadBinary)
+	if err != nil {
+		return err
+	}
+	batchDec, err := timeDecode(trace.ReadBinary)
+	if err != nil {
+		return err
+	}
+	decSpeedup := float64(legacyDec) / float64(batchDec)
+	recsPerSec := func(d time.Duration) float64 { return float64(tr.Len()) / d.Seconds() }
+	fmt.Printf("\n  decode: legacy %12.0f records/sec, batched %12.0f records/sec (%.2fx)\n",
+		recsPerSec(legacyDec), recsPerSec(batchDec), decSpeedup)
+
+	// Replay stage.  One warmup pass per scheme keeps first-touch costs
+	// (page faults, map growth) out of both timed pipelines.
+	runScheme := func(s sim.Scheme) (*sim.Result, error) {
+		return sim.Run(tr, sim.Config{
+			Scheme:            s,
+			ProxyCacheFrac:    cfg.frac,
+			ClientsPerCluster: 16,
+			Seed:              cfg.seed,
+		})
+	}
+	for _, s := range schemes {
+		if _, err := runScheme(s); err != nil {
+			return err
+		}
+	}
+
+	// Both pipelines are timed best-of-three: the pipelines differ by
+	// tens of milliseconds and scheduler noise on a shared box is
+	// larger than that, so a single sample would gate on the weather.
+	totalReqs := tr.Len() * len(schemes)
+	serialResults := make([]*sim.Result, len(schemes))
+	serialSecs := 1e18
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		for i, s := range schemes {
+			if serialResults[i], err = runScheme(s); err != nil {
+				return err
+			}
+		}
+		if secs := time.Since(start).Seconds(); secs < serialSecs {
+			serialSecs = secs
+		}
+	}
+
+	parallelResults := make([]*sim.Result, len(schemes))
+	errs := make([]error, len(schemes))
+	parallelSecs := 1e18
+	var steals int64
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		st := core.RunJobs(workers, len(schemes), func(j int) {
+			parallelResults[j], errs[j] = runScheme(schemes[j])
+		})
+		if secs := time.Since(start).Seconds(); secs < parallelSecs {
+			parallelSecs = secs
+			steals = st
+		}
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	// Bit-identity: the steal schedule must be invisible in the output.
+	serialDig, err := resultsDigest(serialResults)
+	if err != nil {
+		return err
+	}
+	parallelDig, err := resultsDigest(parallelResults)
+	if err != nil {
+		return err
+	}
+	if serialDig != parallelDig {
+		return fmt.Errorf("sim bench: scheduled replay diverged from serial (digest %s != %s)",
+			parallelDig, serialDig)
+	}
+
+	usable := workers
+	if usable > len(schemes) {
+		usable = len(schemes)
+	}
+	cells := []simBenchCell{
+		{
+			Pipeline: "serial", Workers: 1, Requests: totalReqs, Seconds: serialSecs,
+			ReqPerSec:     float64(totalReqs) / serialSecs,
+			ReqPerSecCore: float64(totalReqs) / serialSecs,
+		},
+		{
+			Pipeline: "scheduled", Workers: usable, Requests: totalReqs, Seconds: parallelSecs,
+			ReqPerSec:     float64(totalReqs) / parallelSecs,
+			ReqPerSecCore: float64(totalReqs) / (parallelSecs * float64(usable)),
+		},
+	}
+	fmt.Printf("\n  %-10s %8s %12s %14s %16s\n", "pipeline", "workers", "seconds", "req/sec", "req/sec/core")
+	for _, c := range cells {
+		fmt.Printf("  %-10s %8d %12.3f %14.0f %16.0f\n", c.Pipeline, c.Workers, c.Seconds, c.ReqPerSec, c.ReqPerSecCore)
+	}
+
+	speedup := serialSecs / parallelSecs
+	gate := cfg.minSpeedup
+	if cap := 0.8 * float64(usable); gate > cap {
+		gate = cap
+	}
+	fmt.Printf("\n  scheduled vs serial: %.2fx (gate %.2fx at %d usable workers, %d steals)\n",
+		speedup, gate, usable, steals)
+	fmt.Printf("  results digest: %s (serial == scheduled)\n", serialDig)
+
+	if cfg.manifestPath != "" {
+		reg := obs.NewRegistry("hiergdd-sim-bench")
+		man := obs.NewManifest("hiergdd-sim-bench")
+		for _, c := range cells {
+			pre := fmt.Sprintf("bench.sim.%s.", c.Pipeline)
+			reg.Gauge(pre + "seconds").Set(c.Seconds)
+			reg.Gauge(pre + "req_per_sec").Set(c.ReqPerSec)
+			reg.Gauge(pre + "req_per_sec_core").Set(c.ReqPerSecCore)
+		}
+		reg.Gauge("bench.sim.speedup").Set(speedup)
+		reg.Gauge("bench.sim.workers").Set(float64(usable))
+		reg.Gauge("bench.sim.steals").Set(float64(steals))
+		reg.Gauge("bench.sim.decode.legacy_records_per_sec").Set(recsPerSec(legacyDec))
+		reg.Gauge("bench.sim.decode.batched_records_per_sec").Set(recsPerSec(batchDec))
+		reg.Gauge("bench.sim.decode.speedup").Set(decSpeedup)
+		man.SetConfig("requests", cfg.requests)
+		man.SetConfig("objects", cfg.objects)
+		man.SetConfig("clients", cfg.clients)
+		man.SetConfig("frac", cfg.frac)
+		man.SetConfig("workers", usable)
+		man.SetConfig("seed", cfg.seed)
+		man.SetConfig("min_speedup", cfg.minSpeedup)
+		man.SetConfig("effective_gate", gate)
+		man.Trace = map[string]any{
+			"fingerprint":      trace.Fingerprint(tr),
+			"requests":         tr.Len(),
+			"distinct_clients": traceClients(tr),
+		}
+		man.SetNote("sim_bench", cells)
+		man.SetNote("speedup", speedup)
+		man.SetNote("results_digest", serialDig)
+		man.Finish(reg)
+		if err := man.WriteFile(cfg.manifestPath); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+		if _, err := obs.ReadManifestFile(cfg.manifestPath); err != nil {
+			return fmt.Errorf("manifest self-check: %w", err)
+		}
+		fmt.Printf("  manifest: %s\n", cfg.manifestPath)
+	}
+
+	if cfg.minSpeedup > 0 && speedup < gate {
+		return fmt.Errorf("sim bench below the gate: %.2fx < %.2fx (scheduled @%d workers vs pre-refactor serial)",
+			speedup, gate, usable)
+	}
+	if decSpeedup < 1 {
+		return fmt.Errorf("sim bench: batched decode slower than the pre-refactor decoder (%.2fx)", decSpeedup)
+	}
+	return nil
+}

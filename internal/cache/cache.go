@@ -47,6 +47,11 @@ type Policy interface {
 	// Add inserts an entry, evicting as needed; it returns the evicted
 	// entries.  Adding an already-present object is a programming
 	// error and panics (callers must use Access first).
+	//
+	// The returned slice is a scratch buffer owned by the policy and is
+	// only valid until the next Add on the same policy: callers must
+	// consume (or copy) it before inserting again.  This keeps the
+	// steady-state eviction path allocation-free.
 	Add(e Entry) []Entry
 	// Remove deletes obj if present, returning its entry.
 	Remove(obj trace.ObjectID) (Entry, bool)

@@ -19,6 +19,8 @@ type GDSF struct {
 	entries   map[trace.ObjectID]Entry
 	freq      map[trace.ObjectID]float64
 	heap      *keyedHeap
+	// scratch backs the slice Add returns; see Policy.Add.
+	scratch []Entry
 }
 
 // NewGDSF returns a GDSF cache of the given capacity.
@@ -56,14 +58,15 @@ func (c *GDSF) Add(e Entry) []Entry {
 	if err := checkAddable(c.Name(), e, present, c.capacity); err != nil {
 		return nil
 	}
-	evicted := evictFor(e.Size, &c.used, c.capacity, func() Entry {
+	c.scratch = evictFor(e.Size, &c.used, c.capacity, func() Entry {
 		obj, h := c.heap.popMin()
 		c.inflation = h
 		victim := c.entries[obj]
 		delete(c.entries, obj)
 		delete(c.freq, obj)
 		return victim
-	}, nil)
+	}, c.scratch[:0])
+	evicted := c.scratch
 	c.entries[e.Obj] = e
 	c.freq[e.Obj] = 1
 	c.heap.push(e.Obj, c.hvalue(e))

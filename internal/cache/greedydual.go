@@ -27,6 +27,9 @@ type GreedyDual struct {
 	inflation float64
 	entries   map[trace.ObjectID]Entry
 	heap      *keyedHeap
+	// scratch backs the slice Add returns; reused across calls so the
+	// steady-state eviction path never allocates (see Policy.Add).
+	scratch []Entry
 }
 
 // NewGreedyDual returns a greedy-dual cache of the given capacity.
@@ -62,7 +65,7 @@ func (c *GreedyDual) Add(e Entry) []Entry {
 	if err := checkAddable(c.Name(), e, present, c.capacity); err != nil {
 		return nil
 	}
-	evicted := evictFor(e.Size, &c.used, c.capacity, func() Entry {
+	c.scratch = evictFor(e.Size, &c.used, c.capacity, func() Entry {
 		obj, h := c.heap.popMin()
 		// The inflation rises to the victim's H value; every later
 		// insertion and refresh builds on it.
@@ -70,7 +73,8 @@ func (c *GreedyDual) Add(e Entry) []Entry {
 		victim := c.entries[obj]
 		delete(c.entries, obj)
 		return victim
-	}, nil)
+	}, c.scratch[:0])
+	evicted := c.scratch
 	c.entries[e.Obj] = e
 	c.heap.push(e.Obj, c.hvalue(e))
 	c.used += uint64(e.Size)

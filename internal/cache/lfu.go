@@ -24,6 +24,8 @@ type LFU struct {
 	// history holds persistent counts for the perfect variant,
 	// including objects not currently cached.
 	history map[trace.ObjectID]uint64
+	// scratch backs the slice Add returns; see Policy.Add.
+	scratch []Entry
 }
 
 // NewLFU returns an in-cache LFU cache.
@@ -96,12 +98,13 @@ func (c *LFU) Add(e Entry) []Entry {
 	if err := checkAddable(c.Name(), e, present, c.capacity); err != nil {
 		return nil
 	}
-	evicted := evictFor(e.Size, &c.used, c.capacity, func() Entry {
+	c.scratch = evictFor(e.Size, &c.used, c.capacity, func() Entry {
 		obj, _ := c.heap.popMin()
 		victim := c.entries[obj]
 		delete(c.entries, obj)
 		return victim
-	}, nil)
+	}, c.scratch[:0])
+	evicted := c.scratch
 	c.entries[e.Obj] = e
 	f := 1.0
 	if c.perfect {

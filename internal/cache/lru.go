@@ -13,6 +13,11 @@ type LRU struct {
 	// Doubly linked list through sentinel: head.next is most recently
 	// used, sentinel.prev is the eviction victim.
 	sentinel lruNode
+	// free chains recycled nodes (via next) so steady-state Add reuses
+	// the nodes its own evictions release instead of allocating.
+	free *lruNode
+	// scratch backs the slice Add returns; see Policy.Add.
+	scratch []Entry
 }
 
 type lruNode struct {
@@ -63,13 +68,24 @@ func (c *LRU) Add(e Entry) []Entry {
 	if err := checkAddable(c.Name(), e, present, c.capacity); err != nil {
 		return nil
 	}
-	evicted := evictFor(e.Size, &c.used, c.capacity, func() Entry {
+	c.scratch = evictFor(e.Size, &c.used, c.capacity, func() Entry {
 		victim := c.sentinel.prev
 		c.unlink(victim)
 		delete(c.entries, victim.entry.Obj)
+		victim.prev = nil
+		victim.next = c.free
+		c.free = victim
 		return victim.entry
-	}, nil)
-	n := &lruNode{entry: e}
+	}, c.scratch[:0])
+	evicted := c.scratch
+	n := c.free
+	if n != nil {
+		c.free = n.next
+		n.entry = e
+		n.next = nil
+	} else {
+		n = &lruNode{entry: e}
+	}
 	c.entries[e.Obj] = n
 	c.pushFront(n)
 	c.used += uint64(e.Size)
@@ -85,7 +101,11 @@ func (c *LRU) Remove(obj trace.ObjectID) (Entry, bool) {
 	c.unlink(n)
 	delete(c.entries, obj)
 	c.used -= uint64(n.entry.Size)
-	return n.entry, true
+	e := n.entry
+	n.prev = nil
+	n.next = c.free
+	c.free = n
+	return e, true
 }
 
 // Contains implements Policy.

@@ -27,6 +27,13 @@ type Scenario struct {
 	// ChurnFraction flash-disconnects this fraction of the client-cache
 	// overlay mid-run — the mass-churn storm.
 	ChurnFraction float64
+	// FlashAlpha, when > 0, overrides the workload's Zipf exponent on
+	// both sides: a flash crowd concentrates demand on a few suddenly
+	// hot objects, which a steeper popularity skew models.  Bursty
+	// additionally drives the live side with the ON/OFF arrival
+	// process instead of Poisson, so the crowd arrives in surges.
+	FlashAlpha float64
+	Bursty     bool
 	// ByzantineFraction turns this fraction of each proxy's daemons
 	// byzantine: alternating corrupt-servers (bodies bit-flipped on the
 	// way out) and receipt-fabricators (claim "stored" without
@@ -66,6 +73,14 @@ func Scenarios() []Scenario {
 			Name:          "flash-churn",
 			Description:   "half the client-cache overlay disconnects at once mid-run",
 			ChurnFraction: 0.5,
+		},
+		{
+			Name: "churn-during-flash-crowd",
+			Description: "half the overlay disconnects at the peak of a flash crowd " +
+				"(steep popularity skew, surged arrivals)",
+			ChurnFraction: 0.5,
+			FlashAlpha:    1.1,
+			Bursty:        true,
 		},
 		{
 			Name:              "byzantine",

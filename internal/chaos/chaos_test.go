@@ -199,6 +199,98 @@ func TestFleetPartitionE2E(t *testing.T) {
 	}
 }
 
+// TestChurnDuringFlashCrowdE2E combines the two headline storms: half
+// the overlay flash-disconnects at the peak of a flash crowd (Zipf
+// 1.1, surged ON/OFF arrivals).  The conservation accountant
+// (invariant.ClusterAccountant, attached per proxy via Check) is the
+// oracle: a body lost mid-churn that a directory entry still promises,
+// or a hot object double-counted when the crowd re-fetches it, is a
+// ledger violation.  The hardened proxy must finish with zero request
+// errors and a live hit ratio — the crowd's concentration means the
+// survivors hold the hot set.
+func TestChurnDuringFlashCrowdE2E(t *testing.T) {
+	scn, err := Lookup("churn-during-flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.ChurnFraction == 0 || scn.FlashAlpha == 0 || !scn.Bursty {
+		t.Fatalf("scenario lost a knob: %+v", scn)
+	}
+	chk := invariant.New(nil)
+	rep, err := RunLive(LiveConfig{
+		Scenario:       scn,
+		Requests:       600,
+		Objects:        100,
+		Clients:        20,
+		ObjectBytes:    256,
+		Rate:           600,
+		Warmup:         50,
+		Seed:           1,
+		Proxies:        2,
+		CachesPerProxy: 3,
+		DefensesOn:     true,
+		Check:          chk,
+		Registry:       obs.NewRegistry("flash-crowd-e2e"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors during churn-in-flash-crowd; want graceful degradation", rep.Errors)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("%d conservation violations during churn-in-flash-crowd", rep.Violations)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Churned != 3 {
+		t.Fatalf("churned %d caches, want 3 (half of 2x3)", rep.Churned)
+	}
+	if rep.HitRatio <= 0 {
+		t.Fatal("zero hit ratio: the flash crowd's hot set should survive the churn")
+	}
+}
+
+// TestChurnDuringFlashCrowdSim replays the combined scenario through
+// the simulator with the full invariant subsystem attached: the
+// steeper skew must not unsettle the flash-churn handling (shadow
+// policies, conservation ledger, directory oracle all clean).
+func TestChurnDuringFlashCrowdSim(t *testing.T) {
+	scn, err := Lookup("churn-during-flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := invariant.New(nil)
+	rep, err := RunSim(SimConfig{
+		Scenario:       scn,
+		Requests:       4000,
+		Objects:        400,
+		Clients:        60,
+		Proxies:        2,
+		CachesPerProxy: 3,
+		Warmup:         200,
+		Seed:           1,
+		DefensesOn:     true,
+		Check:          chk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("%d conservation violations in the flash-crowd sim", rep.Violations)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.FlashChurned == 0 {
+		t.Fatal("sim churn storm downed nothing")
+	}
+	if rep.HitRatio <= 0 {
+		t.Fatal("zero sim hit ratio")
+	}
+}
+
 // TestFleetPartitionSim replays the same scenario through the
 // simulator's fleet engine: the victim's cut must surface as skipped
 // and failed routes while the (lenient) replica ledger stays clean.

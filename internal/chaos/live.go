@@ -105,6 +105,7 @@ func RunLive(cfg LiveConfig) (*LiveReport, error) {
 		NumRequests: cfg.Requests,
 		NumObjects:  cfg.Objects,
 		NumClients:  cfg.Clients,
+		Alpha:       cfg.Scenario.FlashAlpha, // 0 = prowgen default
 		Seed:        cfg.Seed,
 	})
 	if err != nil {
@@ -211,7 +212,15 @@ func RunLive(cfg LiveConfig) (*LiveReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	arrival, err := loadgen.NewPoisson(cfg.Rate, cfg.Seed)
+	// A flash-crowd scenario surges: ON/OFF windows at the configured
+	// rate as the peak, so the churn storm lands under load spikes
+	// instead of a smooth Poisson stream.
+	var arrival loadgen.Arrival
+	if cfg.Scenario.Bursty {
+		arrival, err = loadgen.NewBursty(cfg.Rate, 500*time.Millisecond, 250*time.Millisecond, cfg.Seed)
+	} else {
+		arrival, err = loadgen.NewPoisson(cfg.Rate, cfg.Seed)
+	}
 	if err != nil {
 		return nil, err
 	}

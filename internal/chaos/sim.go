@@ -98,6 +98,7 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 		NumRequests: cfg.Requests,
 		NumObjects:  cfg.Objects,
 		NumClients:  cfg.Clients,
+		Alpha:       cfg.Scenario.FlashAlpha, // 0 = prowgen default
 		Seed:        cfg.Seed,
 	})
 	if err != nil {

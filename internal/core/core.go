@@ -182,133 +182,87 @@ func runSweep(labels []string, jobs []sweepJob, opts Options) ([]Series, error) 
 	var baseMu sync.Mutex
 	baselines := map[ncKey]float64{}
 
-	// The sweep loop exists twice.  The plain path is the loop exactly
-	// as it was before the observability layer: no telemetry variables,
-	// no per-job hooks, configs passed through untouched.  Sweeps
-	// without a registry or progress callback (the default, and the
-	// benchmarked configuration) therefore execute the same
-	// instructions they always did.  The instrumented path adds per-job
-	// and baseline timing, progress callbacks, and plumbs the registry
-	// into every simulation; it runs only when something is listening.
-	if opts.Obs.Enabled() || opts.Progress != nil || opts.Check != nil {
-		baseline := func(j sweepJob) (float64, error) {
-			k := ncKey{j.ncCfg.ProxyCacheFrac, j.ncCfg.NumProxies, j.ncCfg.ClientsPerCluster, j.ncCfg.Net, j.tr}
-			baseMu.Lock()
-			v, ok := baselines[k]
-			baseMu.Unlock()
-			if ok {
-				return v, nil
-			}
-			defer opts.Obs.Timer("core.sweep.baseline").Start()()
-			ncCfg := j.ncCfg
-			ncCfg.Obs = opts.Obs
-			ncCfg.Check = opts.Check
-			res, err := sim.Run(j.tr, ncCfg)
-			if err != nil {
-				return 0, err
-			}
-			baseMu.Lock()
-			baselines[k] = res.AvgLatency
-			baseMu.Unlock()
-			return res.AvgLatency, nil
+	baseline := func(j sweepJob) (float64, error) {
+		k := ncKey{j.ncCfg.ProxyCacheFrac, j.ncCfg.NumProxies, j.ncCfg.ClientsPerCluster, j.ncCfg.Net, j.tr}
+		baseMu.Lock()
+		v, ok := baselines[k]
+		baseMu.Unlock()
+		if ok {
+			return v, nil
 		}
+		defer opts.Obs.Timer("core.sweep.baseline").Start()()
+		ncCfg := j.ncCfg
+		ncCfg.Obs = opts.Obs
+		ncCfg.Check = opts.Check
+		res, err := sim.Run(j.tr, ncCfg)
+		if err != nil {
+			return 0, err
+		}
+		baseMu.Lock()
+		baselines[k] = res.AvgLatency
+		baseMu.Unlock()
+		return res.AvgLatency, nil
+	}
 
-		jobTimer := opts.Obs.Timer("core.sweep.job")
-		var done atomic.Int64
-		start := time.Now()
-		sem := make(chan struct{}, workers)
-		var wg sync.WaitGroup
-		for _, j := range jobs {
-			wg.Add(1)
-			go func(j sweepJob) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				defer jobTimer.Start()()
-				if opts.Progress != nil {
-					defer func() { opts.Progress(int(done.Add(1)), len(jobs)) }()
-				}
-				nc, err := baseline(j)
-				if err != nil {
-					results[j.series][j.point] = slot{err: err}
-					return
-				}
-				cfg := j.cfg
-				cfg.Obs = opts.Obs
-				cfg.Check = opts.Check
-				res, err := sim.Run(j.tr, cfg)
-				if err != nil {
-					results[j.series][j.point] = slot{err: err}
-					return
-				}
-				results[j.series][j.point] = slot{p: Point{
-					CacheFrac:  j.cfg.ProxyCacheFrac,
-					Gain:       netmodel.Gain(res.AvgLatency, nc),
-					AvgLatency: res.AvgLatency,
-					NCLatency:  nc,
-				}}
-			}(j)
+	// One work-stealing pass replaces the old semaphore pool (and its
+	// duplicated instrumented/plain loops): jobs are dealt across
+	// per-worker queues and idle workers steal from loaded ones, so the
+	// pool saturates even when series have very uneven costs.  All
+	// instrumentation is nil-safe and costs one no-op call per job —
+	// noise against jobs that are whole trace replays.  Results are
+	// slot-addressed by (series, point), so the steal schedule cannot
+	// affect output order (see scheduler.go).
+	jobTimer := opts.Obs.Timer("core.sweep.job")
+	var done atomic.Int64
+	start := time.Now()
+	nworkers := workers
+	if nworkers > len(jobs) {
+		nworkers = len(jobs)
+	}
+	if nworkers < 1 {
+		nworkers = 1
+	}
+	sch := newStealScheduler(nworkers, len(jobs))
+	sch.run(func(ji int) {
+		j := jobs[ji]
+		defer jobTimer.Start()()
+		if opts.Progress != nil {
+			defer func() { opts.Progress(int(done.Add(1)), len(jobs)) }()
 		}
-		wg.Wait()
+		nc, err := baseline(j)
+		if err != nil {
+			results[j.series][j.point] = slot{err: err}
+			return
+		}
+		cfg := j.cfg
+		cfg.Obs = opts.Obs
+		cfg.Check = opts.Check
+		res, err := sim.Run(j.tr, cfg)
+		if err != nil {
+			results[j.series][j.point] = slot{err: err}
+			return
+		}
+		results[j.series][j.point] = slot{p: Point{
+			CacheFrac:  j.cfg.ProxyCacheFrac,
+			Gain:       netmodel.Gain(res.AvgLatency, nc),
+			AvgLatency: res.AvgLatency,
+			NCLatency:  nc,
+		}}
+	})
 
-		if opts.Obs.Enabled() {
-			opts.Obs.Counter("core.sweep.jobs").Add(int64(len(jobs)))
-			opts.Obs.Gauge("core.sweep.workers").Set(float64(workers))
-			// Busy time over the pool's total capacity: 1.0 means every
-			// worker computed the whole time (jobs may outnumber
-			// workers, so utilization is also capped by job
-			// granularity).
-			if wall := time.Since(start).Seconds(); wall > 0 {
-				util := jobTimer.Total().Seconds() / (wall * float64(workers))
-				opts.Obs.Gauge("core.sweep.worker_utilization").Set(util)
-			}
+	if opts.Obs.Enabled() {
+		opts.Obs.Counter("core.sweep.jobs").Add(int64(len(jobs)))
+		opts.Obs.Gauge("core.sweep.workers").Set(float64(nworkers))
+		opts.Obs.Counter("core.sweep.steals").Add(sch.steals.Load())
+		opts.Obs.Counter("core.sweep.steal_jobs").Add(sch.stolenJobs.Load())
+		// Busy time over the pool's total capacity: 1.0 means every
+		// worker computed the whole time (jobs may outnumber
+		// workers, so utilization is also capped by job
+		// granularity).
+		if wall := time.Since(start).Seconds(); wall > 0 {
+			util := jobTimer.Total().Seconds() / (wall * float64(nworkers))
+			opts.Obs.Gauge("core.sweep.worker_utilization").Set(util)
 		}
-	} else {
-		baseline := func(j sweepJob) (float64, error) {
-			k := ncKey{j.ncCfg.ProxyCacheFrac, j.ncCfg.NumProxies, j.ncCfg.ClientsPerCluster, j.ncCfg.Net, j.tr}
-			baseMu.Lock()
-			v, ok := baselines[k]
-			baseMu.Unlock()
-			if ok {
-				return v, nil
-			}
-			res, err := sim.Run(j.tr, j.ncCfg)
-			if err != nil {
-				return 0, err
-			}
-			baseMu.Lock()
-			baselines[k] = res.AvgLatency
-			baseMu.Unlock()
-			return res.AvgLatency, nil
-		}
-
-		sem := make(chan struct{}, workers)
-		var wg sync.WaitGroup
-		for _, j := range jobs {
-			wg.Add(1)
-			go func(j sweepJob) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				nc, err := baseline(j)
-				if err != nil {
-					results[j.series][j.point] = slot{err: err}
-					return
-				}
-				res, err := sim.Run(j.tr, j.cfg)
-				if err != nil {
-					results[j.series][j.point] = slot{err: err}
-					return
-				}
-				results[j.series][j.point] = slot{p: Point{
-					CacheFrac:  j.cfg.ProxyCacheFrac,
-					Gain:       netmodel.Gain(res.AvgLatency, nc),
-					AvgLatency: res.AvgLatency,
-					NCLatency:  nc,
-				}}
-			}(j)
-		}
-		wg.Wait()
 	}
 
 	for si := range results {

@@ -1,0 +1,63 @@
+package httpcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+)
+
+// TestQueryParamMatchesURLValues holds the zero-alloc query scanner to
+// the stdlib's answer on every shape the wire protocol produces.
+func TestQueryParamMatchesURLValues(t *testing.T) {
+	cases := []struct{ raw, key string }{
+		{"url=http://origin/page", "url"},
+		{"url=http://origin/page?a=1&b=2", "url"}, // nested '?' stays in the value
+		{"key=0123456789abcdef0123456789abcdef&cost=2.5", "cost"},
+		{"key=0123456789abcdef0123456789abcdef&cost=2.5&ifFree=1", "ifFree"},
+		{"url=http%3A%2F%2Forigin%2Fa%20page", "url"}, // escaped fallback
+		{"a=1&url=plus+means+space", "url"},
+		{"a=1&b=2", "missing"},
+		{"urlx=decoy&url=real", "url"},
+		{"url=", "url"},
+		{"", "url"},
+	}
+	for _, c := range cases {
+		want := ""
+		if vs, err := url.ParseQuery(c.raw); err == nil {
+			want = vs.Get(c.key)
+		}
+		if got := queryParam(c.raw, c.key); got != want {
+			t.Errorf("queryParam(%q, %q) = %q, want %q", c.raw, c.key, got, want)
+		}
+	}
+}
+
+// TestReceiptFastPathBytes pins the pre-serialized receipt to what
+// json.Encoder emits for the same value, so the fast path is
+// indistinguishable on the wire from the encoding path it bypasses.
+func TestReceiptFastPathBytes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(StoreReceipt{Stored: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), receiptStoredClean) {
+		t.Fatalf("receiptStoredClean = %q, json.Encoder emits %q", receiptStoredClean, buf.Bytes())
+	}
+}
+
+// TestServedByFallback covers the allocating fallback for tier labels
+// outside the precomputed set (a fleet hop relaying a peer's tag).
+func TestServedByFallback(t *testing.T) {
+	rec := httptest.NewRecorder()
+	serve(rec, []byte("body"), "some-novel-tier")
+	if got := rec.Header().Get(ServedByHeader); got != "some-novel-tier" {
+		t.Fatalf("ServedBy = %q, want some-novel-tier", got)
+	}
+	rec = httptest.NewRecorder()
+	serve(rec, []byte("body"), TierProxy)
+	if got := rec.Header().Get(ServedByHeader); got != TierProxy {
+		t.Fatalf("ServedBy = %q, want %q", got, TierProxy)
+	}
+}

@@ -243,7 +243,7 @@ type registerBody struct {
 const registerBodyMax = 1 << 20
 
 func (p *Proxy) handleRegister(w http.ResponseWriter, r *http.Request) {
-	addr := r.URL.Query().Get("addr")
+	addr := queryParam(r.URL.RawQuery, "addr")
 	if addr == "" {
 		http.Error(w, "missing addr", http.StatusBadRequest)
 		return
@@ -278,14 +278,8 @@ func (p *Proxy) handleRegister(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(map[string]string{"cacheId": id.String()})
 }
 
-// serve writes an object body with its serving-tier header.
-func serve(w http.ResponseWriter, body []byte, tier string) {
-	w.Header().Set(ServedByHeader, tier)
-	w.Write(body)
-}
-
 func (p *Proxy) handleFetch(w http.ResponseWriter, r *http.Request) {
-	url := r.URL.Query().Get("url")
+	url := queryParam(r.URL.RawQuery, "url")
 	if url == "" {
 		http.Error(w, "missing url", http.StatusBadRequest)
 		return
@@ -818,13 +812,13 @@ func (p *Proxy) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
 }
 
 func (p *Proxy) handleAcceptPush(w http.ResponseWriter, r *http.Request) {
-	pushID := r.URL.Query().Get("id")
+	pushID := queryParam(r.URL.RawQuery, "id")
 	chAny, ok := p.pushWaiters.Load(pushID)
 	if !ok {
 		http.Error(w, "unknown push id", http.StatusGone)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	body, err := readRetainedBody(w, r, 64<<20)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"unsafe"
 )
 
 // IDBits is the width of the Pastry identifier space.
@@ -43,8 +44,17 @@ func HashID(data []byte) ID {
 	return IDFromBytes(sum[:])
 }
 
-// HashString is HashID for strings (URLs, node names).
-func HashString(s string) ID { return HashID([]byte(s)) }
+// HashString is HashID for strings (URLs, node names).  The string's
+// bytes are aliased rather than copied: HashID only reads its input,
+// so the conversion is safe, and the live proxy hashes every request
+// URL on its hot path — a heap copy per request is exactly the kind
+// of allocation the request-path alloc gate forbids.
+func HashString(s string) ID {
+	if len(s) == 0 {
+		return HashID(nil)
+	}
+	return HashID(unsafe.Slice(unsafe.StringData(s), len(s)))
+}
 
 // HashUint64 derives an ID from a numeric key (the simulator's object
 // ids) via SHA-1 so ids spread uniformly over the ring.

@@ -1,0 +1,84 @@
+//go:build !race
+
+package sim
+
+// Zero-alloc gates on the simulator's steady-state inner loop.  After
+// one warmup replay, a serve must not touch the heap: the arena and
+// policy scratch buffers (arena.go, cache.Policy.Add) absorb every
+// per-request record, and the hoisted lookup tables (fc.go tierOf,
+// fleet.go cands, tiered.go missLFU) replace the per-request map and
+// interface work.  testing.AllocsPerRun floor-divides total mallocs by
+// runs, so a rare map-rehash still passes while any per-request
+// allocation fails the gate at >= 1.
+//
+// The file is excluded under the race detector (make check), whose
+// instrumentation allocates on paths the production build does not.
+
+import (
+	"testing"
+)
+
+// serveSteadyStateAllocs warms eng with one full replay and then
+// measures allocations per serve over a second replay.
+func serveSteadyStateAllocs(t *testing.T, cfg Config) float64 {
+	t.Helper()
+	tr := testTrace(t, 1)
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sz := computeSizing(tr, cfg)
+	var eng engine
+	var err error
+	switch {
+	case cfg.Scheme == HierGD && cfg.FleetSize > 1:
+		eng, err = newFleetEngine(cfg, sz)
+	case cfg.Scheme == HierGD:
+		eng, err = newHierGDEngine(cfg, sz)
+	default:
+		eng = newLFUEngine(cfg, sz)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := func() {
+		for _, r := range tr.Requests {
+			proxy, member := clientMapping(cfg, r.Client)
+			eng.serve(r.Object, r.Size, proxy, member, nil)
+		}
+	}
+	replay() // warm caches, popularity maps, and memoized tables
+
+	i := 0
+	return testing.AllocsPerRun(len(tr.Requests), func() {
+		r := tr.Requests[i%len(tr.Requests)]
+		i++
+		proxy, member := clientMapping(cfg, r.Client)
+		eng.serve(r.Object, r.Size, proxy, member, nil)
+	})
+}
+
+// TestServeZeroAllocLFU gates the NC/SC/EC engine family: the per-proxy
+// tiered LFU caches with inter-proxy cooperation.
+func TestServeZeroAllocLFU(t *testing.T) {
+	cfg := Config{Scheme: SCEC, ProxyCacheFrac: 0.3, ClientsPerCluster: 16, Seed: 1}
+	if allocs := serveSteadyStateAllocs(t, cfg); allocs != 0 {
+		t.Errorf("SC-EC steady-state serve allocates %.1f objects/request, want 0", allocs)
+	}
+}
+
+// TestServeZeroAllocFleet gates the fleet engine: consistent-hash
+// partitioning with hot-object replication, the heaviest serve path.
+func TestServeZeroAllocFleet(t *testing.T) {
+	cfg := Config{
+		Scheme:            HierGD,
+		ProxyCacheFrac:    0.3,
+		ClientsPerCluster: 16,
+		Seed:              1,
+		FleetSize:         4,
+		FleetReplication:  2,
+	}
+	if allocs := serveSteadyStateAllocs(t, cfg); allocs != 0 {
+		t.Errorf("fleet steady-state serve allocates %.1f objects/request, want 0", allocs)
+	}
+}

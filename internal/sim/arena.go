@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"webcache/internal/cache"
+	"webcache/internal/trace"
+)
+
+// arena is the per-run scratch pool for the short-lived records the
+// request hot path produces: eviction receipts and their object-id
+// projections.  Every engine owns one arena per run; buffers handed
+// out are valid until the next call that hands out the same buffer,
+// mirroring the cache.Policy.Add scratch contract.  Consumers
+// (invariant accountants, directory updates) read receipts
+// synchronously, so nothing on the hot path needs a fresh allocation
+// once the buffers have grown to the run's high-water mark.
+type arena struct {
+	ids     []trace.ObjectID
+	entries []cache.Entry
+}
+
+// idBuf returns the reusable object-id buffer, emptied.
+func (a *arena) idBuf() []trace.ObjectID { return a.ids[:0] }
+
+// keepIDs records the grown buffer so the capacity is reused.
+func (a *arena) keepIDs(ids []trace.ObjectID) []trace.ObjectID {
+	a.ids = ids
+	return ids
+}
+
+// entryBuf returns the reusable entry buffer, emptied.
+func (a *arena) entryBuf() []cache.Entry { return a.entries[:0] }
+
+// keepEntries records the grown buffer so the capacity is reused.
+func (a *arena) keepEntries(es []cache.Entry) []cache.Entry {
+	a.entries = es
+	return es
+}
+
+// evictedIDs projects eviction receipts down to object ids using the
+// arena's buffer; the result is valid until the next evictedIDs call
+// on the same arena (the accountants consume it synchronously).
+func (a *arena) evictedIDs(evicted []cache.Entry) []trace.ObjectID {
+	if len(evicted) == 0 {
+		return nil
+	}
+	ids := a.idBuf()
+	for _, ev := range evicted {
+		ids = append(ids, ev.Obj)
+	}
+	return a.keepIDs(ids)
+}

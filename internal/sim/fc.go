@@ -36,6 +36,13 @@ type fcEngine struct {
 	placement *cache.Placement
 	// tierKind[t] maps tier index -> serving source for a local hit.
 	tierKind []netmodel.Source
+	// tierOf[p][o] is the dense mirror of placement.ByProxy[p][o] (-1
+	// when proxy p holds no copy of o), and anywhere[o] mirrors
+	// placement.Anywhere(o).  Object ids are dense [0, NumObjects), so
+	// these arrays replace two map probes per request with two indexed
+	// loads; they are allocated once and refilled at window boundaries.
+	tierOf   [][]int16
+	anywhere []bool
 }
 
 // defaultFCWindow is the re-placement period in requests.
@@ -117,6 +124,26 @@ func (e *fcEngine) replace(at int) error {
 		return err
 	}
 	e.placement = pl
+	if e.tierOf == nil {
+		e.tierOf = make([][]int16, e.cfg.NumProxies)
+		for p := range e.tierOf {
+			e.tierOf[p] = make([]int16, e.tr.NumObjects)
+		}
+		e.anywhere = make([]bool, e.tr.NumObjects)
+	}
+	for i := range e.anywhere {
+		e.anywhere[i] = false
+	}
+	for p, m := range pl.ByProxy {
+		dense := e.tierOf[p]
+		for i := range dense {
+			dense[i] = -1
+		}
+		for obj, t := range m {
+			dense[obj] = int16(t)
+			e.anywhere[obj] = true
+		}
+	}
 	return nil
 }
 
@@ -135,7 +162,7 @@ func (e *fcEngine) maintain(reqIdx int, res *Result) {
 
 func (e *fcEngine) serve(obj trace.ObjectID, _ uint32, proxy, _ int, st *obs.SpanTrace) (netmodel.Source, float64) {
 	net := e.cfg.Net
-	if t, ok := e.placement.ByProxy[proxy][obj]; ok {
+	if t := e.tierOf[proxy][obj]; t >= 0 {
 		src := e.tierKind[t]
 		if src == netmodel.SrcP2P && e.cfg.SinglePoolEC {
 			// Pooled client tier serves at proxy latency but is still
@@ -152,7 +179,7 @@ func (e *fcEngine) serve(obj trace.ObjectID, _ uint32, proxy, _ int, st *obs.Spa
 	st.Span("proxy.cache", string(netmodel.CompTl), net.Tl)
 	// Any other proxy's copy (proxy tier or, via push, its P2P client
 	// cache) serves at Tc.
-	if e.placement.Anywhere(obj) {
+	if e.anywhere[obj] {
 		st.Span("peer.fetch", string(netmodel.CompTc), net.Tc)
 		return netmodel.SrcRemoteProxy, net.Latency(netmodel.SrcRemoteProxy)
 	}

@@ -46,6 +46,16 @@ type fleetEngine struct {
 	idx     map[string]int // member name -> index
 	loads   *fleet.LoadTracker
 	acct    *invariant.ClusterAccountant
+	// checking gates the eviction-receipt projection (evictedIDs
+	// allocates) so unchecked runs skip ledger bookkeeping entirely.
+	checking bool
+	// cands memoizes each object's ring candidates as member indices:
+	// the ring is immutable for the whole run, so ReplicasOf (which
+	// allocates a []string and hashes per call) runs once per object
+	// instead of once per request.
+	cands map[trace.ObjectID][]int
+	// ar holds the run's receipt-projection scratch (see arena.go).
+	ar arena
 
 	partitioned bool // FleetPartitionAt reached
 	victim      int  // member isolated by the partition
@@ -84,7 +94,9 @@ func newFleetEngine(cfg Config, sz sizing) (*fleetEngine, error) {
 		})
 	}
 	e.ring = fleet.NewRingOf(fleet.DefaultVirtualNodes, names)
+	e.cands = make(map[trace.ObjectID][]int)
 	e.acct = invariant.NewClusterAccountant(cfg.Check, "fleet")
+	e.checking = cfg.Check != nil
 	if cfg.FleetPartitionAt > 0 {
 		// Copies stranded on the isolated member keep serving its own
 		// fronted clients but cannot be receipted across the cut, so
@@ -97,6 +109,21 @@ func newFleetEngine(cfg Config, sz sizing) (*fleetEngine, error) {
 // cut reports whether member i is on the wrong side of the partition.
 func (e *fleetEngine) cut(i int) bool { return e.partitioned && i == e.victim }
 
+// candidates returns obj's replica candidates as member indices,
+// memoized for the run (the ring never changes after construction).
+func (e *fleetEngine) candidates(obj trace.ObjectID) []int {
+	if c, ok := e.cands[obj]; ok {
+		return c
+	}
+	names := e.ring.ReplicasOf(obj, e.cfg.FleetReplication)
+	c := make([]int, len(names))
+	for i, name := range names {
+		c[i] = e.idx[name]
+	}
+	e.cands[obj] = c
+	return c
+}
+
 func (e *fleetEngine) serve(obj trace.ObjectID, size uint32, proxy, _ int, st *obs.SpanTrace) (netmodel.Source, float64) {
 	front := e.members[proxy]
 
@@ -108,13 +135,13 @@ func (e *fleetEngine) serve(obj trace.ObjectID, size uint32, proxy, _ int, st *o
 	}
 	st.Span("proxy.cache", string(netmodel.CompTl), e.net.Tl)
 
-	cands := e.ring.ReplicasOf(obj, e.cfg.FleetReplication)
+	cands := e.candidates(obj)
 
 	// 2. The front is itself a candidate: fill from origin and keep the
 	//    copy — this is the only way keys enter a member's cache on the
 	//    request path (the front never caches keys it does not own).
-	for _, name := range cands {
-		if e.idx[name] == proxy {
+	for _, i := range cands {
+		if i == proxy {
 			e.insertAt(proxy, obj, size)
 			e.touch(proxy, obj, size)
 			st.Span("origin.fetch", string(netmodel.CompTs), e.net.Ts)
@@ -127,8 +154,7 @@ func (e *fleetEngine) serve(obj trace.ObjectID, size uint32, proxy, _ int, st *o
 	//    one home and the strict replica ledger stays exact).
 	target := -1
 	if !e.cut(proxy) { // a partitioned front cannot reach anyone
-		for _, name := range cands {
-			i := e.idx[name]
+		for _, i := range cands {
 			if e.cut(i) {
 				e.routeSkipped++
 				continue
@@ -175,8 +201,8 @@ func (e *fleetEngine) serve(obj trace.ObjectID, size uint32, proxy, _ int, st *o
 // survives elsewhere).
 func (e *fleetEngine) insertAt(i int, obj trace.ObjectID, size uint32) {
 	copyExists := false
-	for _, name := range e.ring.ReplicasOf(obj, e.cfg.FleetReplication) {
-		if j := e.idx[name]; j != i && e.members[j].cache.Contains(obj) {
+	for _, j := range e.candidates(obj) {
+		if j != i && e.members[j].cache.Contains(obj) {
 			copyExists = true
 			break
 		}
@@ -184,10 +210,13 @@ func (e *fleetEngine) insertAt(i int, obj trace.ObjectID, size uint32) {
 	m := e.members[i]
 	evicted := m.cache.Add(entryFor(obj, size, e.net.FetchCost(netmodel.SrcServer)))
 	m.evictions.Add(int64(len(evicted)))
+	if !e.checking {
+		return
+	}
 	if copyExists {
-		e.acct.RecordReplica(obj, evictedIDs(evicted))
+		e.acct.RecordReplica(obj, e.ar.evictedIDs(evicted))
 	} else {
-		e.acct.RecordStore(p2p.Receipt{Stored: obj, StoredOK: true, Evicted: evictedIDs(evicted)})
+		e.acct.RecordStore(p2p.Receipt{Stored: obj, StoredOK: true, Evicted: e.ar.evictedIDs(evicted)})
 	}
 }
 
@@ -202,8 +231,7 @@ func (e *fleetEngine) touch(holder int, obj trace.ObjectID, size uint32) {
 	if n < uint32(e.cfg.FleetHotAfter) || n%uint32(e.cfg.FleetHotAfter) != 0 {
 		return
 	}
-	for _, name := range e.ring.ReplicasOf(obj, e.cfg.FleetReplication) {
-		i := e.idx[name]
+	for _, i := range e.candidates(obj) {
 		if i == holder || e.cut(i) || e.cut(holder) {
 			continue
 		}
@@ -215,7 +243,9 @@ func (e *fleetEngine) touch(holder int, obj trace.ObjectID, size uint32) {
 		// cost under greedy-dual.
 		evicted := m.cache.Add(entryFor(obj, size, e.net.FetchCost(netmodel.SrcRemoteProxy)))
 		m.evictions.Add(int64(len(evicted)))
-		e.acct.RecordReplica(obj, evictedIDs(evicted))
+		if e.checking {
+			e.acct.RecordReplica(obj, e.ar.evictedIDs(evicted))
+		}
 		e.replicasPlaced++
 	}
 }
@@ -252,16 +282,4 @@ func (e *fleetEngine) finish(res *Result) {
 		}
 	}
 	e.acct.ReconcileCopies(ground)
-}
-
-// evictedIDs projects eviction receipts down to object ids.
-func evictedIDs(evicted []cache.Entry) []trace.ObjectID {
-	if len(evicted) == 0 {
-		return nil
-	}
-	ids := make([]trace.ObjectID, len(evicted))
-	for i, ev := range evicted {
-		ids[i] = ev.Obj
-	}
-	return ids
 }

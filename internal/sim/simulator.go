@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"webcache/internal/cache"
@@ -93,6 +94,15 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	// sequentially, so cumulative charged latency lays sampled traces
 	// end-to-end on the Perfetto timeline.
 	simClock := 0.0
+	// With a registry attached, account the replay loop's allocation
+	// rate (sim.alloc.*) from the runtime's malloc counters.  The
+	// numbers are process-wide, so they are only exact for a single
+	// replay at a time — which is how the alloc gate runs them.  The
+	// reads happen outside the loop; an uninstrumented run skips them.
+	var memBefore runtime.MemStats
+	if cfg.Obs.Enabled() {
+		runtime.ReadMemStats(&memBefore)
+	}
 	for i, r := range tr.Requests {
 		if hasMaintenance {
 			mnt.maintain(i, res)
@@ -110,6 +120,12 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		res.Sources[src]++
 		res.Bytes[src] += uint64(r.Size)
 		res.TotalLatency += lat
+	}
+	if cfg.Obs.Enabled() {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		cfg.Obs.Counter("sim.alloc.mallocs").Add(int64(memAfter.Mallocs - memBefore.Mallocs))
+		cfg.Obs.Counter("sim.alloc.bytes").Add(int64(memAfter.TotalAlloc - memBefore.TotalAlloc))
 	}
 	if res.Requests > 0 {
 		res.AvgLatency = res.TotalLatency / float64(res.Requests)

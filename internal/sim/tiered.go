@@ -22,6 +22,11 @@ type tieredCache struct {
 	lower      cache.Policy
 	history    map[trace.ObjectID]uint64 // shared perfect-LFU history (nil for in-cache LFU)
 	singlePool bool
+	// missLFU is the proxy tier's LFU resolved once at construction
+	// (reaching through the invariant wrapper), so recordMiss on the
+	// per-request miss path costs no type assertions.  Nil when the base
+	// policy is not an LFU.
+	missLFU *cache.LFU
 	// upperEvictions counts objects the proxy tier evicted (demoted
 	// or discarded) — the Result.ProxyEvictions telemetry.
 	upperEvictions int
@@ -51,10 +56,15 @@ func newTieredCache(proxyCap, p2pCap uint64, kind BasePolicy, singlePool bool, c
 	}
 	if singlePool {
 		t.upper = mk(proxyCap+p2pCap, ".pool")
-		return t
+	} else {
+		t.upper = mk(proxyCap, ".proxy")
+		t.lower = mk(p2pCap, ".client")
 	}
-	t.upper = mk(proxyCap, ".proxy")
-	t.lower = mk(p2pCap, ".client")
+	p := t.upper
+	if u, ok := p.(interface{ Unwrap() cache.Policy }); ok {
+		p = u.Unwrap() // reach through the invariant wrapper
+	}
+	t.missLFU, _ = p.(*cache.LFU)
 	return t
 }
 
@@ -88,14 +98,12 @@ func (t *tieredCache) access(obj trace.ObjectID) tier {
 	return tierClient
 }
 
-// recordMiss updates perfect-LFU history for an uncached object.
+// recordMiss updates perfect-LFU history for an uncached object.  The
+// LFU was resolved once at construction so this stays assertion-free
+// on the miss path.
 func (t *tieredCache) recordMiss(obj trace.ObjectID) {
-	p := t.upper
-	if u, ok := p.(interface{ Unwrap() cache.Policy }); ok {
-		p = u.Unwrap() // reach through the invariant wrapper
-	}
-	if lfu, ok := p.(*cache.LFU); ok {
-		lfu.RecordMiss(obj)
+	if t.missLFU != nil {
+		t.missLFU.RecordMiss(obj)
 	}
 }
 

@@ -134,83 +134,216 @@ func WriteBinary(w io.Writer, t *Trace) error {
 // ErrBadMagic reports a stream that is not a binary webcache trace.
 var ErrBadMagic = errors.New("trace: bad magic (not a binary webcache trace)")
 
-// ReadBinary parses the binary format written by WriteBinary.
-func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(binaryMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+// batchBufSize is the BatchReader's internal byte buffer: large enough
+// that the per-refill cost amortizes to nothing, small enough that a
+// reader per open trace file is cheap.
+const batchBufSize = 64 * 1024
+
+// BatchReader decodes the binary trace format incrementally: the
+// header is validated at construction, then ReadBatch decodes request
+// records into a caller-owned slice.  All decoding runs over one
+// reused internal byte buffer with slice-based varint reads — no
+// per-record I/O calls and no per-record allocations — so a replay
+// driver can stream arbitrarily large traces through a fixed-size
+// batch.  A BatchReader is not safe for concurrent use.
+type BatchReader struct {
+	r   io.Reader
+	buf []byte
+	// buf[pos:lim] holds the undecoded bytes read so far.
+	pos, lim int
+	eof      bool // r reported EOF; buf holds all remaining bytes
+
+	n, decoded uint64 // declared request count / requests handed out
+	prev       uint32 // time-delta decoder state, carried across batches
+	numClients int
+	numObjects int
+}
+
+// NewBatchReader validates the header (magic, version, counts) and
+// returns a reader positioned at the first request record.
+func NewBatchReader(r io.Reader) (*BatchReader, error) {
+	b := &BatchReader{r: r, buf: make([]byte, batchBufSize)}
+	if err := b.refill(); err != nil && b.lim == 0 {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if string(magic) != binaryMagic {
+	if b.lim-b.pos < len(binaryMagic) {
+		return nil, fmt.Errorf("trace: reading magic: %w", io.ErrUnexpectedEOF)
+	}
+	if string(b.buf[b.pos:b.pos+len(binaryMagic)]) != binaryMagic {
 		return nil, ErrBadMagic
 	}
-	get := func() (uint64, error) { return binary.ReadUvarint(br) }
-	ver, err := get()
+	b.pos += len(binaryMagic)
+	ver, err := b.uvarint()
 	if err != nil {
 		return nil, err
 	}
 	if ver != binaryVersion {
 		return nil, fmt.Errorf("trace: unsupported version %d", ver)
 	}
-	n, err := get()
+	if b.n, err = b.uvarint(); err != nil {
+		return nil, err
+	}
+	nc, err := b.uvarint()
 	if err != nil {
 		return nil, err
 	}
-	nc, err := get()
-	if err != nil {
-		return nil, err
-	}
-	no, err := get()
+	no, err := b.uvarint()
 	if err != nil {
 		return nil, err
 	}
 	const maxRequests = 1 << 31
-	if n > maxRequests {
-		return nil, fmt.Errorf("trace: implausible request count %d", n)
+	if b.n > maxRequests {
+		return nil, fmt.Errorf("trace: implausible request count %d", b.n)
 	}
-	// The count is untrusted until the stream actually delivers n
-	// requests, so clamp the pre-allocation: a short stream claiming a
-	// huge count must fail with a read error, not a giant allocation.
-	pre := n
-	if pre > 1<<16 {
-		pre = 1 << 16
+	b.numClients = int(nc)
+	b.numObjects = int(no)
+	return b, nil
+}
+
+// Len is the total request count the header declares (untrusted until
+// the stream delivers it — a short stream fails ReadBatch with an
+// error, so callers should still clamp pre-allocations).
+func (b *BatchReader) Len() int { return int(b.n) }
+
+// Remaining is how many declared requests ReadBatch has not yet
+// delivered.
+func (b *BatchReader) Remaining() int { return int(b.n - b.decoded) }
+
+// NumClients is the header's client count.
+func (b *BatchReader) NumClients() int { return b.numClients }
+
+// NumObjects is the header's object count.
+func (b *BatchReader) NumObjects() int { return b.numObjects }
+
+// refill slides the undecoded tail to the front of the buffer and
+// reads as much as the source will give.
+func (b *BatchReader) refill() error {
+	if b.eof {
+		return io.ErrUnexpectedEOF
 	}
-	t := &Trace{
-		Requests:   make([]Request, 0, pre),
-		NumClients: int(nc),
-		NumObjects: int(no),
-	}
-	var prev uint32
-	for i := uint64(0); i < n; i++ {
-		dt, err := get()
+	copy(b.buf, b.buf[b.pos:b.lim])
+	b.lim -= b.pos
+	b.pos = 0
+	for b.lim < len(b.buf) {
+		n, err := b.r.Read(b.buf[b.lim:])
+		b.lim += n
+		if err == io.EOF {
+			b.eof = true
+			return nil
+		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: request %d: %w", i, err)
+			return err
+		}
+		if n > 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// uvarint decodes one varint from the buffered window, refilling when
+// the window runs dry.
+func (b *BatchReader) uvarint() (uint64, error) {
+	for {
+		v, w := binary.Uvarint(b.buf[b.pos:b.lim])
+		if w > 0 {
+			b.pos += w
+			return v, nil
+		}
+		if w < 0 {
+			return 0, fmt.Errorf("trace: varint overflows 64 bits")
+		}
+		// Window too short for a full varint: pull more bytes.  At EOF
+		// the varint can never complete.
+		if b.eof {
+			if b.pos == b.lim {
+				return 0, io.EOF
+			}
+			return 0, io.ErrUnexpectedEOF
+		}
+		if err := b.refill(); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// ReadBatch decodes up to len(dst) request records into dst and
+// returns how many it decoded.  It returns io.EOF once all declared
+// requests have been delivered; a stream ending early returns the
+// decode error positioned at the failing record.
+func (b *BatchReader) ReadBatch(dst []Request) (int, error) {
+	if b.decoded == b.n {
+		return 0, io.EOF
+	}
+	for i := range dst {
+		if b.decoded == b.n {
+			return i, nil
+		}
+		dt, err := b.uvarint()
+		if err != nil {
+			return i, fmt.Errorf("trace: request %d: %w", b.decoded, err)
 		}
 		var tm uint32
 		if dt&1 == 1 {
 			tm = uint32(dt >> 1)
 		} else {
-			tm = prev + uint32(dt>>1)
+			tm = b.prev + uint32(dt>>1)
 		}
-		prev = tm
-		cl, err := get()
+		b.prev = tm
+		cl, err := b.uvarint()
 		if err != nil {
-			return nil, err
+			return i, fmt.Errorf("trace: request %d: %w", b.decoded, err)
 		}
-		ob, err := get()
+		ob, err := b.uvarint()
 		if err != nil {
-			return nil, err
+			return i, fmt.Errorf("trace: request %d: %w", b.decoded, err)
 		}
-		sz, err := get()
+		sz, err := b.uvarint()
 		if err != nil {
-			return nil, err
+			return i, fmt.Errorf("trace: request %d: %w", b.decoded, err)
 		}
-		t.Requests = append(t.Requests, Request{
+		dst[i] = Request{
 			Time:   tm,
 			Client: ClientID(cl),
 			Object: ObjectID(ob),
 			Size:   uint32(sz),
-		})
+		}
+		b.decoded++
+	}
+	return len(dst), nil
+}
+
+// ReadBinary parses the binary format written by WriteBinary.  It is a
+// thin wrapper over BatchReader that materializes the whole trace;
+// streaming consumers should use BatchReader directly.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br, err := NewBatchReader(r)
+	if err != nil {
+		return nil, err
+	}
+	// The count is untrusted until the stream actually delivers it, so
+	// clamp the pre-allocation: a short stream claiming a huge count
+	// must fail with a read error, not a giant allocation.
+	pre := br.Len()
+	if pre > 1<<16 {
+		pre = 1 << 16
+	}
+	t := &Trace{
+		Requests:   make([]Request, 0, pre),
+		NumClients: br.NumClients(),
+		NumObjects: br.NumObjects(),
+	}
+	for br.Remaining() > 0 {
+		// Decode directly into the tail of the accumulating slice; the
+		// batch size is however much spare capacity append growth left.
+		if cap(t.Requests) == len(t.Requests) {
+			t.Requests = append(t.Requests, Request{})[:len(t.Requests)]
+		}
+		n, err := br.ReadBatch(t.Requests[len(t.Requests):cap(t.Requests)])
+		t.Requests = t.Requests[:len(t.Requests)+n]
+		if err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
 }
